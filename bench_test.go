@@ -1,0 +1,290 @@
+// Benchmarks regenerating the paper's evaluation, one family per figure.
+// Each benchmark measures the per-query cost of one cell of the figure's
+// parameter grid on the synthetic stand-in datasets; `korbench -all`
+// produces the full tables (see EXPERIMENTS.md).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package kor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kor/internal/core"
+	"kor/internal/experiments"
+)
+
+var benchCfg = experiments.Config{Seed: 2012, Queries: 4}
+
+var (
+	flickrOnce sync.Once
+	flickrDS   *experiments.Dataset
+	flickrErr  error
+
+	roadOnce sync.Once
+	roadDS   map[int]*experiments.Dataset
+)
+
+func benchFlickr(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	flickrOnce.Do(func() {
+		flickrDS, flickrErr = experiments.NewFlickrDataset(benchCfg)
+	})
+	if flickrErr != nil {
+		b.Fatalf("flickr dataset: %v", flickrErr)
+	}
+	return flickrDS
+}
+
+func benchRoad(b *testing.B, nodes int) *experiments.Dataset {
+	b.Helper()
+	roadOnce.Do(func() { roadDS = make(map[int]*experiments.Dataset) })
+	ds, ok := roadDS[nodes]
+	if !ok {
+		ds = experiments.NewRoadDataset(benchCfg, nodes)
+		roadDS[nodes] = ds
+	}
+	return ds
+}
+
+// runSet executes one measured pass over the query set per b.N iteration.
+func runSet(b *testing.B, ds *experiments.Dataset, queries []core.Query, algo experiments.Algorithm) {
+	b.Helper()
+	if len(queries) == 0 {
+		b.Skip("no queries generated for this cell")
+	}
+	// One untimed pass warms the oracle caches — the stand-in for the
+	// paper's offline pre-processing.
+	experiments.Measure(ds, queries, algo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			_, _ = invoke(ds, algo, q)
+		}
+	}
+	b.ReportMetric(float64(len(queries)), "queries/op")
+}
+
+func invoke(ds *experiments.Dataset, algo experiments.Algorithm, q core.Query) (core.Result, error) {
+	switch algo.Kind {
+	case experiments.KindOSScaling:
+		return ds.Searcher.OSScaling(q, algo.Opts)
+	case experiments.KindBucketBound:
+		return ds.Searcher.BucketBound(q, algo.Opts)
+	case experiments.KindGreedy:
+		return ds.Searcher.Greedy(q, algo.Opts)
+	case experiments.KindExact:
+		return ds.Searcher.Exact(q, algo.Opts)
+	case experiments.KindBruteForce:
+		return ds.Searcher.BruteForce(q, 2_000_000)
+	}
+	panic("unknown kind")
+}
+
+func algoVariants(width2 bool) []experiments.Algorithm {
+	oss := core.DefaultOptions()
+	bb := core.DefaultOptions()
+	g := core.DefaultOptions()
+	variants := []experiments.Algorithm{
+		{Name: "OSScaling", Opts: oss, Kind: experiments.KindOSScaling},
+		{Name: "BucketBound", Opts: bb, Kind: experiments.KindBucketBound},
+		{Name: "Greedy1", Opts: g, Kind: experiments.KindGreedy},
+	}
+	if width2 {
+		g2 := core.DefaultOptions()
+		g2.Width = 2
+		variants = append(variants, experiments.Algorithm{Name: "Greedy2", Opts: g2, Kind: experiments.KindGreedy})
+	}
+	return variants
+}
+
+// BenchmarkFig04RuntimeVsKeywords — Figure 4: runtime as the keyword count
+// grows, Flickr-like dataset, Δ=6.
+func BenchmarkFig04RuntimeVsKeywords(b *testing.B) {
+	ds := benchFlickr(b)
+	for _, m := range []int{2, 6, 10} {
+		queries := ds.Queries(benchCfg, m, 6)
+		for _, algo := range algoVariants(true) {
+			b.Run(fmt.Sprintf("%s/m=%d", algo.Name, m), func(b *testing.B) {
+				runSet(b, ds, queries, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkFig05RuntimeVsDelta — Figure 5: runtime as Δ grows, m=6.
+func BenchmarkFig05RuntimeVsDelta(b *testing.B) {
+	ds := benchFlickr(b)
+	for _, delta := range []float64{3, 9, 15} {
+		queries := ds.Queries(benchCfg, 6, delta)
+		for _, algo := range algoVariants(true) {
+			b.Run(fmt.Sprintf("%s/delta=%v", algo.Name, delta), func(b *testing.B) {
+				runSet(b, ds, queries, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkFig06EpsilonSweep — Figure 6: OSScaling runtime versus ε.
+func BenchmarkFig06EpsilonSweep(b *testing.B) {
+	ds := benchFlickr(b)
+	queries := ds.Queries(benchCfg, 6, 6)
+	for _, eps := range []float64{0.1, 0.5, 0.9} {
+		opts := core.DefaultOptions()
+		opts.Epsilon = eps
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: opts, Kind: experiments.KindOSScaling})
+		})
+	}
+}
+
+// BenchmarkFig08BetaSweep — Figure 8: BucketBound runtime versus β.
+func BenchmarkFig08BetaSweep(b *testing.B) {
+	ds := benchFlickr(b)
+	queries := ds.Queries(benchCfg, 6, 6)
+	for _, beta := range []float64{1.2, 1.6, 2.0} {
+		opts := core.DefaultOptions()
+		opts.Beta = beta
+		b.Run(fmt.Sprintf("beta=%v", beta), func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: opts, Kind: experiments.KindBucketBound})
+		})
+	}
+}
+
+// BenchmarkFig14EqualBound — Figure 14: the two label algorithms at the
+// same theoretical bound r (OSScaling ε=1−1/r, BucketBound ε=0.5, β=r/2).
+func BenchmarkFig14EqualBound(b *testing.B) {
+	ds := benchFlickr(b)
+	queries := ds.Queries(benchCfg, 6, 6)
+	for _, bound := range []float64{2, 6, 10} {
+		ossOpts := core.DefaultOptions()
+		ossOpts.Epsilon = 1 - 1/bound
+		bbOpts := core.DefaultOptions()
+		bbOpts.Beta = bound / 2
+		if bbOpts.Beta <= 1 {
+			bbOpts.Beta = 1.01
+		}
+		b.Run(fmt.Sprintf("OSScaling/bound=%v", bound), func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: ossOpts, Kind: experiments.KindOSScaling})
+		})
+		b.Run(fmt.Sprintf("BucketBound/bound=%v", bound), func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: bbOpts, Kind: experiments.KindBucketBound})
+		})
+	}
+}
+
+// BenchmarkFig16TopK — Figure 16: the KkR query as k grows.
+func BenchmarkFig16TopK(b *testing.B) {
+	ds := benchFlickr(b)
+	queries := ds.Queries(benchCfg, 6, 6)
+	for _, k := range []int{1, 3, 5} {
+		opts := core.DefaultOptions()
+		opts.K = k
+		b.Run(fmt.Sprintf("OSScaling/k=%d", k), func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: opts, Kind: experiments.KindOSScaling})
+		})
+		b.Run(fmt.Sprintf("BucketBound/k=%d", k), func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: opts, Kind: experiments.KindBucketBound})
+		})
+	}
+}
+
+// BenchmarkFig17Scalability — Figure 17: road networks of growing size,
+// m=6, Δ=30 km.
+func BenchmarkFig17Scalability(b *testing.B) {
+	for _, nodes := range []int{5000, 10000, 20000} {
+		ds := benchRoad(b, nodes)
+		queries := ds.Queries(benchCfg, 6, 30)
+		for _, algo := range algoVariants(false) {
+			b.Run(fmt.Sprintf("%s/n=%d", algo.Name, nodes), func(b *testing.B) {
+				runSet(b, ds, queries, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkFig18RoadKeywords — Figure 18: keyword sweep on the 5k road
+// network.
+func BenchmarkFig18RoadKeywords(b *testing.B) {
+	ds := benchRoad(b, 5000)
+	for _, m := range []int{2, 6, 10} {
+		queries := ds.Queries(benchCfg, m, 9)
+		for _, algo := range algoVariants(false) {
+			b.Run(fmt.Sprintf("%s/m=%d", algo.Name, m), func(b *testing.B) {
+				runSet(b, ds, queries, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkFig19RoadDelta — Figure 19: Δ sweep on the 5k road network.
+func BenchmarkFig19RoadDelta(b *testing.B) {
+	ds := benchRoad(b, 5000)
+	for _, delta := range []float64{3, 9, 15} {
+		queries := ds.Queries(benchCfg, 6, delta)
+		for _, algo := range algoVariants(false) {
+			b.Run(fmt.Sprintf("%s/delta=%v", algo.Name, delta), func(b *testing.B) {
+				runSet(b, ds, queries, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkExactBaseline — §4.1's brute-force gap: the exhaustive baseline
+// against OSScaling on budgets small enough for it to finish.
+func BenchmarkExactBaseline(b *testing.B) {
+	ds := benchFlickr(b)
+	queries := ds.Queries(benchCfg, 2, 2)
+	b.Run("OSScaling", func(b *testing.B) {
+		runSet(b, ds, queries, experiments.Algorithm{Opts: core.DefaultOptions(), Kind: experiments.KindOSScaling})
+	})
+	b.Run("BruteForce", func(b *testing.B) {
+		runSet(b, ds, queries, experiments.Algorithm{Kind: experiments.KindBruteForce})
+	})
+	b.Run("Exact", func(b *testing.B) {
+		runSet(b, ds, queries, experiments.Algorithm{Opts: core.DefaultOptions(), Kind: experiments.KindExact})
+	})
+}
+
+// BenchmarkAblationStrategies — the §4.2.1 claim that the optimization
+// strategies buy 3–5×: OSScaling with and without them.
+func BenchmarkAblationStrategies(b *testing.B) {
+	ds := benchFlickr(b)
+	queries := ds.Queries(benchCfg, 6, 6)
+	for _, v := range []struct {
+		name   string
+		s1, s2 bool
+	}{{"both", false, false}, {"noS1", true, false}, {"noS2", false, true}, {"neither", true, true}} {
+		opts := core.DefaultOptions()
+		opts.DisableStrategy1 = v.s1
+		opts.DisableStrategy2 = v.s2
+		b.Run(v.name, func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: opts, Kind: experiments.KindOSScaling})
+		})
+	}
+}
+
+// BenchmarkAblationOracles — the three τ/σ oracle implementations serving
+// the same OSScaling workload: dense tables (the paper's pre-processing),
+// lazy memoized sweeps, and the §6 partitioned design.
+func BenchmarkAblationOracles(b *testing.B) {
+	base := benchRoad(b, 1500)
+	queries := base.Queries(benchCfg, 4, 12)
+	for _, variant := range experiments.OracleVariants(base.Graph) {
+		ds := &experiments.Dataset{
+			Name:         base.Name,
+			Graph:        base.Graph,
+			Index:        base.Index,
+			Searcher:     core.NewSearcher(base.Graph, variant.Oracle, base.Index),
+			DeltaSweep:   base.DeltaSweep,
+			DefaultDelta: base.DefaultDelta,
+			Planar:       true,
+		}
+		b.Run("oracle="+variant.Name, func(b *testing.B) {
+			runSet(b, ds, queries, experiments.Algorithm{Opts: core.DefaultOptions(), Kind: experiments.KindOSScaling})
+		})
+	}
+}

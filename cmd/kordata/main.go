@@ -1,0 +1,75 @@
+// Command kordata generates the reproduction datasets and writes them to
+// disk in the binary graph format, optionally with the disk-resident
+// inverted file alongside.
+//
+// Usage:
+//
+//	kordata -kind flickr -seed 2012 -out city.korg [-index city.kbpt]
+//	kordata -kind road -nodes 5000 -seed 2012 -out road5k.korg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kor"
+	"kor/internal/gen"
+	"kor/internal/textindex"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "flickr", "dataset kind: flickr | road")
+		nodes = flag.Int("nodes", 5000, "node count for -kind road")
+		seed  = flag.Int64("seed", 2012, "generator seed")
+		out   = flag.String("out", "", "output graph file (required)")
+		index = flag.String("index", "", "optional output path for the disk inverted file")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "kordata: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var g *kor.Graph
+	switch *kind {
+	case "flickr":
+		world, st, err := gen.FlickrGraph(gen.FlickrConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pipeline: %v\n", st)
+		g = world
+	case "road":
+		g = kor.SyntheticRoadNetwork(*seed, *nodes)
+	default:
+		fatal(fmt.Errorf("unknown -kind %q (flickr or road)", *kind))
+	}
+	fmt.Printf("graph: %v\n", g.ComputeStats())
+
+	if err := kor.SaveGraph(*out, g); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *index != "" {
+		if _, err := os.Stat(*index); err == nil {
+			fatal(fmt.Errorf("index file %s already exists", *index))
+		}
+		gi, err := textindex.BuildForGraph(*index, g)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gi.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *index)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kordata:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command korquery answers one KOR query against a saved dataset.
+//
+// Usage:
+//
+//	korquery -graph city.korg -from 12 -to 80 -keywords cafe,jazz -delta 6 \
+//	         [-algo bucketbound|osscaling|greedy|exact] [-k 3] [-epsilon 0.5]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kor"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by kordata (required)")
+		from      = flag.Int("from", 0, "source node id")
+		to        = flag.Int("to", 0, "target node id")
+		keywords  = flag.String("keywords", "", "comma-separated query keywords (required)")
+		delta     = flag.Float64("delta", 0, "budget limit Δ (required, > 0)")
+		algo      = flag.String("algo", "bucketbound", "algorithm: bucketbound | osscaling | greedy | exact")
+		k         = flag.Int("k", 1, "top-k routes (label algorithms)")
+		epsilon   = flag.Float64("epsilon", 0.5, "scaling parameter ε")
+		beta      = flag.Float64("beta", 1.2, "bucket base β")
+		alpha     = flag.Float64("alpha", 0.5, "greedy balance α")
+		width     = flag.Int("width", 1, "greedy beam width (1 or 2)")
+		metrics   = flag.Bool("metrics", false, "print search work counters")
+	)
+	flag.Parse()
+	if *graphPath == "" || *keywords == "" || *delta <= 0 {
+		fmt.Fprintln(os.Stderr, "korquery: -graph, -keywords and -delta are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := kor.LoadGraph(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := kor.NewEngine(g, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := kor.DefaultOptions()
+	opts.Epsilon = *epsilon
+	opts.Beta = *beta
+	opts.Alpha = *alpha
+	opts.Width = *width
+	opts.K = *k
+
+	q := kor.Query{
+		From:     kor.NodeID(*from),
+		To:       kor.NodeID(*to),
+		Keywords: splitKeywords(*keywords),
+		Budget:   *delta,
+	}
+
+	var res kor.Result
+	switch strings.ToLower(*algo) {
+	case "bucketbound":
+		res, err = eng.BucketBound(q, opts)
+	case "osscaling":
+		res, err = eng.OSScaling(q, opts)
+	case "greedy":
+		res, err = eng.Greedy(q, opts)
+	case "exact":
+		res, err = eng.Exact(q, opts)
+	default:
+		fatal(fmt.Errorf("unknown -algo %q", *algo))
+	}
+	switch {
+	case errors.Is(err, kor.ErrNoRoute):
+		fmt.Println("no feasible route exists")
+		os.Exit(1)
+	case errors.Is(err, kor.ErrBudgetExceeded):
+		fmt.Println("greedy covered the keywords but exceeded Δ:")
+	case err != nil:
+		fatal(err)
+	}
+
+	for i, r := range res.Routes {
+		if len(res.Routes) > 1 {
+			fmt.Printf("%d. ", i+1)
+		}
+		fmt.Println(eng.Describe(r))
+	}
+	if *metrics {
+		fmt.Printf("metrics: %+v\n", res.Metrics)
+	}
+}
+
+func splitKeywords(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "korquery:", err)
+	os.Exit(1)
+}

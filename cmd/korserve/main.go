@@ -1,0 +1,194 @@
+// Command korserve exposes a KOR dataset over HTTP — the "map service"
+// deployment the paper's introduction motivates.
+//
+// Usage:
+//
+//	korserve -graph city.korg [-addr :8080]
+//
+// Endpoints:
+//
+//	GET /query?from=12&to=80&keywords=cafe,jazz&delta=6[&algo=bucketbound][&k=3]
+//	GET /node/12
+//	GET /stats
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"kor"
+)
+
+type server struct {
+	eng *kor.Engine
+}
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by kordata (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "korserve: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := kor.LoadGraph(*graphPath)
+	if err != nil {
+		log.Fatalf("korserve: %v", err)
+	}
+	eng, err := kor.NewEngine(g, nil)
+	if err != nil {
+		log.Fatalf("korserve: %v", err)
+	}
+	s := &server{eng: eng}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /node/{id}", s.handleNode)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /keywords", s.handleKeywords)
+	log.Printf("korserve: %d nodes, %d edges, listening on %s",
+		g.NumNodes(), g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type routeJSON struct {
+	Nodes     []kor.NodeID `json:"nodes"`
+	Names     []string     `json:"names,omitempty"`
+	Objective float64      `json:"objective"`
+	Budget    float64      `json:"budget"`
+	Feasible  bool         `json:"feasible"`
+}
+
+func (s *server) routeJSON(r kor.Route) routeJSON {
+	out := routeJSON{Nodes: r.Nodes, Objective: r.Objective, Budget: r.Budget, Feasible: r.Feasible}
+	g := s.eng.Graph()
+	for _, v := range r.Nodes {
+		if g.Name(v) != "" {
+			out.Names = append(out.Names, g.Name(v))
+		}
+	}
+	if len(out.Names) != len(out.Nodes) {
+		out.Names = nil
+	}
+	return out
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	from, err1 := strconv.Atoi(qv.Get("from"))
+	to, err2 := strconv.Atoi(qv.Get("to"))
+	delta, err3 := strconv.ParseFloat(qv.Get("delta"), 64)
+	if err1 != nil || err2 != nil || err3 != nil || qv.Get("keywords") == "" {
+		httpError(w, http.StatusBadRequest, "from, to, delta and keywords are required")
+		return
+	}
+	var keywords []string
+	for _, kw := range strings.Split(qv.Get("keywords"), ",") {
+		if kw = strings.TrimSpace(kw); kw != "" {
+			keywords = append(keywords, kw)
+		}
+	}
+	opts := kor.DefaultOptions()
+	if k := qv.Get("k"); k != "" {
+		if kk, err := strconv.Atoi(k); err == nil {
+			opts.K = kk
+		}
+	}
+	q := kor.Query{From: kor.NodeID(from), To: kor.NodeID(to), Keywords: keywords, Budget: delta}
+
+	var res kor.Result
+	var err error
+	switch algo := qv.Get("algo"); algo {
+	case "", "bucketbound":
+		res, err = s.eng.BucketBound(q, opts)
+	case "osscaling":
+		res, err = s.eng.OSScaling(q, opts)
+	case "greedy":
+		res, err = s.eng.Greedy(q, opts)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown algo "+algo)
+		return
+	}
+	switch {
+	case errors.Is(err, kor.ErrNoRoute):
+		httpError(w, http.StatusNotFound, "no feasible route")
+		return
+	case errors.Is(err, kor.ErrUnknownKeyword), errors.Is(err, kor.ErrBadQuery):
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil && !errors.Is(err, kor.ErrBudgetExceeded):
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	routes := make([]routeJSON, len(res.Routes))
+	for i, rt := range res.Routes {
+		routes[i] = s.routeJSON(rt)
+	}
+	writeJSON(w, map[string]any{"routes": routes})
+}
+
+func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	g := s.eng.Graph()
+	if err != nil || !g.Valid(kor.NodeID(id)) {
+		httpError(w, http.StatusNotFound, "no such node")
+		return
+	}
+	v := kor.NodeID(id)
+	keywords := make([]string, 0, len(g.Terms(v)))
+	for _, t := range g.Terms(v) {
+		keywords = append(keywords, g.Vocab().Name(t))
+	}
+	writeJSON(w, map[string]any{
+		"id":       v,
+		"name":     g.Name(v),
+		"keywords": keywords,
+		"position": g.Position(v),
+		"degree":   g.OutDegree(v),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.eng.Graph().ComputeStats())
+}
+
+// handleKeywords serves keyword autocomplete:
+// GET /keywords?prefix=caf&limit=10
+func (s *server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	limit := 10
+	if l := r.URL.Query().Get("limit"); l != "" {
+		if n, err := strconv.Atoi(l); err == nil && n > 0 && n <= 200 {
+			limit = n
+		}
+	}
+	suggestions, err := s.eng.Suggest(r.URL.Query().Get("prefix"), limit)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"keywords": suggestions})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("korserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

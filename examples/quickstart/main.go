@@ -1,0 +1,79 @@
+// Quickstart: build a small city graph by hand and answer the paper's
+// flagship query — "the most popular route from my hotel and back that
+// passes a cafe with jazz and a park, within budget".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kor"
+)
+
+func main() {
+	b := kor.NewBuilder()
+	hotel := b.AddNode("hotel")
+	cafe := b.AddNode("cafe", "jazz")
+	park := b.AddNode("park")
+	mall := b.AddNode("mall", "restaurant")
+	museum := b.AddNode("museum")
+
+	// AddEdge(from, to, objective, budget): the objective is what the query
+	// minimizes (here: negated log-popularity — smaller is more popular),
+	// the budget is what Δ constrains (here: kilometres).
+	edges := []struct {
+		from, to kor.NodeID
+		obj, km  float64
+	}{
+		{hotel, cafe, 0.7, 1.2},
+		{cafe, park, 0.3, 0.8},
+		{park, hotel, 0.5, 1.0},
+		{cafe, mall, 0.4, 0.5},
+		{mall, park, 0.6, 0.9},
+		{hotel, museum, 1.2, 0.6},
+		{museum, park, 0.9, 0.7},
+		{park, cafe, 0.3, 0.8},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.from, e.to, e.obj, e.km); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for id, name := range map[kor.NodeID]string{
+		hotel: "Grand Hotel", cafe: "Blue Note Cafe", park: "Riverside Park",
+		mall: "Union Mall", museum: "City Museum",
+	} {
+		if err := b.SetName(id, name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+
+	eng, err := kor.NewEngine(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := kor.Query{
+		From:     hotel,
+		To:       hotel, // round trip
+		Keywords: []string{"jazz", "park"},
+		Budget:   4, // km
+	}
+
+	fmt.Println("query: cover {jazz, park} from the hotel and back, within 4 km")
+	route, err := eng.Search(query, kor.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best route:", eng.Describe(route))
+
+	// Tighten the budget until the scenic route no longer fits.
+	query.Budget = 2.5
+	route, err = eng.Search(query, kor.DefaultOptions())
+	if err != nil {
+		fmt.Println("within 2.5 km:", err)
+		return
+	}
+	fmt.Println("within 2.5 km:", eng.Describe(route))
+}

@@ -1,0 +1,67 @@
+// Roadtrip runs KOR on a synthetic road network — the paper's scalability
+// setting — and contrasts the oracle implementations: dense tables versus
+// lazy memoized sweeps on a graph where |V|² tables would be wasteful.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"kor"
+)
+
+func main() {
+	const nodes = 5000
+	fmt.Printf("generating a %d-node road network...\n", nodes)
+	g := kor.SyntheticRoadNetwork(2012, nodes)
+	st := g.ComputeStats()
+	fmt.Printf("network: %d nodes, %d edges, avg degree %.1f\n\n", st.Nodes, st.Edges, st.AvgOutDegree)
+
+	// Lazy oracle: no pre-processing wall; sweeps are computed per query.
+	start := time.Now()
+	eng, err := kor.NewEngine(g, &kor.EngineConfig{Oracle: kor.OracleLazy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine ready in %v (lazy oracle)\n", time.Since(start))
+
+	// A cross-town errand: cover three common keyword categories within
+	// 30 km of driving.
+	keywords := []string{
+		g.Vocab().Name(0),
+		g.Vocab().Name(1),
+		g.Vocab().Name(2),
+	}
+	q := kor.Query{From: 10, To: 4200, Keywords: keywords, Budget: 30}
+	fmt.Printf("query: %d → %d covering %v within %v km\n\n", q.From, q.To, keywords, q.Budget)
+
+	for _, algo := range []string{"BucketBound", "OSScaling", "Greedy-1"} {
+		opts := kor.DefaultOptions()
+		var res kor.Result
+		var err error
+		t0 := time.Now()
+		switch algo {
+		case "BucketBound":
+			res, err = eng.BucketBound(q, opts)
+		case "OSScaling":
+			res, err = eng.OSScaling(q, opts)
+		case "Greedy-1":
+			res, err = eng.Greedy(q, opts)
+		}
+		elapsed := time.Since(t0)
+		switch {
+		case errors.Is(err, kor.ErrNoRoute):
+			fmt.Printf("%-12s no feasible route (%v)\n", algo, elapsed)
+		case errors.Is(err, kor.ErrBudgetExceeded):
+			fmt.Printf("%-12s covered keywords but busted Δ (%v)\n", algo, elapsed)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			r := res.Best()
+			fmt.Printf("%-12s OS=%.3f BS=%.1fkm hops=%d  (%v)\n",
+				algo, r.Objective, r.Budget, len(r.Nodes)-1, elapsed)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Topk demonstrates the KkR extension (§3.5): the k best distinct routes
+// for one query, so an application can offer alternatives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kor"
+)
+
+func main() {
+	b := kor.NewBuilder()
+	// A lattice with several distinct routes covering {food, art}.
+	names := []struct {
+		name string
+		tags []string
+	}{
+		{"Station", nil},
+		{"Noodle Bar", []string{"food"}},
+		{"Bistro", []string{"food"}},
+		{"Gallery", []string{"art"}},
+		{"Sculpture Garden", []string{"art"}},
+		{"Terminal", nil},
+	}
+	ids := make([]kor.NodeID, len(names))
+	for i, n := range names {
+		ids[i] = b.AddNode(n.tags...)
+		if err := b.SetName(ids[i], n.name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	edges := []struct {
+		from, to int
+		obj, bud float64
+	}{
+		{0, 1, 1.0, 1.0}, {0, 2, 1.4, 0.8},
+		{1, 3, 1.0, 1.0}, {1, 4, 1.6, 0.9}, {2, 3, 1.1, 1.1}, {2, 4, 1.2, 1.0},
+		{3, 5, 1.0, 1.0}, {4, 5, 0.9, 1.2},
+		{1, 2, 0.5, 0.4}, {3, 4, 0.5, 0.4},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(ids[e.from], ids[e.to], e.obj, e.bud); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := kor.NewEngine(b.MustBuild(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := kor.DefaultOptions()
+	opts.K = 4
+	opts.Epsilon = 0.1 // tight scaling: rank alternatives accurately
+	routes, err := eng.TopK(kor.Query{
+		From:     ids[0],
+		To:       ids[5],
+		Keywords: []string{"food", "art"},
+		Budget:   5,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top %d routes from Station to Terminal covering {food, art}, Δ=5:\n", len(routes))
+	for i, r := range routes {
+		fmt.Printf("%d. %s\n", i+1, eng.Describe(r))
+	}
+}

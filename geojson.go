@@ -1,0 +1,64 @@
+package kor
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RouteGeoJSON renders a route as a GeoJSON FeatureCollection: one
+// LineString for the route geometry plus one Point per visited node, so the
+// result drops straight onto a web map. It fails when the graph carries no
+// coordinates.
+func RouteGeoJSON(g *Graph, r Route) ([]byte, error) {
+	if !g.HasPositions() {
+		return nil, fmt.Errorf("kor: graph has no coordinates for GeoJSON export")
+	}
+	type geometry struct {
+		Type        string `json:"type"`
+		Coordinates any    `json:"coordinates"`
+	}
+	type feature struct {
+		Type       string         `json:"type"`
+		Geometry   geometry       `json:"geometry"`
+		Properties map[string]any `json:"properties"`
+	}
+
+	line := make([][2]float64, len(r.Nodes))
+	for i, v := range r.Nodes {
+		p := g.Position(v)
+		line[i] = [2]float64{p.X, p.Y}
+	}
+	features := []feature{{
+		Type:     "Feature",
+		Geometry: geometry{Type: "LineString", Coordinates: line},
+		Properties: map[string]any{
+			"objective": r.Objective,
+			"budget":    r.Budget,
+			"feasible":  r.Feasible,
+		},
+	}}
+	for i, v := range r.Nodes {
+		p := g.Position(v)
+		keywords := make([]string, 0, len(g.Terms(v)))
+		for _, t := range g.Terms(v) {
+			keywords = append(keywords, g.Vocab().Name(t))
+		}
+		props := map[string]any{
+			"node":     int(v),
+			"sequence": i,
+			"keywords": keywords,
+		}
+		if name := g.Name(v); name != "" {
+			props["name"] = name
+		}
+		features = append(features, feature{
+			Type:       "Feature",
+			Geometry:   geometry{Type: "Point", Coordinates: [2]float64{p.X, p.Y}},
+			Properties: props,
+		})
+	}
+	return json.Marshal(map[string]any{
+		"type":     "FeatureCollection",
+		"features": features,
+	})
+}

@@ -1,0 +1,83 @@
+// Package apsp implements the paper's pre-processing stage (§3.1): for node
+// pairs (vi, vj), the scores of two distinguished paths —
+//
+//	τ(i,j): the path minimizing the objective score, and
+//	σ(i,j): the path minimizing the budget score.
+//
+// Only the objective and budget scores of τ and σ feed the search algorithms;
+// the paths themselves are materialized on demand for presenting final
+// routes.
+//
+// Three interchangeable oracles are provided:
+//
+//   - MatrixOracle: dense |V|² score tables, the faithful rendition of the
+//     paper's Floyd-Warshall pre-processing. Tables are filled by repeated
+//     two-criteria Dijkstra, which yields identical scores in
+//     O(|V|·|E|·log|V|) instead of O(|V|³).
+//   - LazyOracle: memoized single-source/single-target Dijkstra with a
+//     bounded cache. Semantically identical, but scales to the 20k-node
+//     graphs of the paper's Figure 17 without |V|² memory.
+//   - PartitionedOracle (partition.go): the paper's §6 future-work design —
+//     graph partition, per-cell tables and a border overlay.
+//
+// Ties between equal-score paths are broken by the secondary attribute
+// (τ prefers the cheaper-budget path among equal-objective paths, σ the
+// cheaper-objective one), making every oracle deterministic and mutually
+// consistent.
+package apsp
+
+import "kor/internal/graph"
+
+// Metric selects which edge attribute a search minimizes.
+type Metric int
+
+const (
+	// ByObjective minimizes the objective attribute (the τ paths).
+	ByObjective Metric = iota
+	// ByBudget minimizes the budget attribute (the σ paths).
+	ByBudget
+)
+
+// Oracle answers τ/σ score queries between node pairs. Implementations
+// return ok=false when no path exists; scores are then undefined.
+type Oracle interface {
+	// MinObjective returns the objective and budget score of τ(from,to).
+	MinObjective(from, to graph.NodeID) (os, bs float64, ok bool)
+	// MinBudget returns the objective and budget score of σ(from,to).
+	MinBudget(from, to graph.NodeID) (os, bs float64, ok bool)
+}
+
+// PathMaterializer recovers the concrete τ/σ paths, used when presenting a
+// final route to the user. The paper's tables store scores only; recovering
+// a path costs one single-source run.
+type PathMaterializer interface {
+	// MinObjectivePath returns the node sequence of τ(from,to), inclusive of
+	// both endpoints. For from == to it returns [from].
+	MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool)
+	// MinBudgetPath returns the node sequence of σ(from,to).
+	MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool)
+}
+
+// Prefetcher is an optional oracle capability: a hint that many queries with
+// a fixed source (or fixed target) are coming, letting lazy implementations
+// choose the right sweep direction. The dense oracles ignore the hints.
+type Prefetcher interface {
+	// PrefetchSource hints that τ/σ queries from this source are imminent.
+	PrefetchSource(from graph.NodeID)
+	// PrefetchTarget hints that τ/σ queries into this target are imminent.
+	PrefetchTarget(to graph.NodeID)
+}
+
+// PrefetchSource forwards the hint if the oracle supports it.
+func PrefetchSource(o Oracle, from graph.NodeID) {
+	if p, ok := o.(Prefetcher); ok {
+		p.PrefetchSource(from)
+	}
+}
+
+// PrefetchTarget forwards the hint if the oracle supports it.
+func PrefetchTarget(o Oracle, to graph.NodeID) {
+	if p, ok := o.(Prefetcher); ok {
+		p.PrefetchTarget(to)
+	}
+}

@@ -1,0 +1,145 @@
+package apsp
+
+import (
+	"math"
+
+	"kor/internal/graph"
+	"kor/internal/pqueue"
+)
+
+// sweep holds the result of one two-criteria Dijkstra run. For a forward
+// sweep from source s, primary[v] is the minimum of the chosen metric over
+// paths s→v, secondary[v] the other attribute summed along that same path,
+// and parent[v] the predecessor of v on it. For a reverse sweep into target
+// t the roles flip: primary[v] covers paths v→t and parent[v] is the
+// successor of v on the optimal path.
+type sweep struct {
+	primary   []float64
+	secondary []float64
+	parent    []int32
+}
+
+const noParent = int32(-1)
+
+// reached reports whether v was reached by the sweep.
+func (s *sweep) reached(v graph.NodeID) bool { return !math.IsInf(s.primary[v], 1) }
+
+// scores returns (objective, budget) at v given the metric the sweep ran
+// under.
+func (s *sweep) scores(v graph.NodeID, m Metric) (os, bs float64) {
+	if m == ByObjective {
+		return s.primary[v], s.secondary[v]
+	}
+	return s.secondary[v], s.primary[v]
+}
+
+type dijkstraItem struct {
+	node      graph.NodeID
+	primary   float64
+	secondary float64
+}
+
+func lessItem(a, b dijkstraItem) bool {
+	if a.primary != b.primary {
+		return a.primary < b.primary
+	}
+	if a.secondary != b.secondary {
+		return a.secondary < b.secondary
+	}
+	return a.node < b.node
+}
+
+// dijkstra runs a two-criteria Dijkstra from root. With reverse=false edges
+// are traversed forward (single-source); with reverse=true the transpose
+// graph is used (single-target). Ties on the primary metric are broken by
+// the secondary, so results are unique and deterministic.
+func dijkstra(g *graph.Graph, root graph.NodeID, m Metric, reverse bool) *sweep {
+	n := g.NumNodes()
+	s := &sweep{
+		primary:   make([]float64, n),
+		secondary: make([]float64, n),
+		parent:    make([]int32, n),
+	}
+	for i := range s.primary {
+		s.primary[i] = math.Inf(1)
+		s.secondary[i] = math.Inf(1)
+		s.parent[i] = noParent
+	}
+	s.primary[root] = 0
+	s.secondary[root] = 0
+
+	adj := g.Out
+	if reverse {
+		adj = g.In
+	}
+	h := pqueue.NewWithCapacity(n, lessItem)
+	h.Push(dijkstraItem{node: root})
+	done := make([]bool, n)
+	for !h.Empty() {
+		it := h.Pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range adj(it.node) {
+			var p, sec float64
+			if m == ByObjective {
+				p, sec = it.primary+e.Objective, it.secondary+e.Budget
+			} else {
+				p, sec = it.primary+e.Budget, it.secondary+e.Objective
+			}
+			v := e.To
+			if p < s.primary[v] || (p == s.primary[v] && sec < s.secondary[v]) {
+				s.primary[v] = p
+				s.secondary[v] = sec
+				s.parent[v] = int32(it.node)
+				h.Push(dijkstraItem{node: v, primary: p, secondary: sec})
+			}
+		}
+	}
+	return s
+}
+
+// walkForward reconstructs the path root→dst from a forward sweep.
+func (s *sweep) walkForward(root, dst graph.NodeID) ([]graph.NodeID, bool) {
+	if !s.reached(dst) {
+		return nil, false
+	}
+	var rev []graph.NodeID
+	for v := dst; ; {
+		rev = append(rev, v)
+		if v == root {
+			break
+		}
+		p := s.parent[v]
+		if p == noParent {
+			return nil, false
+		}
+		v = graph.NodeID(p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// walkReverse reconstructs the path src→root from a reverse sweep rooted at
+// the target.
+func (s *sweep) walkReverse(root, src graph.NodeID) ([]graph.NodeID, bool) {
+	if !s.reached(src) {
+		return nil, false
+	}
+	var path []graph.NodeID
+	for v := src; ; {
+		path = append(path, v)
+		if v == root {
+			break
+		}
+		p := s.parent[v]
+		if p == noParent {
+			return nil, false
+		}
+		v = graph.NodeID(p)
+	}
+	return path, true
+}

@@ -1,0 +1,82 @@
+package apsp
+
+import (
+	"math"
+
+	"kor/internal/graph"
+)
+
+// floydTables is the textbook Floyd-Warshall the paper cites for its
+// pre-processing, run once per metric with lexicographic (primary,
+// secondary) relaxation. It exists as the reference implementation the
+// Dijkstra-based oracles are verified against; at O(|V|³) it is only run on
+// small graphs in tests.
+type floydTables struct {
+	n         int
+	primary   []float64
+	secondary []float64
+}
+
+// floydWarshall computes all-pairs optimal scores under metric m.
+func floydWarshall(g *graph.Graph, m Metric) *floydTables {
+	n := g.NumNodes()
+	t := &floydTables{
+		n:         n,
+		primary:   make([]float64, n*n),
+		secondary: make([]float64, n*n),
+	}
+	for i := range t.primary {
+		t.primary[i] = math.Inf(1)
+		t.secondary[i] = math.Inf(1)
+	}
+	for v := 0; v < n; v++ {
+		t.primary[v*n+v] = 0
+		t.secondary[v*n+v] = 0
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for _, e := range g.Out(v) {
+			var p, s float64
+			if m == ByObjective {
+				p, s = e.Objective, e.Budget
+			} else {
+				p, s = e.Budget, e.Objective
+			}
+			i := int(v)*n + int(e.To)
+			if p < t.primary[i] || (p == t.primary[i] && s < t.secondary[i]) {
+				t.primary[i] = p
+				t.secondary[i] = s
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := i*n + k
+			if math.IsInf(t.primary[ik], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				kj := k*n + j
+				if math.IsInf(t.primary[kj], 1) {
+					continue
+				}
+				ij := i*n + j
+				p := t.primary[ik] + t.primary[kj]
+				s := t.secondary[ik] + t.secondary[kj]
+				if p < t.primary[ij] || (p == t.primary[ij] && s < t.secondary[ij]) {
+					t.primary[ij] = p
+					t.secondary[ij] = s
+				}
+			}
+		}
+	}
+	return t
+}
+
+// at returns (primary, secondary, reachable) for the pair (i, j).
+func (t *floydTables) at(i, j graph.NodeID) (float64, float64, bool) {
+	p := t.primary[int(i)*t.n+int(j)]
+	if math.IsInf(p, 1) {
+		return 0, 0, false
+	}
+	return p, t.secondary[int(i)*t.n+int(j)], true
+}

@@ -1,0 +1,158 @@
+package apsp
+
+import (
+	"kor/internal/graph"
+)
+
+// LazyOracle serves τ/σ queries from memoized Dijkstra sweeps instead of
+// dense tables. A reverse sweep into a target answers every (·, target)
+// query; a forward sweep answers every (source, ·) query. The route-search
+// algorithms hint their access patterns through the Prefetcher interface:
+// OSScaling and BucketBound pin the query target (and the strategy-2
+// keyword nodes), Greedy pins its current route head.
+//
+// Sweeps are cached with FIFO eviction bounded by capacity, so memory stays
+// O(capacity·|V|) on the 20k-node scalability graphs.
+type LazyOracle struct {
+	g        *graph.Graph
+	capacity int
+
+	fwd map[sweepKey]*sweep
+	rev map[sweepKey]*sweep
+	// FIFO eviction order per cache.
+	fwdOrder []sweepKey
+	revOrder []sweepKey
+
+	// Sweep-count statistics, exposed for the ablation benchmarks.
+	Sweeps int
+}
+
+type sweepKey struct {
+	root   graph.NodeID
+	metric Metric
+}
+
+// DefaultSweepCapacity bounds each direction's sweep cache.
+const DefaultSweepCapacity = 128
+
+// NewLazyOracle returns an oracle over g with the default cache capacity.
+func NewLazyOracle(g *graph.Graph) *LazyOracle {
+	return &LazyOracle{
+		g:        g,
+		capacity: DefaultSweepCapacity,
+		fwd:      make(map[sweepKey]*sweep),
+		rev:      make(map[sweepKey]*sweep),
+	}
+}
+
+// SetCapacity adjusts the per-direction sweep cache bound (minimum 4).
+func (o *LazyOracle) SetCapacity(n int) {
+	if n < 4 {
+		n = 4
+	}
+	o.capacity = n
+}
+
+func (o *LazyOracle) forward(root graph.NodeID, m Metric) *sweep {
+	k := sweepKey{root, m}
+	if s, ok := o.fwd[k]; ok {
+		return s
+	}
+	s := dijkstra(o.g, root, m, false)
+	o.Sweeps++
+	if len(o.fwdOrder) >= o.capacity {
+		delete(o.fwd, o.fwdOrder[0])
+		o.fwdOrder = o.fwdOrder[1:]
+	}
+	o.fwd[k] = s
+	o.fwdOrder = append(o.fwdOrder, k)
+	return s
+}
+
+func (o *LazyOracle) reverse(root graph.NodeID, m Metric) *sweep {
+	k := sweepKey{root, m}
+	if s, ok := o.rev[k]; ok {
+		return s
+	}
+	s := dijkstra(o.g, root, m, true)
+	o.Sweeps++
+	if len(o.revOrder) >= o.capacity {
+		delete(o.rev, o.revOrder[0])
+		o.revOrder = o.revOrder[1:]
+	}
+	o.rev[k] = s
+	o.revOrder = append(o.revOrder, k)
+	return s
+}
+
+// lookup answers a pair query under metric m, preferring whichever sweep is
+// already cached and defaulting to a reverse sweep into the target — the
+// dominant access pattern of the label-search algorithms.
+func (o *LazyOracle) lookup(from, to graph.NodeID, m Metric) (float64, float64, bool) {
+	if from == to {
+		return 0, 0, true
+	}
+	if s, ok := o.rev[sweepKey{to, m}]; ok {
+		if !s.reached(from) {
+			return 0, 0, false
+		}
+		os, bs := s.scores(from, m)
+		return os, bs, true
+	}
+	if s, ok := o.fwd[sweepKey{from, m}]; ok {
+		if !s.reached(to) {
+			return 0, 0, false
+		}
+		os, bs := s.scores(to, m)
+		return os, bs, true
+	}
+	s := o.reverse(to, m)
+	if !s.reached(from) {
+		return 0, 0, false
+	}
+	os, bs := s.scores(from, m)
+	return os, bs, true
+}
+
+// MinObjective returns the scores of τ(from,to).
+func (o *LazyOracle) MinObjective(from, to graph.NodeID) (float64, float64, bool) {
+	return o.lookup(from, to, ByObjective)
+}
+
+// MinBudget returns the scores of σ(from,to).
+func (o *LazyOracle) MinBudget(from, to graph.NodeID) (float64, float64, bool) {
+	return o.lookup(from, to, ByBudget)
+}
+
+// PrefetchSource caches forward sweeps from this node under both metrics.
+func (o *LazyOracle) PrefetchSource(from graph.NodeID) {
+	o.forward(from, ByObjective)
+	o.forward(from, ByBudget)
+}
+
+// PrefetchTarget caches reverse sweeps into this node under both metrics.
+func (o *LazyOracle) PrefetchTarget(to graph.NodeID) {
+	o.reverse(to, ByObjective)
+	o.reverse(to, ByBudget)
+}
+
+// MinObjectivePath materializes τ(from,to), reusing a cached sweep when one
+// is available.
+func (o *LazyOracle) MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return o.path(from, to, ByObjective)
+}
+
+// MinBudgetPath materializes σ(from,to).
+func (o *LazyOracle) MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return o.path(from, to, ByBudget)
+}
+
+func (o *LazyOracle) path(from, to graph.NodeID, m Metric) ([]graph.NodeID, bool) {
+	if from == to {
+		return []graph.NodeID{from}, true
+	}
+	if s, ok := o.rev[sweepKey{to, m}]; ok {
+		return s.walkReverse(to, from)
+	}
+	return o.forward(from, m).walkForward(from, to)
+}

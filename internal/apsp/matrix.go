@@ -1,0 +1,103 @@
+package apsp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"kor/internal/graph"
+)
+
+// MatrixOracle holds the full |V|² τ/σ score tables of the paper's
+// pre-processing. Memory is 4·|V|²·8 bytes, the same O(|V|²) the paper
+// states; it suits point-of-interest graphs ("the number of points of
+// interest within a city is not large"). Use LazyOracle for the synthetic
+// road networks.
+type MatrixOracle struct {
+	g *graph.Graph
+	n int
+	// Row-major [from*n+to] tables.
+	tauObj []float64
+	tauBud []float64
+	sigObj []float64
+	sigBud []float64
+}
+
+// NewMatrixOracle fills the tables with one forward two-criteria Dijkstra
+// per node, parallelized across CPUs. The resulting scores are exactly the
+// Floyd-Warshall scores (verified against floydWarshall in tests).
+func NewMatrixOracle(g *graph.Graph) *MatrixOracle {
+	n := g.NumNodes()
+	o := &MatrixOracle{
+		g: g, n: n,
+		tauObj: make([]float64, n*n),
+		tauBud: make([]float64, n*n),
+		sigObj: make([]float64, n*n),
+		sigBud: make([]float64, n*n),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for from := range rows {
+				tau := dijkstra(g, graph.NodeID(from), ByObjective, false)
+				sig := dijkstra(g, graph.NodeID(from), ByBudget, false)
+				base := from * n
+				copy(o.tauObj[base:base+n], tau.primary)
+				copy(o.tauBud[base:base+n], tau.secondary)
+				copy(o.sigBud[base:base+n], sig.primary)
+				copy(o.sigObj[base:base+n], sig.secondary)
+			}
+		}()
+	}
+	for from := 0; from < n; from++ {
+		rows <- from
+	}
+	close(rows)
+	wg.Wait()
+	return o
+}
+
+// MinObjective returns the scores of τ(from,to).
+func (o *MatrixOracle) MinObjective(from, to graph.NodeID) (float64, float64, bool) {
+	i := int(from)*o.n + int(to)
+	os := o.tauObj[i]
+	if math.IsInf(os, 1) {
+		return 0, 0, false
+	}
+	return os, o.tauBud[i], true
+}
+
+// MinBudget returns the scores of σ(from,to).
+func (o *MatrixOracle) MinBudget(from, to graph.NodeID) (float64, float64, bool) {
+	i := int(from)*o.n + int(to)
+	bs := o.sigBud[i]
+	if math.IsInf(bs, 1) {
+		return 0, 0, false
+	}
+	return o.sigObj[i], bs, true
+}
+
+// MinObjectivePath re-derives the τ(from,to) node sequence with one forward
+// sweep; the tables store scores only, as in the paper.
+func (o *MatrixOracle) MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return dijkstra(o.g, from, ByObjective, false).walkForward(from, to)
+}
+
+// MinBudgetPath re-derives the σ(from,to) node sequence.
+func (o *MatrixOracle) MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return dijkstra(o.g, from, ByBudget, false).walkForward(from, to)
+}
+
+// MemoryBytes reports the table footprint, used by tooling to warn before
+// building dense tables over large graphs.
+func (o *MatrixOracle) MemoryBytes() int64 { return int64(o.n) * int64(o.n) * 8 * 4 }

@@ -1,0 +1,374 @@
+package apsp
+
+import (
+	"math"
+	"sort"
+
+	"kor/internal/graph"
+)
+
+// PartitionedOracle implements the pre-processing design the paper sketches
+// as future work in §6: partition the graph into subgraphs, pre-process τ/σ
+// only within each subgraph, and additionally store the best objective and
+// budget scores between every pair of border nodes. A pair query is then
+// assembled as
+//
+//	score(i,j) = min over borders b1 of region(i), b2 of region(j) of
+//	             intra(i,b1) + overlay(b1,b2) + intra(b2,j)
+//
+// taking the direct intra-region score as a further candidate when i and j
+// share a region. The overlay scores are computed on the border graph —
+// border nodes connected by intra-region shortcuts and by the original
+// cross-region edges — so any excursion through other regions is accounted
+// for and the primary scores are exact. Among equal-primary paths the
+// reported secondary score is that of the assembled decomposition, which can
+// differ from the Dijkstra oracles' tie-break on exactly tied paths.
+type PartitionedOracle struct {
+	g *graph.Graph
+
+	region []int32 // node → region index
+	local  []int32 // node → index within its region's node list
+	cells  []cellTables
+
+	borders   []graph.NodeID // overlay index → node
+	borderIdx []int32        // node → overlay index, -1 for interior nodes
+
+	// Overlay score tables, row-major [from*b+to].
+	ovTauP, ovTauS []float64
+	ovSigP, ovSigS []float64
+}
+
+// cellTables holds one region's restricted all-pairs tables. Paths counted
+// here stay inside the region; excursions are the overlay's job.
+type cellTables struct {
+	nodes      []graph.NodeID
+	borderLoc  []int32 // local indices of this region's border nodes
+	tauP, tauS []float64
+	sigP, sigS []float64
+}
+
+// DefaultCellSize is the region-size cap used when partitioning.
+const DefaultCellSize = 128
+
+// NewPartitionedOracle partitions g into regions of at most cellSize nodes
+// (breadth-first region growing over the undirected skeleton) and
+// pre-computes the intra-region and border-overlay tables.
+func NewPartitionedOracle(g *graph.Graph, cellSize int) *PartitionedOracle {
+	if cellSize < 2 {
+		cellSize = 2
+	}
+	n := g.NumNodes()
+	o := &PartitionedOracle{g: g, region: make([]int32, n), local: make([]int32, n)}
+	for i := range o.region {
+		o.region[i] = -1
+	}
+
+	// Region growing: BFS over in+out neighbours from each unassigned seed.
+	for seed := 0; seed < n; seed++ {
+		if o.region[seed] != -1 {
+			continue
+		}
+		r := int32(len(o.cells))
+		cell := cellTables{}
+		queue := []graph.NodeID{graph.NodeID(seed)}
+		o.region[seed] = r
+		for len(queue) > 0 && len(cell.nodes) < cellSize {
+			v := queue[0]
+			queue = queue[1:]
+			o.local[v] = int32(len(cell.nodes))
+			cell.nodes = append(cell.nodes, v)
+			for _, e := range g.Out(v) {
+				if o.region[e.To] == -1 && len(cell.nodes)+len(queue) < cellSize {
+					o.region[e.To] = r
+					queue = append(queue, e.To)
+				}
+			}
+			for _, e := range g.In(v) {
+				if o.region[e.To] == -1 && len(cell.nodes)+len(queue) < cellSize {
+					o.region[e.To] = r
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		// Anything still queued was claimed for this region: flush it in.
+		for _, v := range queue {
+			o.local[v] = int32(len(cell.nodes))
+			cell.nodes = append(cell.nodes, v)
+		}
+		o.cells = append(o.cells, cell)
+	}
+
+	// Border discovery: a node with any cross-region edge.
+	o.borderIdx = make([]int32, n)
+	for i := range o.borderIdx {
+		o.borderIdx[i] = -1
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		isBorder := false
+		for _, e := range g.Out(v) {
+			if o.region[e.To] != o.region[v] {
+				isBorder = true
+				break
+			}
+		}
+		if !isBorder {
+			for _, e := range g.In(v) {
+				if o.region[e.To] != o.region[v] {
+					isBorder = true
+					break
+				}
+			}
+		}
+		if isBorder {
+			o.borderIdx[v] = int32(len(o.borders))
+			o.borders = append(o.borders, v)
+		}
+	}
+	for _, v := range o.borders {
+		c := &o.cells[o.region[v]]
+		c.borderLoc = append(c.borderLoc, o.local[v])
+	}
+	for i := range o.cells {
+		loc := o.cells[i].borderLoc
+		sort.Slice(loc, func(a, b int) bool { return loc[a] < loc[b] })
+	}
+
+	o.buildCellTables()
+	o.buildOverlay()
+	return o
+}
+
+// buildCellTables runs restricted two-criteria Dijkstra inside every region.
+func (o *PartitionedOracle) buildCellTables() {
+	for ci := range o.cells {
+		cell := &o.cells[ci]
+		k := len(cell.nodes)
+		cell.tauP = newInfSlice(k * k)
+		cell.tauS = newInfSlice(k * k)
+		cell.sigP = newInfSlice(k * k)
+		cell.sigS = newInfSlice(k * k)
+		for li := 0; li < k; li++ {
+			o.restrictedSweep(cell, li, ByObjective, cell.tauP, cell.tauS)
+			o.restrictedSweep(cell, li, ByBudget, cell.sigP, cell.sigS)
+		}
+	}
+}
+
+// restrictedSweep is Dijkstra from cell.nodes[src], never leaving the
+// region, writing row src of the (primary, secondary) tables.
+func (o *PartitionedOracle) restrictedSweep(cell *cellTables, src int, m Metric, prim, sec []float64) {
+	k := len(cell.nodes)
+	row := src * k
+	prim[row+src] = 0
+	sec[row+src] = 0
+	// The cells are small; a simple slice-scan frontier keeps this free of
+	// allocation churn without another heap type.
+	done := make([]bool, k)
+	for {
+		best := -1
+		for i := 0; i < k; i++ {
+			if done[i] || math.IsInf(prim[row+i], 1) {
+				continue
+			}
+			if best == -1 || prim[row+i] < prim[row+best] ||
+				(prim[row+i] == prim[row+best] && sec[row+i] < sec[row+best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		done[best] = true
+		v := cell.nodes[best]
+		for _, e := range o.g.Out(v) {
+			if o.region[e.To] != o.region[v] {
+				continue
+			}
+			li := int(o.local[e.To])
+			var p, s float64
+			if m == ByObjective {
+				p, s = prim[row+best]+e.Objective, sec[row+best]+e.Budget
+			} else {
+				p, s = prim[row+best]+e.Budget, sec[row+best]+e.Objective
+			}
+			if p < prim[row+li] || (p == prim[row+li] && s < sec[row+li]) {
+				prim[row+li] = p
+				sec[row+li] = s
+			}
+		}
+	}
+}
+
+// buildOverlay assembles the border graph per metric and computes all-pairs
+// scores over it with the package Dijkstra.
+func (o *PartitionedOracle) buildOverlay() {
+	b := len(o.borders)
+	o.ovTauP = newInfSlice(b * b)
+	o.ovTauS = newInfSlice(b * b)
+	o.ovSigP = newInfSlice(b * b)
+	o.ovSigS = newInfSlice(b * b)
+	if b == 0 {
+		return
+	}
+	for _, m := range []Metric{ByObjective, ByBudget} {
+		overlay := o.overlayGraph(m)
+		var prim, sec []float64
+		if m == ByObjective {
+			prim, sec = o.ovTauP, o.ovTauS
+		} else {
+			prim, sec = o.ovSigP, o.ovSigS
+		}
+		for from := 0; from < b; from++ {
+			// The overlay graph stores the sweep's primary metric in the
+			// Objective slot regardless of m, so sweep with ByObjective.
+			s := dijkstra(overlay, graph.NodeID(from), ByObjective, false)
+			copy(prim[from*b:(from+1)*b], s.primary)
+			copy(sec[from*b:(from+1)*b], s.secondary)
+		}
+	}
+}
+
+// overlayGraph builds the border graph for metric m. Edge Objective carries
+// the primary score and Budget the secondary, whatever m is.
+func (o *PartitionedOracle) overlayGraph(m Metric) *graph.Graph {
+	bld := graph.NewBuilder()
+	for range o.borders {
+		bld.AddNode()
+	}
+	// Intra-region shortcuts between a region's border nodes.
+	for ci := range o.cells {
+		cell := &o.cells[ci]
+		k := len(cell.nodes)
+		var prim, sec []float64
+		if m == ByObjective {
+			prim, sec = cell.tauP, cell.tauS
+		} else {
+			prim, sec = cell.sigP, cell.sigS
+		}
+		for _, fromLoc := range cell.borderLoc {
+			for _, toLoc := range cell.borderLoc {
+				if fromLoc == toLoc {
+					continue
+				}
+				p := prim[int(fromLoc)*k+int(toLoc)]
+				if math.IsInf(p, 1) {
+					continue
+				}
+				fromB := o.borderIdx[cell.nodes[fromLoc]]
+				toB := o.borderIdx[cell.nodes[toLoc]]
+				// Ignore the impossible error: scores of distinct reachable
+				// border pairs are positive by edge validation.
+				_ = bld.AddEdge(graph.NodeID(fromB), graph.NodeID(toB), p, sec[int(fromLoc)*k+int(toLoc)])
+			}
+		}
+	}
+	// Original cross-region edges.
+	for v := graph.NodeID(0); int(v) < o.g.NumNodes(); v++ {
+		if o.borderIdx[v] == -1 {
+			continue
+		}
+		for _, e := range o.g.Out(v) {
+			if o.region[e.To] == o.region[v] || o.borderIdx[e.To] == -1 {
+				continue
+			}
+			var p, s float64
+			if m == ByObjective {
+				p, s = e.Objective, e.Budget
+			} else {
+				p, s = e.Budget, e.Objective
+			}
+			_ = bld.AddEdge(graph.NodeID(o.borderIdx[v]), graph.NodeID(o.borderIdx[e.To]), p, s)
+		}
+	}
+	return bld.MustBuild()
+}
+
+func newInfSlice(n int) []float64 {
+	s := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range s {
+		s[i] = inf
+	}
+	return s
+}
+
+// query assembles the pair score under metric m.
+func (o *PartitionedOracle) query(from, to graph.NodeID, m Metric) (float64, float64, bool) {
+	if from == to {
+		return 0, 0, true
+	}
+	ri, rj := o.region[from], o.region[to]
+	ci, cj := &o.cells[ri], &o.cells[rj]
+	ki, kj := len(ci.nodes), len(cj.nodes)
+	li, lj := int(o.local[from]), int(o.local[to])
+
+	var iPrim, iSec, jPrim, jSec, ovP, ovS []float64
+	if m == ByObjective {
+		iPrim, iSec, jPrim, jSec, ovP, ovS = ci.tauP, ci.tauS, cj.tauP, cj.tauS, o.ovTauP, o.ovTauS
+	} else {
+		iPrim, iSec, jPrim, jSec, ovP, ovS = ci.sigP, ci.sigS, cj.sigP, cj.sigS, o.ovSigP, o.ovSigS
+	}
+
+	bestP, bestS := math.Inf(1), math.Inf(1)
+	if ri == rj {
+		bestP = iPrim[li*ki+lj]
+		bestS = iSec[li*ki+lj]
+	}
+	b := len(o.borders)
+	for _, b1loc := range ci.borderLoc {
+		head := iPrim[li*ki+int(b1loc)]
+		if math.IsInf(head, 1) {
+			continue
+		}
+		b1 := int(o.borderIdx[ci.nodes[b1loc]])
+		for _, b2loc := range cj.borderLoc {
+			tail := jPrim[int(b2loc)*kj+lj]
+			if math.IsInf(tail, 1) {
+				continue
+			}
+			b2 := int(o.borderIdx[cj.nodes[b2loc]])
+			mid := ovP[b1*b+b2]
+			if math.IsInf(mid, 1) {
+				continue
+			}
+			p := head + mid + tail
+			s := iSec[li*ki+int(b1loc)] + ovS[b1*b+b2] + jSec[int(b2loc)*kj+lj]
+			if p < bestP || (p == bestP && s < bestS) {
+				bestP, bestS = p, s
+			}
+		}
+	}
+	if math.IsInf(bestP, 1) {
+		return 0, 0, false
+	}
+	return bestP, bestS, true
+}
+
+// MinObjective returns the scores of τ(from,to).
+func (o *PartitionedOracle) MinObjective(from, to graph.NodeID) (float64, float64, bool) {
+	p, s, ok := o.query(from, to, ByObjective)
+	return p, s, ok // primary is objective, secondary is budget
+}
+
+// MinBudget returns the scores of σ(from,to).
+func (o *PartitionedOracle) MinBudget(from, to graph.NodeID) (float64, float64, bool) {
+	p, s, ok := o.query(from, to, ByBudget)
+	return s, p, ok // primary is budget, secondary is objective
+}
+
+// MinObjectivePath materializes τ(from,to) with a fresh sweep on the base
+// graph; partition tables hold scores only.
+func (o *PartitionedOracle) MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return dijkstra(o.g, from, ByObjective, false).walkForward(from, to)
+}
+
+// MinBudgetPath materializes σ(from,to).
+func (o *PartitionedOracle) MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return dijkstra(o.g, from, ByBudget, false).walkForward(from, to)
+}
+
+// NumRegions reports how many regions the partition produced.
+func (o *PartitionedOracle) NumRegions() int { return len(o.cells) }
+
+// NumBorders reports the size of the border overlay.
+func (o *PartitionedOracle) NumBorders() int { return len(o.borders) }

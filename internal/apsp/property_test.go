@@ -1,0 +1,82 @@
+package apsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"kor/internal/graph"
+)
+
+// TestOracleTriangleInequality: τ and σ scores respect the triangle
+// inequality on their primary metric — the property every pruning rule in
+// the search algorithms leans on.
+func TestOracleTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		g := randomTestGraph(rng, 25, trial%2 == 0)
+		oracles := map[string]Oracle{
+			"matrix":      NewMatrixOracle(g),
+			"lazy":        NewLazyOracle(g),
+			"partitioned": NewPartitionedOracle(g, 6),
+		}
+		n := g.NumNodes()
+		for name, o := range oracles {
+			for probe := 0; probe < 200; probe++ {
+				i := graph.NodeID(rng.Intn(n))
+				j := graph.NodeID(rng.Intn(n))
+				k := graph.NodeID(rng.Intn(n))
+				ij, _, okIJ := o.MinObjective(i, j)
+				ik, _, okIK := o.MinObjective(i, k)
+				kj, _, okKJ := o.MinObjective(k, j)
+				if okIK && okKJ {
+					if !okIJ {
+						t.Fatalf("%s: %d→%d unreachable but %d→%d→%d exists", name, i, j, i, k, j)
+					}
+					if ij > ik+kj+1e-9 {
+						t.Fatalf("%s: τ(%d,%d)=%v > τ(%d,%d)+τ(%d,%d)=%v",
+							name, i, j, ij, i, k, k, j, ik+kj)
+					}
+				}
+				_, bij, okIJ := o.MinBudget(i, j)
+				_, bik, okIK := o.MinBudget(i, k)
+				_, bkj, okKJ := o.MinBudget(k, j)
+				if okIK && okKJ {
+					if !okIJ {
+						t.Fatalf("%s: σ(%d,%d) missing despite connection via %d", name, i, j, k)
+					}
+					if bij > bik+bkj+1e-9 {
+						t.Fatalf("%s: σ triangle violated at (%d,%d,%d)", name, i, k, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTauSigmaConsistency: for every pair, the σ path's budget is a lower
+// bound on the τ path's budget, and the τ path's objective is a lower bound
+// on the σ path's objective — the defining trade-off of the two families.
+func TestTauSigmaConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := randomTestGraph(rng, 30, false)
+	o := NewMatrixOracle(g)
+	n := g.NumNodes()
+	for i := graph.NodeID(0); int(i) < n; i++ {
+		for j := graph.NodeID(0); int(j) < n; j++ {
+			tauOS, tauBS, ok1 := o.MinObjective(i, j)
+			sigOS, sigBS, ok2 := o.MinBudget(i, j)
+			if ok1 != ok2 {
+				t.Fatalf("reachability disagrees for (%d,%d)", i, j)
+			}
+			if !ok1 {
+				continue
+			}
+			if sigBS > tauBS+1e-9 {
+				t.Fatalf("σ budget %v exceeds τ budget %v for (%d,%d)", sigBS, tauBS, i, j)
+			}
+			if tauOS > sigOS+1e-9 {
+				t.Fatalf("τ objective %v exceeds σ objective %v for (%d,%d)", tauOS, sigOS, i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package bitset provides the small fixed-width bit sets used to track
+// query-keyword coverage during route search.
+//
+// A KOR query carries at most a few keywords (the paper targets fewer than
+// five, the evaluation sweeps up to ten), so a single machine word is enough.
+// Mask is deliberately tiny: label domination (Definition 6 in the paper)
+// performs a superset test on every candidate label, and that test must be a
+// couple of instructions, not a set walk.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxWidth is the number of distinct query keywords a Mask can track.
+const MaxWidth = 64
+
+// Mask is a set over the bit positions 0..MaxWidth-1. The zero value is the
+// empty set, ready to use.
+type Mask uint64
+
+// New builds a Mask holding the given bit positions. Positions outside
+// [0, MaxWidth) are ignored.
+func New(positions ...int) Mask {
+	var m Mask
+	for _, p := range positions {
+		m = m.With(p)
+	}
+	return m
+}
+
+// Full returns the mask with the n lowest bits set. It saturates at MaxWidth.
+func Full(n int) Mask {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxWidth {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// With returns m with bit p set. Out-of-range positions leave m unchanged.
+func (m Mask) With(p int) Mask {
+	if p < 0 || p >= MaxWidth {
+		return m
+	}
+	return m | Mask(1)<<uint(p)
+}
+
+// Without returns m with bit p cleared.
+func (m Mask) Without(p int) Mask {
+	if p < 0 || p >= MaxWidth {
+		return m
+	}
+	return m &^ (Mask(1) << uint(p))
+}
+
+// Has reports whether bit p is set.
+func (m Mask) Has(p int) bool {
+	if p < 0 || p >= MaxWidth {
+		return false
+	}
+	return m&(Mask(1)<<uint(p)) != 0
+}
+
+// Union returns the set union of m and o.
+func (m Mask) Union(o Mask) Mask { return m | o }
+
+// Intersect returns the set intersection of m and o.
+func (m Mask) Intersect(o Mask) Mask { return m & o }
+
+// Diff returns the elements of m not present in o.
+func (m Mask) Diff(o Mask) Mask { return m &^ o }
+
+// Contains reports whether m is a superset of o (m ⊇ o).
+func (m Mask) Contains(o Mask) bool { return m&o == o }
+
+// Covers is an alias of Contains matching the paper's vocabulary: a route
+// covers the query keywords when its mask contains the query mask.
+func (m Mask) Covers(o Mask) bool { return m.Contains(o) }
+
+// Count returns the number of elements in the set (|λ| in the paper's label
+// order, Definition 8).
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Empty reports whether the set has no elements.
+func (m Mask) Empty() bool { return m == 0 }
+
+// Positions returns the sorted bit positions present in the set.
+func (m Mask) Positions() []int {
+	out := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		p := bits.TrailingZeros64(v)
+		out = append(out, p)
+		v &^= 1 << uint(p)
+	}
+	return out
+}
+
+// String renders the mask as "{0,3,5}" for debugging and test failures.
+func (m Mask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range m.Positions() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndHas(t *testing.T) {
+	m := New(0, 2, 5)
+	for p := 0; p < 8; p++ {
+		want := p == 0 || p == 2 || p == 5
+		if got := m.Has(p); got != want {
+			t.Errorf("Has(%d) = %v, want %v", p, got, want)
+		}
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+}
+
+func TestOutOfRangePositionsIgnored(t *testing.T) {
+	m := New(-1, 64, 70)
+	if !m.Empty() {
+		t.Errorf("mask with only out-of-range positions should be empty, got %v", m)
+	}
+	if m.Has(-1) || m.Has(64) {
+		t.Error("Has must report false for out-of-range positions")
+	}
+	if m.Without(-3) != m {
+		t.Error("Without out of range must be a no-op")
+	}
+}
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{{-2, 0}, {0, 0}, {1, 1}, {5, 5}, {64, 64}, {90, 64}}
+	for _, c := range cases {
+		if got := Full(c.n).Count(); got != c.want {
+			t.Errorf("Full(%d).Count() = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if !Full(3).Has(0) || !Full(3).Has(2) || Full(3).Has(3) {
+		t.Errorf("Full(3) has wrong members: %v", Full(3))
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(0, 1, 4)
+	b := New(1, 2)
+	if got := a.Union(b); got != New(0, 1, 2, 4) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != New(1) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != New(0, 4) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !a.Contains(New(0, 4)) {
+		t.Error("Contains(subset) = false")
+	}
+	if a.Contains(b) {
+		t.Error("Contains(non-subset) = true")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	var m Mask
+	m = m.With(7)
+	if !m.Has(7) {
+		t.Fatal("With(7) lost the bit")
+	}
+	m = m.Without(7)
+	if !m.Empty() {
+		t.Fatalf("Without(7) left %v", m)
+	}
+}
+
+func TestPositionsRoundTrip(t *testing.T) {
+	m := New(3, 0, 9, 63)
+	got := m.Positions()
+	want := []int{0, 3, 9, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Positions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Positions = %v, want %v", got, want)
+		}
+	}
+	if New(got...) != m {
+		t.Errorf("New(Positions()) != original mask")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(1, 3).String(); s != "{1,3}" {
+		t.Errorf("String = %q, want {1,3}", s)
+	}
+	if s := Mask(0).String(); s != "{}" {
+		t.Errorf("empty String = %q, want {}", s)
+	}
+}
+
+// Property: Contains agrees with the definition m ∪ o == m.
+func TestContainsProperty(t *testing.T) {
+	f := func(m, o Mask) bool {
+		return m.Contains(o) == (m.Union(o) == m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count is additive over disjoint sets.
+func TestCountAdditiveProperty(t *testing.T) {
+	f := func(m, o Mask) bool {
+		disjointPart := o.Diff(m)
+		return m.Union(o).Count() == m.Count()+disjointPart.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff never grows the set and removes exactly the intersection.
+func TestDiffProperty(t *testing.T) {
+	f := func(m, o Mask) bool {
+		d := m.Diff(o)
+		return d.Count() == m.Count()-m.Intersect(o).Count() && m.Contains(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union is commutative, associative and idempotent.
+func TestUnionLaws(t *testing.T) {
+	f := func(a, b, c Mask) bool {
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(b.Union(c)) != a.Union(b).Union(c) {
+			return false
+		}
+		return a.Union(a) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionsSortedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := Mask(rng.Uint64())
+		ps := m.Positions()
+		if len(ps) != m.Count() {
+			t.Fatalf("len(Positions) = %d, Count = %d", len(ps), m.Count())
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i-1] >= ps[i] {
+				t.Fatalf("Positions not strictly sorted: %v", ps)
+			}
+		}
+	}
+}

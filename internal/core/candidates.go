@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// candidateSet collects feasible routes during a label search and maintains
+// the upper bound U. For the plain KOR query it holds the single best route;
+// for the KkR query (§3.5) it holds the k best distinct routes and U is the
+// k-th best objective score.
+//
+// Routes are materialized at offer time and de-duplicated by node sequence:
+// the same physical route can be reached through different labels (e.g. a
+// label at vj completed by τ(vj,t) and a label one hop further along that
+// same τ path).
+type candidateSet struct {
+	k      int
+	routes []Route
+	seen   map[string]bool
+}
+
+func newCandidateSet(k int) *candidateSet {
+	return &candidateSet{k: k, seen: make(map[string]bool)}
+}
+
+// bound returns the current upper bound U: the k-th best objective score,
+// or +Inf while fewer than k routes are held.
+func (cs *candidateSet) bound() float64 {
+	if len(cs.routes) < cs.k {
+		return math.Inf(1)
+	}
+	return cs.routes[cs.k-1].Objective
+}
+
+// full reports whether k routes have been collected.
+func (cs *candidateSet) full() bool { return len(cs.routes) >= cs.k }
+
+// offer materializes the route completed by lbl and the τ tail and inserts
+// it if it improves the set. It reports whether the set changed.
+func (cs *candidateSet) offer(p *plan, lbl *label, tailOS, tailBS float64) (bool, error) {
+	os := lbl.os + tailOS
+	if cs.full() && os >= cs.bound() {
+		return false, nil
+	}
+	route, err := p.reconstruct(lbl, tailOS, tailBS)
+	if err != nil {
+		return false, err
+	}
+	sig := routeSignature(route)
+	if cs.seen[sig] {
+		return false, nil
+	}
+	cs.seen[sig] = true
+	// Insert sorted by objective, then budget for determinism.
+	i := 0
+	for i < len(cs.routes) {
+		if route.Objective < cs.routes[i].Objective ||
+			(route.Objective == cs.routes[i].Objective && route.Budget < cs.routes[i].Budget) {
+			break
+		}
+		i++
+	}
+	cs.routes = append(cs.routes, Route{})
+	copy(cs.routes[i+1:], cs.routes[i:])
+	cs.routes[i] = route
+	if len(cs.routes) > cs.k {
+		dropped := cs.routes[len(cs.routes)-1]
+		delete(cs.seen, routeSignature(dropped))
+		cs.routes = cs.routes[:len(cs.routes)-1]
+	}
+	return true, nil
+}
+
+// take returns the collected routes, best first.
+func (cs *candidateSet) take() []Route { return cs.routes }
+
+func routeSignature(r Route) string {
+	var b strings.Builder
+	for i, v := range r.Nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}

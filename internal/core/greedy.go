@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"kor/internal/apsp"
+	"kor/internal/bitset"
+	"kor/internal/graph"
+)
+
+// Greedy answers the KOR query with Algorithm 3 of the paper: starting at
+// the source, repeatedly pick the next keyword-bearing waypoint minimizing
+// Equation 1,
+//
+//	score(vj, Ri) = α·(Ri.OS + OS(τ(i,j)) + OS(τ(j,t)))
+//	              + (1−α)·(Ri.BS + BS(τ(i,j)) + BS(τ(j,t))),
+//
+// then connect consecutive waypoints with τ paths. opts.Width selects the
+// beam: 1 is the paper's Greedy-1, 2 is Greedy-2 (the best two candidates
+// branch at every step, worst case O(2^m·n)).
+//
+// The default keyword-priority mode always covers the query keywords but
+// may overrun Δ; the route is then returned together with
+// ErrBudgetExceeded so callers can count failures the way Figure 13 does.
+// With opts.BudgetPriority the roles flip (§3.4's modification): the route
+// respects Δ but may leave keywords uncovered, reported via the route's
+// CoversAll flag.
+func (s *Searcher) Greedy(q Query, opts Options) (Result, error) {
+	// The optimization strategies belong to the label algorithms; disabling
+	// them skips their oracle prefetching.
+	opts.DisableStrategy1 = true
+	opts.DisableStrategy2 = true
+	p, err := s.newPlan(q, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.runGreedy()
+}
+
+// greedyOutcome is one completed branch of the beam search.
+type greedyOutcome struct {
+	waypoints []graph.NodeID
+	// legMetric[i] is the metric connecting waypoints[i] to waypoints[i+1]:
+	// τ everywhere except possibly a σ final leg in budget-priority mode.
+	legMetric []apsp.Metric
+	os, bs    float64
+	covered   bitset.Mask // query keywords on the waypoints
+}
+
+func (p *plan) runGreedy() (Result, error) {
+	oracle := p.s.oracle
+	apsp.PrefetchTarget(oracle, p.q.Target)
+
+	if p.opts.BudgetPriority {
+		// This variant promises BS ≤ Δ; when even σ(s,t) busts Δ no route
+		// can honour that promise.
+		if _, sbs, ok := oracle.MinBudget(p.q.Source, p.q.Target); !ok || sbs > p.q.Budget {
+			return Result{Metrics: p.metrics}, ErrNoRoute
+		}
+	}
+
+	// nodeSet: every node carrying at least one query keyword (line 3–5 of
+	// Algorithm 3, via the inverted file).
+	var nodeSet []graph.NodeID
+	seen := make(map[graph.NodeID]bool)
+	for _, t := range p.terms {
+		for _, v := range p.s.index.Postings(t) {
+			if !seen[v] {
+				seen[v] = true
+				nodeSet = append(nodeSet, v)
+			}
+		}
+	}
+	sort.Slice(nodeSet, func(i, j int) bool { return nodeSet[i] < nodeSet[j] })
+
+	best := greedyOutcome{os: math.Inf(1)}
+	haveBest := false
+	betterOutcome := func(a, b greedyOutcome) bool {
+		af := a.covered.Covers(p.qMask) && a.bs <= p.q.Budget
+		bf := b.covered.Covers(p.qMask) && b.bs <= p.q.Budget
+		if af != bf {
+			return af
+		}
+		if a.os != b.os {
+			return a.os < b.os
+		}
+		return a.bs < b.bs
+	}
+
+	start := greedyOutcome{
+		waypoints: []graph.NodeID{p.q.Source},
+		covered:   p.nodeMask[p.q.Source],
+	}
+	p.greedyStep(start, nodeSet, &best, &haveBest, betterOutcome)
+	if !haveBest {
+		return Result{Metrics: p.metrics}, ErrNoRoute
+	}
+
+	route, err := p.materializeGreedy(best)
+	if err != nil {
+		return Result{Metrics: p.metrics}, err
+	}
+	res := Result{Routes: []Route{route}, Metrics: p.metrics}
+	if !p.opts.BudgetPriority && route.Budget > p.q.Budget {
+		return res, ErrBudgetExceeded
+	}
+	if p.opts.BudgetPriority && !route.CoversAll {
+		// Budget-priority mode met Δ but not the keywords; the flags on the
+		// route say so, and no error is raised — this is that variant's
+		// documented contract.
+		return res, nil
+	}
+	return res, nil
+}
+
+// greedyStep extends one partial outcome by every beam candidate, recursing
+// until the keywords are covered (keyword mode) or no candidate fits the
+// budget (budget-priority mode), then completes the route to the target.
+func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedyOutcome, haveBest *bool, better func(a, b greedyOutcome) bool) {
+	oracle := p.s.oracle
+	cur := st.waypoints[len(st.waypoints)-1]
+	uncovered := p.qMask.Diff(st.covered)
+
+	if uncovered.Empty() {
+		p.finishGreedy(st, best, haveBest, better)
+		return
+	}
+
+	apsp.PrefetchSource(oracle, cur)
+	type scored struct {
+		node   graph.NodeID
+		score  float64
+		os, bs float64 // τ(cur, node) scores
+	}
+	var candidates []scored
+	for _, m := range nodeSet {
+		if m == cur || p.nodeMask[m].Intersect(uncovered).Empty() {
+			continue
+		}
+		segOS, segBS, ok := oracle.MinObjective(cur, m)
+		if !ok {
+			continue
+		}
+		tailOS, tailBS, ok := oracle.MinObjective(m, p.q.Target)
+		if !ok {
+			continue
+		}
+		if p.opts.BudgetPriority {
+			// §3.4 modification: only consider nodes that keep the route
+			// able to reach the target within Δ.
+			_, sigBS, sok := oracle.MinBudget(m, p.q.Target)
+			if !sok || st.bs+segBS+sigBS > p.q.Budget {
+				continue
+			}
+		}
+		s := p.opts.Alpha*(st.os+segOS+tailOS) + (1-p.opts.Alpha)*(st.bs+segBS+tailBS)
+		candidates = append(candidates, scored{node: m, score: s, os: segOS, bs: segBS})
+	}
+	if len(candidates) == 0 {
+		if p.opts.BudgetPriority {
+			// Cannot extend without breaking Δ: stop covering and head to
+			// the target (the modified loop exit).
+			p.finishGreedy(st, best, haveBest, better)
+		}
+		// Keyword mode: dead branch — some keyword is unreachable.
+		return
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].score != candidates[j].score {
+			return candidates[i].score < candidates[j].score
+		}
+		return candidates[i].node < candidates[j].node
+	})
+
+	width := p.opts.Width
+	if width > len(candidates) {
+		width = len(candidates)
+	}
+	for _, c := range candidates[:width] {
+		next := greedyOutcome{
+			waypoints: append(append([]graph.NodeID(nil), st.waypoints...), c.node),
+			legMetric: append(append([]apsp.Metric(nil), st.legMetric...), apsp.ByObjective),
+			os:        st.os + c.os,
+			bs:        st.bs + c.bs,
+			covered:   st.covered.Union(p.nodeMask[c.node]),
+		}
+		p.greedyStep(next, nodeSet, best, haveBest, better)
+	}
+}
+
+// finishGreedy appends the final leg to the target (lines 12–13) and keeps
+// the outcome if it beats the best so far.
+func (p *plan) finishGreedy(st greedyOutcome, best *greedyOutcome, haveBest *bool, better func(a, b greedyOutcome) bool) {
+	oracle := p.s.oracle
+	cur := st.waypoints[len(st.waypoints)-1]
+	legMetric := apsp.ByObjective
+	tailOS, tailBS, ok := oracle.MinObjective(cur, p.q.Target)
+	if !ok {
+		return
+	}
+	if p.opts.BudgetPriority && st.bs+tailBS > p.q.Budget {
+		// Try the cheap σ leg before giving up on Δ.
+		sigOS, sigBS, sok := oracle.MinBudget(cur, p.q.Target)
+		if !sok || st.bs+sigBS > p.q.Budget {
+			return // dead branch: no leg to the target fits Δ
+		}
+		tailOS, tailBS, legMetric = sigOS, sigBS, apsp.ByBudget
+	}
+	done := st
+	if cur != p.q.Target || len(st.waypoints) == 1 {
+		done.waypoints = append(append([]graph.NodeID(nil), st.waypoints...), p.q.Target)
+		done.legMetric = append(append([]apsp.Metric(nil), st.legMetric...), legMetric)
+		done.os += tailOS
+		done.bs += tailBS
+		done.covered = done.covered.Union(p.nodeMask[p.q.Target])
+	}
+	if !*haveBest || better(done, *best) {
+		*best = done
+		*haveBest = true
+	}
+}
+
+// materializeGreedy concatenates the per-leg shortest paths into the final
+// route. Segment scores were accumulated during the search; the node
+// sequence is recovered here, and the route's coverage is recomputed over
+// every node actually visited (intermediate nodes can cover keywords the
+// waypoint accounting did not claim).
+func (p *plan) materializeGreedy(out greedyOutcome) (Route, error) {
+	nodes := []graph.NodeID{out.waypoints[0]}
+	for i := 1; i < len(out.waypoints); i++ {
+		from, to := out.waypoints[i-1], out.waypoints[i]
+		var seg []graph.NodeID
+		var ok bool
+		if out.legMetric[i-1] == apsp.ByObjective {
+			seg, ok = p.s.oracle.MinObjectivePath(from, to)
+		} else {
+			seg, ok = p.s.oracle.MinBudgetPath(from, to)
+		}
+		if !ok {
+			return Route{}, ErrNoRoute
+		}
+		nodes = append(nodes, seg[1:]...)
+	}
+	covered := bitset.Mask(0)
+	for _, v := range nodes {
+		covered = covered.Union(p.nodeMask[v])
+	}
+	return Route{
+		Nodes:     nodes,
+		Objective: out.os,
+		Budget:    out.bs,
+		Covered:   covered,
+		CoversAll: covered.Covers(p.qMask),
+		Feasible:  covered.Covers(p.qMask) && out.bs <= p.q.Budget,
+	}, nil
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kor/internal/apsp"
+	"kor/internal/bitset"
+	"kor/internal/graph"
+)
+
+// plan is the per-query pre-computation shared by the label algorithms:
+// keyword bit assignment, per-node coverage masks, the scaling factor θ,
+// strategy-1 candidate nodes and strategy-2 infrequent-keyword nodes, plus
+// oracle prefetch hints.
+type plan struct {
+	s    *Searcher
+	q    Query
+	opts Options
+
+	terms    []graph.Term // deduplicated query keywords, bit i ↔ terms[i]
+	qMask    bitset.Mask
+	nodeMask []bitset.Mask // query-keyword coverage per node
+
+	theta float64 // θ = ε·o_min·b_min/Δ (Definition in §3.2)
+
+	// Strategy 1: nodes carrying uncovered query keywords, each with the
+	// mask of query keywords it carries, ordered by rarest keyword first.
+	jumpNodes []jumpNode
+
+	// Strategy 2: the nodes carrying the least frequent query keyword, and
+	// that keyword's bit, when its document frequency is under threshold.
+	infreqBit   int
+	infreqNodes []graph.NodeID
+
+	// exact switches the label machinery to exact mode: the "scaled" slot
+	// carries an order-preserving encoding of the raw objective instead of
+	// ⌊OS/θ⌋, turning OSScaling into the exact branch-and-bound of Exact.
+	exact bool
+
+	metrics Metrics
+	seq     uint64
+}
+
+type jumpNode struct {
+	node graph.NodeID
+	mask bitset.Mask
+}
+
+// newPlan validates the query and assembles the plan.
+func (s *Searcher) newPlan(q Query, opts Options) (*plan, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validate(q); err != nil {
+		return nil, err
+	}
+
+	p := &plan{s: s, q: q, opts: opts, infreqBit: -1}
+
+	// Deduplicate keywords, keeping first-seen order for bit stability.
+	seen := make(map[graph.Term]bool, len(q.Keywords))
+	for _, t := range q.Keywords {
+		if !seen[t] {
+			seen[t] = true
+			p.terms = append(p.terms, t)
+		}
+	}
+	if len(p.terms) > bitset.MaxWidth {
+		return nil, fmt.Errorf("%w: %d distinct keywords exceed %d", ErrBadQuery, len(p.terms), bitset.MaxWidth)
+	}
+	p.qMask = bitset.Full(len(p.terms))
+
+	// Coverage masks via the inverted file.
+	p.nodeMask = make([]bitset.Mask, s.g.NumNodes())
+	type termFreq struct {
+		bit int
+		df  int
+	}
+	freqs := make([]termFreq, len(p.terms))
+	for bit, t := range p.terms {
+		post := s.index.Postings(t)
+		freqs[bit] = termFreq{bit: bit, df: len(post)}
+		for _, v := range post {
+			p.nodeMask[v] = p.nodeMask[v].With(bit)
+		}
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].df != freqs[j].df {
+			return freqs[i].df < freqs[j].df
+		}
+		return freqs[i].bit < freqs[j].bit
+	})
+
+	// θ: scale objective values to integers (§3.2). Edge attributes are
+	// validated positive, so θ > 0 whenever the graph has edges.
+	if s.g.NumEdges() == 0 {
+		return nil, fmt.Errorf("%w: graph has no edges", ErrBadQuery)
+	}
+	p.theta = opts.Epsilon * s.g.MinObjective() * s.g.MinBudget() / q.Budget
+
+	// Strategy 1 candidates: uncovered-keyword nodes, rarest keyword first,
+	// capped; each costs one reverse sweep on a lazy oracle.
+	if !opts.DisableStrategy1 {
+		taken := make(map[graph.NodeID]bool)
+		for _, tf := range freqs {
+			for _, v := range s.index.Postings(p.terms[tf.bit]) {
+				if taken[v] || len(p.jumpNodes) >= opts.Strategy1Candidates {
+					continue
+				}
+				taken[v] = true
+				p.jumpNodes = append(p.jumpNodes, jumpNode{node: v, mask: p.nodeMask[v]})
+			}
+			if len(p.jumpNodes) >= opts.Strategy1Candidates {
+				break
+			}
+		}
+	}
+
+	// Strategy 2: pick the least frequent keyword if it is rare enough.
+	if !opts.DisableStrategy2 && len(freqs) > 0 {
+		rarest := freqs[0]
+		threshold := int(opts.InfrequentFraction * float64(s.g.NumNodes()))
+		if threshold < 1 {
+			threshold = 1
+		}
+		if rarest.df > 0 && rarest.df <= threshold {
+			p.infreqBit = rarest.bit
+			p.infreqNodes = append(p.infreqNodes, s.index.Postings(p.terms[rarest.bit])...)
+		}
+	}
+
+	// Prefetch hints for lazy oracles: the dominant lookups are into the
+	// target, into strategy-1 jump nodes (σ(i, j)) and into strategy-2
+	// keyword nodes (τ/σ(i, l)).
+	apsp.PrefetchTarget(s.oracle, q.Target)
+	for _, jn := range p.jumpNodes {
+		apsp.PrefetchTarget(s.oracle, jn.node)
+	}
+	for _, v := range p.infreqNodes {
+		apsp.PrefetchTarget(s.oracle, v)
+	}
+	return p, nil
+}
+
+// scaledObjective is ô = ⌊o/θ⌋, saturating to keep int64 arithmetic safe
+// when ε, o_min or b_min make θ extremely small.
+func (p *plan) scaledObjective(o float64) int64 {
+	r := o / p.theta
+	if r >= math.MaxInt64/4 {
+		return math.MaxInt64 / 4
+	}
+	return int64(r)
+}
+
+// newLabel runs the label treatment step (Definition 7) along edge
+// (cur.node → e.To).
+func (p *plan) newLabel(cur *label, e graph.Edge) *label {
+	p.seq++
+	p.metrics.LabelsCreated++
+	l := &label{
+		node:    e.To,
+		covered: cur.covered.Union(p.nodeMask[e.To]),
+		os:      cur.os + e.Objective,
+		bs:      cur.bs + e.Budget,
+		parent:  cur,
+		seq:     p.seq,
+	}
+	if p.exact {
+		l.scaled = exactScaled(l.os)
+	} else {
+		l.scaled = cur.scaled + p.scaledObjective(e.Objective)
+	}
+	return l
+}
+
+// newShortcutLabel builds a strategy-1 jump label following σ(cur.node, to)
+// with the given scores.
+func (p *plan) newShortcutLabel(cur *label, to graph.NodeID, sigOS, sigBS float64) *label {
+	p.seq++
+	p.metrics.LabelsCreated++
+	p.metrics.ShortcutLabels++
+	l := &label{
+		node:     to,
+		covered:  cur.covered.Union(p.nodeMask[to]),
+		os:       cur.os + sigOS,
+		bs:       cur.bs + sigBS,
+		parent:   cur,
+		shortcut: true,
+		seq:      p.seq,
+	}
+	if p.exact {
+		l.scaled = exactScaled(l.os)
+	} else {
+		// ⌊OS(σ)/θ⌋ under-approximates the hop-by-hop sum of floors; the
+		// shortcut is a heuristic for finding a feasible route early and
+		// all hard checks use the exact os/bs fields.
+		l.scaled = cur.scaled + p.scaledObjective(sigOS)
+	}
+	return l
+}
+
+// startLabel is the source label L0s = (vs.ψ, 0, 0, 0).
+func (p *plan) startLabel() *label {
+	p.seq++
+	return &label{node: p.q.Source, covered: p.nodeMask[p.q.Source], seq: p.seq}
+}
+
+// trace emits a tracer event if a tracer is configured.
+func (p *plan) trace(kind TraceKind, l *label, u float64) {
+	if p.opts.Tracer == nil {
+		return
+	}
+	p.opts.Tracer.Trace(TraceEvent{Kind: kind, Label: l.view(), U: u, Shortcut: l.shortcut})
+}
+
+// strategy2Prune applies optimization strategy 2: a label not yet covering
+// the infrequent keyword can be discarded when, through every node l that
+// carries it, either the objective bound exceeds U or the budget bound
+// exceeds Δ.
+func (p *plan) strategy2Prune(l *label, u float64) bool {
+	if p.infreqBit < 0 || l.covered.Has(p.infreqBit) {
+		return false
+	}
+	for _, via := range p.infreqNodes {
+		osIL, _, ok1 := p.s.oracle.MinObjective(l.node, via)
+		if !ok1 {
+			continue // cannot route through this node at all
+		}
+		osLT, _, ok2 := p.s.oracle.MinObjective(via, p.q.Target)
+		if !ok2 {
+			continue
+		}
+		objOK := l.os+osIL+osLT <= u
+		_, bsIL, _ := p.s.oracle.MinBudget(l.node, via)
+		_, bsLT, ok3 := p.s.oracle.MinBudget(via, p.q.Target)
+		budOK := ok3 && l.bs+bsIL+bsLT <= p.q.Budget
+		if objOK && budOK {
+			return false // this keyword node keeps the label alive
+		}
+	}
+	p.metrics.PrunedStrategy2++
+	p.trace(TracePrunedStrategy2, l, u)
+	return true
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kor/internal/bitset"
+	"kor/internal/graph"
+)
+
+// enumerateFeasible lists every feasible route for q by exhaustive walk
+// enumeration (budget-pruned), deduplicated by node sequence and sorted by
+// objective. Only usable on tiny graphs and budgets.
+func enumerateFeasible(t *testing.T, s *Searcher, q Query) []Route {
+	t.Helper()
+	p, err := s.newPlan(q, DefaultOptions())
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	type item struct {
+		nodes  []graph.NodeID
+		os, bs float64
+	}
+	var out []Route
+	seen := make(map[string]bool)
+	var dfs func(it item)
+	dfs = func(it item) {
+		cur := it.nodes[len(it.nodes)-1]
+		if cur == q.Target {
+			covered := p.nodeMask[it.nodes[0]]
+			for _, v := range it.nodes {
+				covered = covered.Union(p.nodeMask[v])
+			}
+			if covered.Covers(p.qMask) {
+				r := Route{Nodes: append([]graph.NodeID(nil), it.nodes...), Objective: it.os, Budget: it.bs, Covered: covered, CoversAll: true, Feasible: true}
+				sig := routeSignature(r)
+				if !seen[sig] {
+					seen[sig] = true
+					out = append(out, r)
+				}
+			}
+		}
+		for _, e := range s.g.Out(cur) {
+			if it.bs+e.Budget > q.Budget {
+				continue
+			}
+			dfs(item{
+				nodes: append(append([]graph.NodeID(nil), it.nodes...), e.To),
+				os:    it.os + e.Objective,
+				bs:    it.bs + e.Budget,
+			})
+		}
+	}
+	dfs(item{nodes: []graph.NodeID{q.Source}})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Objective != out[j].Objective {
+			return out[i].Objective < out[j].Objective
+		}
+		return out[i].Budget < out[j].Budget
+	})
+	return out
+}
+
+func TestTopKOnPaperGraph(t *testing.T) {
+	g := paperGraph(t)
+	s := searcherFor(t, g, true)
+	kws := terms(t, g, "t1", "t2")
+	q := Query{Source: 0, Target: 7, Keywords: kws, Budget: 10}
+	all := enumerateFeasible(t, s, q)
+	if len(all) < 2 {
+		t.Fatalf("fixture offers only %d feasible routes; test needs ≥ 2", len(all))
+	}
+
+	for _, algo := range []string{"OSScaling", "BucketBound"} {
+		for k := 1; k <= 3; k++ {
+			opts := DefaultOptions()
+			opts.K = k
+			opts.Epsilon = 0.1
+			var res Result
+			var err error
+			if algo == "OSScaling" {
+				res, err = s.OSScaling(q, opts)
+			} else {
+				res, err = s.BucketBound(q, opts)
+			}
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", algo, k, err)
+			}
+			if len(res.Routes) == 0 || len(res.Routes) > k {
+				t.Fatalf("%s k=%d returned %d routes", algo, k, len(res.Routes))
+			}
+			sigs := make(map[string]bool)
+			for i, r := range res.Routes {
+				if !r.Feasible {
+					t.Errorf("%s k=%d route %d infeasible: %v", algo, k, i, r)
+				}
+				if i > 0 && res.Routes[i-1].Objective > r.Objective+1e-9 {
+					t.Errorf("%s k=%d routes not sorted by objective", algo, k)
+				}
+				sig := routeSignature(r)
+				if sigs[sig] {
+					t.Errorf("%s k=%d returned duplicate route %v", algo, k, r)
+				}
+				sigs[sig] = true
+			}
+			// The best of the k must respect the k=1 approximation bound.
+			bound := all[0].Objective/(1-opts.Epsilon) + 1e-9
+			if algo == "BucketBound" {
+				bound = opts.Beta * all[0].Objective / (1 - opts.Epsilon)
+			}
+			if res.Routes[0].Objective > bound {
+				t.Errorf("%s k=%d best %v outside bound %v", algo, k, res.Routes[0].Objective, bound)
+			}
+		}
+	}
+}
+
+// TestTopKEqualsSingleAtK1: k=1 must behave exactly like the plain query.
+func TestTopKEqualsSingleAtK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		g := randomKeywordGraph(rng, 15, 5)
+		s := searcherFor(t, g, false)
+		q := randomQuery(rng, g, 2)
+		single, err1 := s.OSScaling(q, DefaultOptions())
+		optsK := DefaultOptions()
+		optsK.K = 1
+		viaK, err2 := s.OSScaling(q, optsK)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: err %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(single.Best().Objective-viaK.Best().Objective) > 1e-9 {
+			t.Fatalf("trial %d: k=1 objective differs", trial)
+		}
+	}
+}
+
+// TestTopKFindsDistinctRoutes checks against the exhaustive enumeration on
+// random small graphs: routes returned must be real feasible routes, and
+// with a tiny ε the best route must be near-optimal.
+func TestTopKFindsDistinctRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	verified := 0
+	for trial := 0; trial < 12; trial++ {
+		g := randomKeywordGraph(rng, 9, 4)
+		s := searcherFor(t, g, false)
+		q := randomQuery(rng, g, 1)
+		q.Budget = 1.2 + rng.Float64()
+		all := enumerateFeasible(t, s, q)
+		if len(all) < 3 {
+			continue
+		}
+		verified++
+		opts := DefaultOptions()
+		opts.K = 3
+		opts.Epsilon = 0.05
+		res, err := s.OSScaling(q, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v (enumeration found %d routes)", trial, err, len(all))
+		}
+		if len(res.Routes) < 2 {
+			t.Errorf("trial %d: only %d routes for k=3 (graph offers %d)", trial, len(res.Routes), len(all))
+		}
+		valid := make(map[string]float64)
+		for _, r := range all {
+			valid[routeSignature(r)] = r.Objective
+		}
+		for _, r := range res.Routes {
+			wantOS, ok := valid[routeSignature(r)]
+			if !ok {
+				t.Errorf("trial %d: returned route %v not among feasible routes", trial, r)
+				continue
+			}
+			if math.Abs(wantOS-r.Objective) > 1e-9 {
+				t.Errorf("trial %d: route %v reports OS %v, enumeration says %v", trial, r, r.Objective, wantOS)
+			}
+		}
+		if res.Routes[0].Objective > all[0].Objective/(1-opts.Epsilon)+1e-9 {
+			t.Errorf("trial %d: top-1 of top-k %v outside bound of optimum %v",
+				trial, res.Routes[0].Objective, all[0].Objective)
+		}
+	}
+	if verified == 0 {
+		t.Skip("no graph offered 3+ feasible routes")
+	}
+}
+
+func TestTopKMoreThanExist(t *testing.T) {
+	g := paperGraph(t)
+	s := searcherFor(t, g, true)
+	q := Query{Source: 0, Target: 7, Keywords: terms(t, g, "t1", "t2"), Budget: 10}
+	all := enumerateFeasible(t, s, q)
+	opts := DefaultOptions()
+	opts.K = len(all) + 25
+	opts.Epsilon = 0.05
+	res, err := s.OSScaling(q, opts)
+	if err != nil && !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("k≫routes: %v", err)
+	}
+	if len(res.Routes) > len(all) {
+		t.Fatalf("returned %d routes, only %d exist", len(res.Routes), len(all))
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("returned nothing despite feasible routes existing")
+	}
+	for i, r := range res.Routes {
+		if !r.Feasible {
+			t.Errorf("route %d infeasible: %v", i, r)
+		}
+	}
+}
+
+// TestLabelStoreDomination unit-tests the k-domination logic in isolation.
+func TestLabelStoreDomination(t *testing.T) {
+	m := &Metrics{}
+	mk := func(node graph.NodeID, covered uint64, scaled int64, bs float64) *label {
+		return &label{node: node, covered: maskOf(covered), scaled: scaled, bs: bs}
+	}
+	st := newLabelStore(4, 1, m, nil)
+	a := mk(0, 0b11, 10, 5)
+	if !st.tryInsert(a) {
+		t.Fatal("first insert rejected")
+	}
+	// Dominated by a: fewer keywords, worse scores.
+	if st.tryInsert(mk(0, 0b01, 12, 6)) {
+		t.Error("dominated label accepted")
+	}
+	// Equal label: rejected (one copy kept).
+	if st.tryInsert(mk(0, 0b11, 10, 5)) {
+		t.Error("duplicate label accepted")
+	}
+	// Incomparable: better budget, worse scaled.
+	if !st.tryInsert(mk(0, 0b11, 15, 1)) {
+		t.Error("incomparable label rejected")
+	}
+	// New dominator sweeps out a.
+	dom := mk(0, 0b11, 9, 4)
+	if !st.tryInsert(dom) {
+		t.Fatal("dominator rejected")
+	}
+	if !a.deleted {
+		t.Error("dominated label not swept")
+	}
+
+	// k=2: one dominator is not enough to reject.
+	m2 := &Metrics{}
+	st2 := newLabelStore(4, 2, m2, nil)
+	st2.tryInsert(mk(1, 0b11, 5, 5))
+	if !st2.tryInsert(mk(1, 0b01, 9, 9)) {
+		t.Error("k=2 rejected a once-dominated label")
+	}
+	st2.tryInsert(mk(1, 0b11, 6, 6))
+	if st2.tryInsert(mk(1, 0b01, 10, 10)) {
+		t.Error("k=2 accepted a twice-dominated label")
+	}
+}
+
+func maskOf(bits uint64) bitset.Mask { return bitset.Mask(bits) }

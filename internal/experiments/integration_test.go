@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"kor/internal/core"
+)
+
+// TestBoundsOnFlickrDataset is the end-to-end validation: on the real
+// pipeline output (photos → locations → trips → graph), the approximation
+// algorithms must stay within their theoretical bounds of the exact answer,
+// query by query.
+func TestBoundsOnFlickrDataset(t *testing.T) {
+	ds := fastFlickr(t)
+	cfg := fastConfig()
+	cfg.Queries = 10
+
+	checked := 0
+	for _, m := range []int{1, 2, 3} {
+		for _, q := range ds.Queries(cfg, m, 6) {
+			exactOpts := core.DefaultOptions()
+			exactOpts.MaxExpansions = 3_000_000
+			exact, err := ds.Searcher.Exact(q, exactOpts)
+			if errors.Is(err, core.ErrSearchLimit) {
+				continue // too hard to verify exactly; skip this query
+			}
+			if errors.Is(err, core.ErrNoRoute) {
+				// Approximations must agree nothing exists.
+				if _, err2 := ds.Searcher.OSScaling(q, core.DefaultOptions()); !errors.Is(err2, core.ErrNoRoute) {
+					t.Fatalf("m=%d: exact says no route, OSScaling says %v", m, err2)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("exact: %v", err)
+			}
+			opt := exact.Best().Objective
+
+			for _, eps := range []float64{0.3, 0.7} {
+				opts := core.DefaultOptions()
+				opts.Epsilon = eps
+				oss, err := ds.Searcher.OSScaling(q, opts)
+				if err != nil {
+					t.Fatalf("m=%d ε=%v: OSScaling failed on feasible query: %v", m, eps, err)
+				}
+				if oss.Best().Objective > opt/(1-eps)+1e-9 {
+					t.Fatalf("m=%d ε=%v: OSScaling %v breaks bound (opt %v)",
+						m, eps, oss.Best().Objective, opt)
+				}
+				bb, err := ds.Searcher.BucketBound(q, opts)
+				if err != nil {
+					t.Fatalf("m=%d ε=%v: BucketBound failed on feasible query: %v", m, eps, err)
+				}
+				if bb.Best().Objective > opts.Beta*opt/(1-eps)+1e-9 {
+					t.Fatalf("m=%d ε=%v: BucketBound %v breaks bound (opt %v)",
+						m, eps, bb.Best().Objective, opt)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no exactly-verifiable queries on this workload")
+	}
+	t.Logf("verified bounds on %d dataset queries", checked)
+}
+
+// TestGreedyFailureRateIsMeasurable reproduces the precondition of Figure
+// 13 on the pipeline dataset: greedy must succeed on a solid majority of
+// solvable queries but fail on some (the paper reports 10–20%).
+func TestGreedyFailureRateIsMeasurable(t *testing.T) {
+	ds := fastFlickr(t)
+	cfg := fastConfig()
+	cfg.Queries = 24
+	qs := ds.Queries(cfg, 2, 9)
+	base := Measure(ds, qs, baseAlgorithm())
+	greedy := Measure(ds, qs, Algorithm{Name: "Greedy-2", Opts: width2(), Kind: KindGreedy})
+
+	solvable, failed := 0, 0
+	for i := range qs {
+		if math.IsNaN(base.Objectives[i]) {
+			continue
+		}
+		solvable++
+		if math.IsNaN(greedy.Objectives[i]) {
+			failed++
+		}
+	}
+	if solvable < 5 {
+		t.Skipf("only %d solvable queries", solvable)
+	}
+	if failed == solvable {
+		t.Errorf("greedy failed all %d solvable queries", solvable)
+	}
+	t.Logf("greedy failure rate: %d/%d", failed, solvable)
+}
+
+func width2() core.Options {
+	o := core.DefaultOptions()
+	o.Width = 2
+	return o
+}
+
+// TestRelativeRatioOrderOnDataset: the central accuracy ordering of Figures
+// 10–11 on the pipeline dataset — BucketBound closer to the base than the
+// greedy heuristics, averaged over a workload.
+func TestRelativeRatioOrderOnDataset(t *testing.T) {
+	ds := fastFlickr(t)
+	cfg := fastConfig()
+	cfg.Queries = 16
+	qs := ds.Queries(cfg, 2, 9)
+	base := Measure(ds, qs, baseAlgorithm())
+
+	bb := RelativeRatio(Measure(ds, qs, Algorithm{Opts: core.DefaultOptions(), Kind: KindBucketBound}), base)
+	g2 := RelativeRatio(Measure(ds, qs, Algorithm{Opts: width2(), Kind: KindGreedy}), base)
+	if math.IsNaN(bb) || math.IsNaN(g2) {
+		t.Skip("workload yielded no comparable queries")
+	}
+	if bb < 1-1e-9 {
+		// The base is OSScaling ε=0.1; BucketBound can best it only within
+		// floating noise.
+		t.Errorf("BucketBound ratio %v below 1", bb)
+	}
+	if bb > g2+0.25 {
+		t.Errorf("BucketBound ratio %v not meaningfully better than Greedy-2 %v", bb, g2)
+	}
+}

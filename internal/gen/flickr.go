@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"kor/internal/geo"
+	"kor/internal/graph"
+	"kor/internal/trajectory"
+)
+
+// FlickrConfig shapes the synthetic photo world. The defaults produce a
+// graph around 1–2k locations — the paper's Flickr graph scaled down so the
+// dense pre-processing tables stay laptop-sized (see DESIGN.md).
+type FlickrConfig struct {
+	Seed int64
+	// Users is the number of simulated photographers (default 1500).
+	Users int
+	// Attractions is the number of points of interest (default 900).
+	Attractions int
+	// VocabSize is the tag vocabulary size (default 1200).
+	VocabSize int
+	// TagsPerAttraction is how many base tags an attraction offers
+	// (default 4).
+	TagsPerAttraction int
+	// MeanTripLegs is the average number of attraction visits per user
+	// trip day (default 5).
+	MeanTripLegs int
+	// TripsPerUser is the average number of photo days per user
+	// (default 4).
+	TripsPerUser int
+	// Region is the city bounding box (default geo.NewYorkCity).
+	Region geo.Rect
+	// Pipeline overrides the trajectory pipeline configuration.
+	Pipeline trajectory.Config
+}
+
+func (c FlickrConfig) withDefaults() FlickrConfig {
+	if c.Users <= 0 {
+		c.Users = 1500
+	}
+	if c.Attractions <= 0 {
+		c.Attractions = 900
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 600
+	}
+	if c.TagsPerAttraction <= 0 {
+		c.TagsPerAttraction = 14
+	}
+	if c.MeanTripLegs <= 0 {
+		c.MeanTripLegs = 5
+	}
+	if c.TripsPerUser <= 0 {
+		c.TripsPerUser = 4
+	}
+	if c.Region.Width() == 0 || c.Region.Height() == 0 {
+		c.Region = geo.Manhattan
+	}
+	return c
+}
+
+// attraction is a synthetic point of interest.
+type attraction struct {
+	pos    geo.Point
+	weight float64 // visit popularity, heavy-tailed
+	tags   []string
+}
+
+// FlickrWorld simulates the photographers and returns their photos.
+func FlickrWorld(cfg FlickrConfig) []trajectory.Photo {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := newZipf(rng, 1.1, cfg.VocabSize)
+
+	attractions := make([]attraction, cfg.Attractions)
+	for i := range attractions {
+		attractions[i] = attraction{
+			pos:    cfg.Region.Lerp(rng.Float64(), rng.Float64()),
+			weight: math.Pow(rng.Float64(), 3) + 0.01, // heavy tail of hot spots
+			tags:   zipfTags(rng, zipf, cfg.TagsPerAttraction),
+		}
+	}
+
+	epoch := time.Date(2011, time.June, 1, 8, 0, 0, 0, time.UTC)
+	var photos []trajectory.Photo
+
+	for user := 0; user < cfg.Users; user++ {
+		// Each user takes several day trips, days apart (breaking trips in
+		// the pipeline's eyes), hopping between attractions with a bias
+		// toward popular and nearby ones.
+		t := epoch.Add(time.Duration(rng.Intn(200*24)) * time.Hour)
+		trips := 1 + rng.Intn(2*cfg.TripsPerUser)
+		cur := rng.Intn(len(attractions))
+		for trip := 0; trip < trips; trip++ {
+			legs := 1 + rng.Intn(2*cfg.MeanTripLegs)
+			for leg := 0; leg < legs; leg++ {
+				a := attractions[cur]
+				// Photos at the attraction: 1–3, tagged with a subset of
+				// the attraction's tags plus occasional personal noise
+				// (filtered later by the ≥2-users rule).
+				for n := 1 + rng.Intn(3); n > 0; n-- {
+					tags := make([]string, 0, len(a.tags))
+					for _, tag := range a.tags {
+						if rng.Float64() < 0.8 {
+							tags = append(tags, tag)
+						}
+					}
+					if rng.Float64() < 0.1 {
+						tags = append(tags, "noise-"+TagName(rng.Intn(cfg.VocabSize))+"-u"+itoa(user))
+					}
+					jitter := geo.Point{
+						X: a.pos.X + (rng.Float64()-0.5)*0.0008,
+						Y: a.pos.Y + (rng.Float64()-0.5)*0.0008,
+					}
+					photos = append(photos, trajectory.Photo{
+						User: user,
+						Time: t,
+						Pos:  jitter,
+						Tags: tags,
+					})
+					t = t.Add(time.Duration(1+rng.Intn(20)) * time.Minute)
+				}
+				cur = nextAttraction(rng, attractions, cur)
+				t = t.Add(time.Duration(10+rng.Intn(110)) * time.Minute)
+			}
+			// Days (sometimes weeks) pass before the next trip.
+			t = t.Add(time.Duration(30+rng.Intn(24*14*60)) * time.Minute)
+		}
+	}
+	return photos
+}
+
+// nextAttraction picks the next stop from a random candidate sample,
+// scoring popularity against a strong distance decay: tourists overwhelmingly
+// hop to nearby attractions (sub-2km), with the occasional cross-town leap.
+// The decay keeps trip edges short, which in turn keeps the evaluation's
+// Δ = 3–15 km budget sweep meaningful on the resulting graph.
+func nextAttraction(rng *rand.Rand, as []attraction, cur int) int {
+	const sample = 24
+	bestScore := -1.0
+	best := cur
+	for i := 0; i < sample; i++ {
+		cand := rng.Intn(len(as))
+		if cand == cur {
+			continue
+		}
+		d := as[cur].pos.CityDistanceKm(as[cand].pos)
+		score := as[cand].weight / (0.05 + d*d*d) * rng.Float64()
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+// FlickrGraph runs FlickrWorld through the trajectory pipeline.
+func FlickrGraph(cfg FlickrConfig) (*graph.Graph, trajectory.Stats, error) {
+	cfg = cfg.withDefaults()
+	return trajectory.BuildGraph(FlickrWorld(cfg), cfg.Pipeline)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,57 @@
+// Package gen generates the datasets of the paper's evaluation (§4.1).
+//
+// The paper uses (a) a graph built from 1.5M geo-tagged Flickr photos of
+// New York City and (b) four synthetic graphs extracted from the New York
+// road network with 5k–20k nodes. Neither resource ships with this
+// reproduction, so gen synthesizes the closest equivalents:
+//
+//   - FlickrWorld simulates photo-taking tourists — attraction-biased random
+//     walks over a synthetic city emitting timestamped, tagged photos — and
+//     feeds them through the exact pipeline of internal/trajectory. The
+//     resulting graph shares the properties the algorithms care about:
+//     sparse location graph, Zipf tag frequencies, heavy-tailed edge
+//     popularity, metric budget values.
+//   - RoadNetwork builds a connected near-planar network over a plane with
+//     Euclidean budgets, uniform (0,1) objectives and Zipf-assigned tags,
+//     matching the paper's description of the synthetic datasets.
+//
+// All generation is deterministic in the configured seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// zipfTags draws k distinct tag names from a Zipf distribution over a
+// vocabulary of the given size. Tag names are stable across datasets so
+// query workloads can be described in words.
+func zipfTags(rng *rand.Rand, zipf *rand.Zipf, k int) []string {
+	seen := make(map[uint64]bool, k)
+	out := make([]string, 0, k)
+	for len(out) < k {
+		id := zipf.Uint64()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, TagName(int(id)))
+	}
+	return out
+}
+
+// TagName renders the canonical name of vocabulary entry id.
+func TagName(id int) string { return fmt.Sprintf("tag%04d", id) }
+
+// newZipf builds the package's standard Zipf sampler: exponent s over
+// {0..n-1}. The paper's tag frequencies are heavy-tailed; s ≈ 1.1 mimics
+// the usual social-tagging skew.
+func newZipf(rng *rand.Rand, s float64, n int) *rand.Zipf {
+	if s <= 1 {
+		s = 1.1
+	}
+	if n < 2 {
+		n = 2
+	}
+	return rand.NewZipf(rng, s, 1, uint64(n-1))
+}

@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"kor/internal/geo"
+	"kor/internal/graph"
+)
+
+// RoadConfig shapes a synthetic road network, standing in for the paper's
+// New York road-network subgraphs (5,000–20,000 nodes).
+type RoadConfig struct {
+	Seed int64
+	// Nodes is the network size (default 5000).
+	Nodes int
+	// NeighborK connects each node to its k nearest neighbours
+	// bidirectionally (default 3).
+	NeighborK int
+	// SizeKm is the side of the square plane in kilometres (default 40).
+	SizeKm float64
+	// VocabSize is the tag vocabulary (default 1200, shared naming with the
+	// Flickr vocabulary as the paper reuses the Flickr tags).
+	VocabSize int
+	// MaxTagsPerNode bounds the random tag count per node (default 3).
+	MaxTagsPerNode int
+}
+
+func (c RoadConfig) withDefaults() RoadConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 5000
+	}
+	if c.NeighborK <= 0 {
+		c.NeighborK = 3
+	}
+	if c.SizeKm <= 0 {
+		c.SizeKm = 40
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 300
+	}
+	if c.MaxTagsPerNode <= 0 {
+		c.MaxTagsPerNode = 8
+	}
+	return c
+}
+
+// RoadNetwork builds the synthetic road graph: random points on a plane, a
+// serpentine backbone guaranteeing strong connectivity with local hops, and
+// k-nearest-neighbour chords. Budget values are Euclidean distances in km;
+// objective values are uniform in (0,1) as §4.1 specifies.
+func RoadNetwork(cfg RoadConfig) *graph.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := newZipf(rng, 1.1, cfg.VocabSize)
+
+	pts := make([]geo.Point, cfg.Nodes)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * cfg.SizeKm, Y: rng.Float64() * cfg.SizeKm}
+	}
+
+	// Serpentine order: sort into column strips, alternating direction, so
+	// consecutive nodes are spatially close and the backbone cycle stays
+	// local.
+	order := make([]int, cfg.Nodes)
+	for i := range order {
+		order[i] = i
+	}
+	strips := 1 + cfg.Nodes/120
+	stripW := cfg.SizeKm / float64(strips)
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		sa, sb := int(pa.X/stripW), int(pb.X/stripW)
+		if sa != sb {
+			return sa < sb
+		}
+		if sa%2 == 0 {
+			return pa.Y < pb.Y
+		}
+		return pa.Y > pb.Y
+	})
+
+	b := graph.NewBuilder()
+	for i := 0; i < cfg.Nodes; i++ {
+		k := 1 + rng.Intn(cfg.MaxTagsPerNode)
+		id := b.AddNode(zipfTags(rng, zipf, k)...)
+		if err := b.SetPosition(id, pts[i]); err != nil {
+			panic("gen: position on fresh node: " + err.Error())
+		}
+	}
+
+	type edgeKey struct{ from, to graph.NodeID }
+	seen := make(map[edgeKey]bool)
+	addBoth := func(u, v int) {
+		if u == v {
+			return
+		}
+		from, to := graph.NodeID(u), graph.NodeID(v)
+		if seen[edgeKey{from, to}] {
+			return
+		}
+		seen[edgeKey{from, to}] = true
+		seen[edgeKey{to, from}] = true
+		dist := pts[u].Euclidean(pts[v])
+		// Floor the hop length: b_min bounds the search depth ⌊Δ/b_min⌋
+		// and a degenerate micro-edge would blow it up.
+		if dist < 0.05 {
+			dist = 0.05
+		}
+		// Independent per-direction objectives, uniform in (0,1); the small
+		// floor keeps o_min (and with it the scaling factor θ) healthy.
+		_ = b.AddEdge(from, to, 0.05+0.95*rng.Float64(), dist)
+		_ = b.AddEdge(to, from, 0.05+0.95*rng.Float64(), dist)
+	}
+
+	// Backbone cycle over the serpentine order.
+	for i := 0; i < cfg.Nodes; i++ {
+		addBoth(order[i], order[(i+1)%cfg.Nodes])
+	}
+
+	// k-nearest-neighbour chords via a uniform grid index.
+	cell := cfg.SizeKm / float64(1+isqrt(cfg.Nodes))
+	grid := make(map[[2]int][]int)
+	cellOf := func(p geo.Point) [2]int { return [2]int{int(p.X / cell), int(p.Y / cell)} }
+	for i, p := range pts {
+		grid[cellOf(p)] = append(grid[cellOf(p)], i)
+	}
+	for i, p := range pts {
+		type cand struct {
+			j int
+			d float64
+		}
+		var cands []cand
+		c := cellOf(p)
+		for ring := 1; len(cands) < cfg.NeighborK*3 && ring <= 4; ring++ {
+			cands = cands[:0]
+			for dx := -ring; dx <= ring; dx++ {
+				for dy := -ring; dy <= ring; dy++ {
+					for _, j := range grid[[2]int{c[0] + dx, c[1] + dy}] {
+						if j != i {
+							cands = append(cands, cand{j, p.Euclidean(pts[j])})
+						}
+					}
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		k := cfg.NeighborK
+		if k > len(cands) {
+			k = len(cands)
+		}
+		for _, c := range cands[:k] {
+			addBoth(i, c.j)
+		}
+	}
+	return b.MustBuild()
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,186 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclideanBasics(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if d := a.Euclidean(b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Euclidean = %f, want 5", d)
+	}
+	if d := a.Euclidean(a); d != 0 {
+		t.Errorf("self distance = %f, want 0", d)
+	}
+}
+
+func TestCityDistanceMatchesHaversine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := NewYorkCity.Lerp(rng.Float64(), rng.Float64())
+		q := NewYorkCity.Lerp(rng.Float64(), rng.Float64())
+		fast := p.CityDistanceKm(q)
+		ref := p.HaversineKm(q)
+		// At NYC scale the equirectangular error should be far below 0.5%.
+		if diff := math.Abs(fast - ref); diff > 0.005*ref+1e-6 {
+			t.Fatalf("CityDistanceKm(%v,%v) = %f, haversine %f (diff %f)", p, q, fast, ref, diff)
+		}
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Times Square to JFK airport is roughly 20.8 km great-circle.
+	timesSquare := Point{X: -73.9855, Y: 40.7580}
+	jfk := Point{X: -73.7781, Y: 40.6413}
+	d := timesSquare.HaversineKm(jfk)
+	if d < 19 || d < 0 || d > 23 {
+		t.Errorf("Times Square to JFK = %f km, want ~21", d)
+	}
+}
+
+// Property: Euclidean is a metric (symmetry, identity, triangle inequality).
+func TestEuclideanMetricProperty(t *testing.T) {
+	gen := func(r *rand.Rand) Point {
+		return Point{X: r.Float64()*200 - 100, Y: r.Float64()*200 - 100}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if math.Abs(a.Euclidean(b)-b.Euclidean(a)) > 1e-9 {
+			t.Fatal("not symmetric")
+		}
+		if a.Euclidean(b)+b.Euclidean(c) < a.Euclidean(c)-1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestRectNormalizationAndContains(t *testing.T) {
+	r := NewRect(Point{5, 7}, Point{1, 2})
+	if r.Min.X != 1 || r.Min.Y != 2 || r.Max.X != 5 || r.Max.Y != 7 {
+		t.Fatalf("NewRect did not normalize: %+v", r)
+	}
+	if !r.Contains(Point{3, 4}) {
+		t.Error("Contains(interior) = false")
+	}
+	if !r.Contains(Point{1, 2}) || !r.Contains(Point{5, 7}) {
+		t.Error("Contains(corner) = false, edges should be inclusive")
+	}
+	if r.Contains(Point{0, 4}) || r.Contains(Point{3, 8}) {
+		t.Error("Contains(exterior) = true")
+	}
+}
+
+func TestRectLerpCorners(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 20})
+	if p := r.Lerp(0, 0); p != r.Min {
+		t.Errorf("Lerp(0,0) = %v", p)
+	}
+	if p := r.Lerp(1, 1); p != r.Max {
+		t.Errorf("Lerp(1,1) = %v", p)
+	}
+	if p := r.Lerp(0.5, 0.5); p != r.Center() {
+		t.Errorf("Lerp(0.5,0.5) = %v, center %v", p, r.Center())
+	}
+}
+
+// Property: Lerp with fractions in [0,1] always lands inside the rect.
+func TestLerpInsideProperty(t *testing.T) {
+	f := func(fx, fy float64) bool {
+		fx = math.Abs(math.Mod(fx, 1))
+		fy = math.Abs(math.Mod(fy, 1))
+		return NewYorkCity.Contains(NewYorkCity.Lerp(fx, fy))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridClustererGroups(t *testing.T) {
+	g := NewGridClusterer(Point{0, 0}, 1.0)
+	pts := []Point{
+		{0.1, 0.1}, {0.2, 0.3}, {0.9, 0.9}, // cell (0,0)
+		{1.5, 0.5}, // cell (1,0)
+		{2.5, 2.5}, // cell (2,2)
+	}
+	clusters := g.Cluster(pts, 1)
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3", len(clusters))
+	}
+	if got := len(clusters[0].Members); got != 3 {
+		t.Errorf("first cluster has %d members, want 3", got)
+	}
+	c := clusters[0].Centroid
+	if math.Abs(c.X-0.4) > 1e-9 || math.Abs(c.Y-13.0/30) > 1e-9 {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestGridClustererMinMembers(t *testing.T) {
+	g := NewGridClusterer(Point{0, 0}, 1.0)
+	pts := []Point{{0.5, 0.5}, {0.6, 0.6}, {5.5, 5.5}}
+	clusters := g.Cluster(pts, 2)
+	if len(clusters) != 1 {
+		t.Fatalf("got %d clusters, want 1 (singleton filtered)", len(clusters))
+	}
+}
+
+func TestGridClustererDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	g := NewGridClusterer(Point{0, 0}, 1.0)
+	a := g.Cluster(pts, 1)
+	b := g.Cluster(pts, 1)
+	if len(a) != len(b) {
+		t.Fatal("cluster count differs between runs")
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("cluster order differs at %d: %v vs %v", i, a[i].Key, b[i].Key)
+		}
+	}
+}
+
+func TestGridClustererPanicsOnBadPitch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGridClusterer(pitch=0) did not panic")
+		}
+	}()
+	NewGridClusterer(Point{}, 0)
+}
+
+// Property: every input point lands in exactly one cluster when minMembers=1.
+func TestClusterPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(120)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		g := NewGridClusterer(Point{0, 0}, 0.5+rng.Float64()*3)
+		seen := make(map[int]bool)
+		for _, c := range g.Cluster(pts, 1) {
+			for _, m := range c.Members {
+				if seen[m] {
+					t.Fatalf("point %d in two clusters", m)
+				}
+				seen[m] = true
+				if g.Cell(pts[m]) != c.Key {
+					t.Fatalf("point %d in wrong cell", m)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("partition lost points: %d of %d", len(seen), n)
+		}
+	}
+}

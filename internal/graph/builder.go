@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kor/internal/geo"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	vocab    *Vocabulary
+	terms    [][]Term
+	pos      []geo.Point
+	names    []string
+	anyPos   bool
+	anyNames bool
+	edges    []builderEdge
+}
+
+type builderEdge struct {
+	from, to  NodeID
+	objective float64
+	budget    float64
+}
+
+// NewBuilder returns an empty builder with a fresh vocabulary.
+func NewBuilder() *Builder { return NewBuilderWithVocab(NewVocabulary()) }
+
+// NewBuilderWithVocab returns an empty builder interning keywords into the
+// supplied vocabulary, letting several graphs share one term space.
+func NewBuilderWithVocab(v *Vocabulary) *Builder {
+	if v == nil {
+		v = NewVocabulary()
+	}
+	return &Builder{vocab: v}
+}
+
+// AddNode appends a node carrying the given keywords and returns its ID.
+// Duplicate keywords are collapsed.
+func (b *Builder) AddNode(keywords ...string) NodeID {
+	id := NodeID(len(b.terms))
+	ts := make([]Term, 0, len(keywords))
+	for _, k := range keywords {
+		ts = append(ts, b.vocab.Intern(k))
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	ts = dedupTerms(ts)
+	b.terms = append(b.terms, ts)
+	b.pos = append(b.pos, geo.Point{})
+	b.names = append(b.names, "")
+	return id
+}
+
+func dedupTerms(ts []Term) []Term {
+	if len(ts) < 2 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[w-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}
+
+// SetPosition records coordinates for node v.
+func (b *Builder) SetPosition(v NodeID, p geo.Point) error {
+	if int(v) >= len(b.terms) || v < 0 {
+		return fmt.Errorf("graph: SetPosition: no such node %d", v)
+	}
+	b.pos[v] = p
+	b.anyPos = true
+	return nil
+}
+
+// SetName records a display name for node v.
+func (b *Builder) SetName(v NodeID, name string) error {
+	if int(v) >= len(b.terms) || v < 0 {
+		return fmt.Errorf("graph: SetName: no such node %d", v)
+	}
+	b.names[v] = name
+	b.anyNames = true
+	return nil
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.terms) }
+
+// AddEdge appends the directed edge from→to. Both attribute values must be
+// positive and finite: the scaling factor θ = ε·o_min·b_min/Δ divides by the
+// minimum objective, and the search-depth bound ⌊Δ/b_min⌋ divides by the
+// minimum budget, so zero or negative attributes would break the paper's
+// complexity and approximation guarantees. Self-loops are rejected — they can
+// never appear on a useful route.
+func (b *Builder) AddEdge(from, to NodeID, objective, budget float64) error {
+	if from < 0 || int(from) >= len(b.terms) {
+		return fmt.Errorf("graph: AddEdge: no such node %d", from)
+	}
+	if to < 0 || int(to) >= len(b.terms) {
+		return fmt.Errorf("graph: AddEdge: no such node %d", to)
+	}
+	if from == to {
+		return fmt.Errorf("graph: AddEdge: self-loop on node %d", from)
+	}
+	if !(objective > 0) || math.IsInf(objective, 0) {
+		return fmt.Errorf("graph: AddEdge(%d,%d): objective %v must be positive and finite", from, to, objective)
+	}
+	if !(budget > 0) || math.IsInf(budget, 0) {
+		return fmt.Errorf("graph: AddEdge(%d,%d): budget %v must be positive and finite", from, to, budget)
+	}
+	b.edges = append(b.edges, builderEdge{from, to, objective, budget})
+	return nil
+}
+
+// AddBidirectional adds both directions of an undirected connection with the
+// same attributes; the paper notes the extension to undirected graphs is this
+// exact encoding.
+func (b *Builder) AddBidirectional(a, c NodeID, objective, budget float64) error {
+	if err := b.AddEdge(a, c, objective, budget); err != nil {
+		return err
+	}
+	return b.AddEdge(c, a, objective, budget)
+}
+
+// Build assembles the immutable Graph. The builder stays usable; Build may
+// be called again after adding more nodes or edges.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.terms)
+	g := &Graph{vocab: b.vocab}
+
+	// Keyword CSR.
+	g.termHead = make([]int32, n+1)
+	total := 0
+	for i, ts := range b.terms {
+		g.termHead[i] = int32(total)
+		total += len(ts)
+	}
+	g.termHead[n] = int32(total)
+	g.terms = make([]Term, 0, total)
+	for _, ts := range b.terms {
+		g.terms = append(g.terms, ts...)
+	}
+
+	// Forward CSR: stable counting sort by source.
+	outDeg := make([]int32, n+1)
+	for _, e := range b.edges {
+		outDeg[e.from+1]++
+	}
+	g.outHead = outDeg
+	for i := 1; i <= n; i++ {
+		g.outHead[i] += g.outHead[i-1]
+	}
+	g.outEdges = make([]Edge, len(b.edges))
+	cursor := make([]int32, n)
+	for _, e := range b.edges {
+		i := g.outHead[e.from] + cursor[e.from]
+		g.outEdges[i] = Edge{To: e.to, Objective: e.objective, Budget: e.budget}
+		cursor[e.from]++
+	}
+
+	// Reverse CSR.
+	inDeg := make([]int32, n+1)
+	for _, e := range b.edges {
+		inDeg[e.to+1]++
+	}
+	g.inHead = inDeg
+	for i := 1; i <= n; i++ {
+		g.inHead[i] += g.inHead[i-1]
+	}
+	g.inEdges = make([]Edge, len(b.edges))
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	for _, e := range b.edges {
+		i := g.inHead[e.to] + cursor[e.to]
+		g.inEdges[i] = Edge{To: e.from, Objective: e.objective, Budget: e.budget}
+		cursor[e.to]++
+	}
+
+	// Attribute extrema.
+	g.minObjective, g.minBudget = math.Inf(1), math.Inf(1)
+	for _, e := range b.edges {
+		g.minObjective = math.Min(g.minObjective, e.objective)
+		g.minBudget = math.Min(g.minBudget, e.budget)
+		g.maxObjective = math.Max(g.maxObjective, e.objective)
+		g.maxBudget = math.Max(g.maxBudget, e.budget)
+	}
+	if len(b.edges) == 0 {
+		g.minObjective, g.minBudget = 0, 0
+	}
+
+	if b.anyPos {
+		g.pos = append([]geo.Point(nil), b.pos...)
+	}
+	if b.anyNames {
+		g.names = append([]string(nil), b.names...)
+	}
+	return g, nil
+}
+
+// MustBuild is Build for fixtures and generators whose input is known good.
+// It panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the graph loader: it must reject or
+// accept them without panicking, and anything it accepts must round-trip.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid file and a few mutations.
+	b := NewBuilder()
+	v0 := b.AddNode("a", "b")
+	v1 := b.AddNode("c")
+	if err := b.AddEdge(v0, v1, 1.5, 2.5); err != nil {
+		f.Fatal(err)
+	}
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("KORG"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent and re-saveable.
+		var out bytes.Buffer
+		if err := g.Save(&out); err != nil {
+			t.Fatalf("accepted graph failed to save: %v", err)
+		}
+		g2, err := Load(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"kor/internal/geo"
+)
+
+// Binary graph format ("KORG"):
+//
+//	magic "KORG" | u32 version | u8 flags (1=positions, 2=names)
+//	u32 numTerms | per term: u32 len + bytes
+//	u32 numNodes | per node: u32 termCount + termCount × u32 term
+//	u32 numEdges | per edge: u32 from, u32 to, f64 objective, f64 budget
+//	[positions] numNodes × (f64 x, f64 y)
+//	[names]     per node: u32 len + bytes
+//	u32 crc32 (IEEE, over everything after the magic)
+//
+// The format is self-contained: the vocabulary travels with the graph, so a
+// saved dataset reloads with identical Term numbering.
+
+const (
+	formatMagic   = "KORG"
+	formatVersion = 1
+
+	flagPositions = 1
+	flagNames     = 2
+)
+
+// ErrBadFormat reports a malformed or corrupted graph file.
+var ErrBadFormat = errors.New("graph: bad file format")
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Save writes g to w in the binary graph format.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	wr := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	writeString := func(s string) error {
+		if err := wr(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := cw.Write([]byte(s))
+		return err
+	}
+
+	var flags uint8
+	if g.pos != nil {
+		flags |= flagPositions
+	}
+	if g.names != nil {
+		flags |= flagNames
+	}
+	if err := wr(uint32(formatVersion)); err != nil {
+		return err
+	}
+	if err := wr(flags); err != nil {
+		return err
+	}
+
+	names := g.vocab.Names()
+	if err := wr(uint32(len(names))); err != nil {
+		return err
+	}
+	for _, s := range names {
+		if err := writeString(s); err != nil {
+			return err
+		}
+	}
+
+	n := g.NumNodes()
+	if err := wr(uint32(n)); err != nil {
+		return err
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		ts := g.Terms(v)
+		if err := wr(uint32(len(ts))); err != nil {
+			return err
+		}
+		for _, t := range ts {
+			if err := wr(uint32(t)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := wr(uint32(g.NumEdges())); err != nil {
+		return err
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		for _, e := range g.Out(v) {
+			if err := wr(uint32(v)); err != nil {
+				return err
+			}
+			if err := wr(uint32(e.To)); err != nil {
+				return err
+			}
+			if err := wr(e.Objective); err != nil {
+				return err
+			}
+			if err := wr(e.Budget); err != nil {
+				return err
+			}
+		}
+	}
+
+	if g.pos != nil {
+		for _, p := range g.pos {
+			if err := wr(p.X); err != nil {
+				return err
+			}
+			if err := wr(p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	if g.names != nil {
+		for _, s := range g.names {
+			if err := writeString(s); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph in the binary graph format.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(formatMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	cr := &crcReader{r: br}
+	rd := func(v any) error { return binary.Read(cr, binary.LittleEndian, v) }
+	readString := func() (string, error) {
+		var n uint32
+		if err := rd(&n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: unreasonable string length %d", ErrBadFormat, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	var version uint32
+	if err := rd(&version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	var flags uint8
+	if err := rd(&flags); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+
+	var numTerms uint32
+	if err := rd(&numTerms); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	vocab := NewVocabulary()
+	for i := uint32(0); i < numTerms; i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: vocab: %v", ErrBadFormat, err)
+		}
+		vocab.Intern(s)
+	}
+
+	var numNodes uint32
+	if err := rd(&numNodes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if numNodes > 1<<28 {
+		return nil, fmt.Errorf("%w: unreasonable node count %d", ErrBadFormat, numNodes)
+	}
+	b := NewBuilderWithVocab(vocab)
+	for i := uint32(0); i < numNodes; i++ {
+		var tc uint32
+		if err := rd(&tc); err != nil {
+			return nil, fmt.Errorf("%w: node %d: %v", ErrBadFormat, i, err)
+		}
+		if tc > numTerms {
+			return nil, fmt.Errorf("%w: node %d has %d terms, vocabulary has %d", ErrBadFormat, i, tc, numTerms)
+		}
+		kws := make([]string, 0, tc)
+		for j := uint32(0); j < tc; j++ {
+			var t uint32
+			if err := rd(&t); err != nil {
+				return nil, fmt.Errorf("%w: node %d: %v", ErrBadFormat, i, err)
+			}
+			if t >= numTerms {
+				return nil, fmt.Errorf("%w: node %d references term %d outside vocabulary", ErrBadFormat, i, t)
+			}
+			kws = append(kws, vocab.Name(Term(t)))
+		}
+		b.AddNode(kws...)
+	}
+
+	var numEdges uint32
+	if err := rd(&numEdges); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	for i := uint32(0); i < numEdges; i++ {
+		var from, to uint32
+		var obj, bud float64
+		if err := rd(&from); err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+		if err := rd(&to); err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+		if err := rd(&obj); err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+		if err := rd(&bud); err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+		if math.IsNaN(obj) || math.IsNaN(bud) {
+			return nil, fmt.Errorf("%w: edge %d has NaN attribute", ErrBadFormat, i)
+		}
+		if err := b.AddEdge(NodeID(from), NodeID(to), obj, bud); err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+	}
+
+	if flags&flagPositions != 0 {
+		for i := uint32(0); i < numNodes; i++ {
+			var x, y float64
+			if err := rd(&x); err != nil {
+				return nil, fmt.Errorf("%w: position %d: %v", ErrBadFormat, i, err)
+			}
+			if err := rd(&y); err != nil {
+				return nil, fmt.Errorf("%w: position %d: %v", ErrBadFormat, i, err)
+			}
+			if err := b.SetPosition(NodeID(i), geo.Point{X: x, Y: y}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if flags&flagNames != 0 {
+		for i := uint32(0); i < numNodes; i++ {
+			s, err := readString()
+			if err != nil {
+				return nil, fmt.Errorf("%w: name %d: %v", ErrBadFormat, i, err)
+			}
+			if err := b.SetName(NodeID(i), s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	wantCRC := cr.crc
+	var gotCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &gotCRC); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadFormat, err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrBadFormat, gotCRC, wantCRC)
+	}
+	return b.Build()
+}

@@ -1,0 +1,41 @@
+package graph
+
+// PostingSource supplies, for a keyword term, the nodes whose keyword sets
+// contain it. The route-search algorithms consult it to seed the greedy
+// candidate set, to find the nodes of infrequent query keywords
+// (optimization strategy 2) and to build per-query coverage masks. Both the
+// in-memory index below and the disk-resident inverted file satisfy it.
+type PostingSource interface {
+	// Postings returns the sorted node IDs carrying term t. The result must
+	// be treated as read-only. A missing term yields an empty slice.
+	Postings(t Term) []NodeID
+	// DocFrequency returns the number of nodes carrying term t.
+	DocFrequency(t Term) int
+}
+
+// MemIndex is an in-memory inverted index over a graph's node keywords.
+type MemIndex struct {
+	postings map[Term][]NodeID
+	numNodes int
+}
+
+// NewMemIndex builds the index in one scan of the graph.
+func NewMemIndex(g *Graph) *MemIndex {
+	idx := &MemIndex{postings: make(map[Term][]NodeID), numNodes: g.NumNodes()}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, t := range g.Terms(v) {
+			idx.postings[t] = append(idx.postings[t], v)
+		}
+	}
+	return idx
+}
+
+// Postings returns the sorted node IDs carrying term t.
+func (idx *MemIndex) Postings(t Term) []NodeID { return idx.postings[t] }
+
+// DocFrequency returns the number of nodes carrying term t.
+func (idx *MemIndex) DocFrequency(t Term) int { return len(idx.postings[t]) }
+
+// NumNodes returns the node count of the indexed graph, the denominator of
+// the paper's infrequent-word threshold ("appearing in less than 1% nodes").
+func (idx *MemIndex) NumNodes() int { return idx.numNodes }

@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph for reports and sanity checks.
+type Stats struct {
+	Nodes        int
+	Edges        int
+	Terms        int     // distinct keywords in the vocabulary
+	AvgOutDegree float64 // |E| / |V|
+	MaxOutDegree int     // d in the paper's exhaustive-search bound O(d^⌊Δ/bmin⌋)
+	AvgTerms     float64 // average keywords per node
+	MinObjective float64
+	MaxObjective float64
+	MinBudget    float64
+	MaxBudget    float64
+	Isolated     int // nodes with no incident edge
+}
+
+// ComputeStats scans the graph once and returns its summary.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Terms:        g.vocab.Len(),
+		MinObjective: g.minObjective,
+		MaxObjective: g.maxObjective,
+		MinBudget:    g.minBudget,
+		MaxBudget:    g.maxBudget,
+	}
+	totalTerms := 0
+	for v := NodeID(0); int(v) < s.Nodes; v++ {
+		d := g.OutDegree(v)
+		if d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d == 0 && g.InDegree(v) == 0 {
+			s.Isolated++
+		}
+		totalTerms += len(g.Terms(v))
+	}
+	if s.Nodes > 0 {
+		s.AvgOutDegree = float64(s.Edges) / float64(s.Nodes)
+		s.AvgTerms = float64(totalTerms) / float64(s.Nodes)
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d terms=%d avgDeg=%.2f maxDeg=%d avgTerms=%.2f obj=[%.4g,%.4g] bud=[%.4g,%.4g] isolated=%d",
+		s.Nodes, s.Edges, s.Terms, s.AvgOutDegree, s.MaxOutDegree, s.AvgTerms,
+		s.MinObjective, s.MaxObjective, s.MinBudget, s.MaxBudget, s.Isolated)
+}
+
+// StronglyConnected reports whether every node reaches every other node.
+// Generators use it to validate that synthetic road networks will not strand
+// queries. It runs two breadth-first sweeps (forward and reverse) from node 0.
+func (g *Graph) StronglyConnected() bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	reach := func(adj func(NodeID) []Edge) int {
+		seen := make([]bool, n)
+		queue := make([]NodeID, 0, n)
+		seen[0] = true
+		queue = append(queue, 0)
+		count := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range adj(v) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					count++
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		return count
+	}
+	return reach(g.Out) == n && reach(g.In) == n
+}

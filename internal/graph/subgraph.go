@@ -1,0 +1,148 @@
+package graph
+
+import "sort"
+
+// InducedSubgraph returns the subgraph induced by keep: the kept nodes
+// (renumbered densely in ascending original-ID order) and every edge whose
+// endpoints are both kept. The second return value maps old node IDs to new
+// ones (-1 for dropped nodes). The vocabulary is shared with the original
+// graph, so Terms remain comparable across both.
+//
+// Dataset tooling uses it to carve city districts or road-network tiles out
+// of a full dataset, mirroring how the paper extracts its 5k–20k-node
+// subgraphs from the New York road network.
+func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, []NodeID, error) {
+	sorted := append([]NodeID(nil), keep...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Deduplicate and validate.
+	w := 0
+	for i, v := range sorted {
+		if !g.Valid(v) {
+			return nil, nil, &nodeRangeError{v}
+		}
+		if i > 0 && v == sorted[w-1] {
+			continue
+		}
+		sorted[w] = v
+		w++
+	}
+	sorted = sorted[:w]
+
+	remap := make([]NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+	b := NewBuilderWithVocab(g.vocab)
+	for newID, old := range sorted {
+		remap[old] = NodeID(newID)
+		keywords := make([]string, 0, len(g.Terms(old)))
+		for _, t := range g.Terms(old) {
+			keywords = append(keywords, g.vocab.Name(t))
+		}
+		id := b.AddNode(keywords...)
+		if g.pos != nil {
+			if err := b.SetPosition(id, g.pos[old]); err != nil {
+				return nil, nil, err
+			}
+		}
+		if g.names != nil && g.names[old] != "" {
+			if err := b.SetName(id, g.names[old]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, old := range sorted {
+		for _, e := range g.Out(old) {
+			if remap[e.To] == -1 {
+				continue
+			}
+			if err := b.AddEdge(remap[old], remap[e.To], e.Objective, e.Budget); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, remap, nil
+}
+
+type nodeRangeError struct{ v NodeID }
+
+func (e *nodeRangeError) Error() string {
+	return "graph: InducedSubgraph: node out of range"
+}
+
+// LargestSCC returns the node set of the largest strongly connected
+// component, via Kosaraju's two sweeps. Generators use it to trim synthetic
+// graphs down to a usable core when strong connectivity is required.
+func (g *Graph) LargestSCC() []NodeID {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	// First pass: finish order on the forward graph.
+	visited := make([]bool, n)
+	order := make([]NodeID, 0, n)
+	type frame struct {
+		v    NodeID
+		edge int
+	}
+	for start := NodeID(0); int(start) < n; start++ {
+		if visited[start] {
+			continue
+		}
+		stack := []frame{{v: start}}
+		visited[start] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			out := g.Out(f.v)
+			if f.edge < len(out) {
+				to := out[f.edge].To
+				f.edge++
+				if !visited[to] {
+					visited[to] = true
+					stack = append(stack, frame{v: to})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Second pass: reverse sweeps in reverse finish order.
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var best []NodeID
+	var current []NodeID
+	compID := int32(0)
+	for i := len(order) - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] != -1 {
+			continue
+		}
+		current = current[:0]
+		stack := []NodeID{root}
+		comp[root] = compID
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			current = append(current, v)
+			for _, e := range g.In(v) {
+				if comp[e.To] == -1 {
+					comp[e.To] = compID
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		if len(current) > len(best) {
+			best = append(best[:0], current...)
+		}
+		compID++
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildDiamond(t) // 0→1→3, 0→2→3, 0→3
+	sub, remap, err := g.InducedSubgraph([]NodeID{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", sub.NumNodes())
+	}
+	// Edges kept: 0→1, 1→3, 0→3; dropped: anything touching node 2.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", sub.NumEdges())
+	}
+	if remap[0] != 0 || remap[1] != 1 || remap[2] != -1 || remap[3] != 2 {
+		t.Fatalf("remap = %v", remap)
+	}
+	// Keywords survive with shared vocabulary.
+	cafe, ok := g.Vocab().Lookup("cafe")
+	if !ok {
+		t.Fatal("cafe missing")
+	}
+	if !sub.HasTerm(remap[1], cafe) {
+		t.Error("subgraph node lost its keyword")
+	}
+	if sub.Vocab() != g.Vocab() {
+		t.Error("subgraph has a different vocabulary")
+	}
+}
+
+func TestInducedSubgraphDuplicatesAndValidation(t *testing.T) {
+	g := buildDiamond(t)
+	sub, _, err := g.InducedSubgraph([]NodeID{3, 0, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 2 {
+		t.Fatalf("nodes = %d after dedup", sub.NumNodes())
+	}
+	if sub.NumEdges() != 1 { // only 0→3 survives
+		t.Fatalf("edges = %d", sub.NumEdges())
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{0, 99}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestInducedSubgraphRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 40)
+		n := g.NumNodes()
+		keep := make([]NodeID, 0, n/2+1)
+		for v := NodeID(0); int(v) < n; v++ {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			keep = append(keep, 0)
+		}
+		sub, remap, err := g.InducedSubgraph(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.NumNodes() != len(keep) {
+			t.Fatalf("kept %d, subgraph has %d", len(keep), sub.NumNodes())
+		}
+		// Every subgraph edge maps back to an original edge.
+		back := make(map[NodeID]NodeID)
+		for old, new := range remap {
+			if new != -1 {
+				back[new] = NodeID(old)
+			}
+		}
+		for v := NodeID(0); int(v) < sub.NumNodes(); v++ {
+			for _, e := range sub.Out(v) {
+				found := false
+				for _, oe := range g.Out(back[v]) {
+					if oe.To == back[e.To] && oe.Objective == e.Objective && oe.Budget == e.Budget {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("phantom edge %d→%d in subgraph", v, e.To)
+				}
+			}
+		}
+		// Edge count equals the number of original edges with both ends kept.
+		want := 0
+		for v := NodeID(0); int(v) < n; v++ {
+			if remap[v] == -1 {
+				continue
+			}
+			for _, e := range g.Out(v) {
+				if remap[e.To] != -1 {
+					want++
+				}
+			}
+		}
+		if sub.NumEdges() != want {
+			t.Fatalf("subgraph has %d edges, want %d", sub.NumEdges(), want)
+		}
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	b := NewBuilder()
+	// Component A: 0↔1↔2 (cycle); component B: 3→4 (no return); bridge 2→3.
+	for i := 0; i < 5; i++ {
+		b.AddNode()
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddEdge(0, 1, 1, 1))
+	must(b.AddEdge(1, 2, 1, 1))
+	must(b.AddEdge(2, 0, 1, 1))
+	must(b.AddEdge(2, 3, 1, 1))
+	must(b.AddEdge(3, 4, 1, 1))
+	g := b.MustBuild()
+	scc := g.LargestSCC()
+	if len(scc) != 3 || scc[0] != 0 || scc[1] != 1 || scc[2] != 2 {
+		t.Fatalf("LargestSCC = %v, want [0 1 2]", scc)
+	}
+
+	// The induced subgraph of the largest SCC is strongly connected.
+	sub, _, err := g.InducedSubgraph(scc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.StronglyConnected() {
+		t.Error("largest SCC subgraph not strongly connected")
+	}
+}
+
+func TestLargestSCCRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 50)
+		scc := g.LargestSCC()
+		if len(scc) == 0 && g.NumNodes() > 0 {
+			t.Fatal("empty SCC on non-empty graph")
+		}
+		if len(scc) < 2 {
+			continue
+		}
+		sub, _, err := g.InducedSubgraph(scc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sub.StronglyConnected() {
+			t.Fatalf("trial %d: SCC of size %d not strongly connected", trial, len(scc))
+		}
+	}
+}
+
+func TestLargestSCCEmptyGraph(t *testing.T) {
+	g := NewBuilder().MustBuild()
+	if scc := g.LargestSCC(); len(scc) != 0 {
+		t.Fatalf("empty graph SCC = %v", scc)
+	}
+}

@@ -1,0 +1,50 @@
+package graph
+
+// Vocabulary interns keyword strings as dense Term identifiers. The KOR
+// data path never compares strings after ingest: node keyword sets, query
+// keyword sets and inverted-file postings all speak Terms.
+//
+// The zero value is an empty vocabulary ready to use.
+type Vocabulary struct {
+	byName map[string]Term
+	names  []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary { return &Vocabulary{} }
+
+// Intern returns the term for name, assigning the next free Term when the
+// name is new.
+func (v *Vocabulary) Intern(name string) Term {
+	if t, ok := v.byName[name]; ok {
+		return t
+	}
+	if v.byName == nil {
+		v.byName = make(map[string]Term)
+	}
+	t := Term(len(v.names))
+	v.byName[name] = t
+	v.names = append(v.names, name)
+	return t
+}
+
+// Lookup returns the term for name without interning.
+func (v *Vocabulary) Lookup(name string) (Term, bool) {
+	t, ok := v.byName[name]
+	return t, ok
+}
+
+// Name returns the string form of t, or "" for an unknown term.
+func (v *Vocabulary) Name(t Term) string {
+	if t < 0 || int(t) >= len(v.names) {
+		return ""
+	}
+	return v.names[t]
+}
+
+// Len returns the number of distinct terms.
+func (v *Vocabulary) Len() int { return len(v.names) }
+
+// Names returns all interned names indexed by Term. The returned slice
+// aliases vocabulary storage and must not be modified.
+func (v *Vocabulary) Names() []string { return v.names }

@@ -1,0 +1,168 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{5, 3, 8, 1, 9, 2} {
+		h.Push(v)
+	}
+	want := []int{1, 2, 3, 5, 8, 9}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if !h.Empty() {
+		t.Errorf("heap not empty after draining, len=%d", h.Len())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := intHeap()
+	h.Push(4)
+	h.Push(2)
+	if h.Peek() != 2 {
+		t.Fatalf("Peek = %d, want 2", h.Peek())
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Peek changed Len to %d", h.Len())
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 10; i++ {
+		h.Push(7)
+	}
+	for i := 0; i < 10; i++ {
+		if got := h.Pop(); got != 7 {
+			t.Fatalf("pop = %d, want 7", got)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewWithCapacity(16, func(a, b int) bool { return a < b })
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	h.Reset()
+	if !h.Empty() {
+		t.Fatal("Reset left items behind")
+	}
+	h.Push(3)
+	h.Push(1)
+	if h.Pop() != 1 {
+		t.Fatal("heap broken after Reset")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty heap did not panic")
+		}
+	}()
+	intHeap().Pop()
+}
+
+// Property: popping everything yields a sorted permutation of the input.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(v)
+		}
+		out := make([]int, 0, len(vals))
+		for !h.Empty() {
+			out = append(out, h.Pop())
+		}
+		if len(out) != len(vals) {
+			return false
+		}
+		if !sort.IntsAreSorted(out) {
+			return false
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved push/pop maintains the min invariant at every step.
+func TestInterleavedOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := intHeap()
+	var model []int
+	for step := 0; step < 5000; step++ {
+		if h.Len() == 0 || rng.Intn(3) != 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			model = append(model, v)
+			sort.Ints(model)
+		} else {
+			got := h.Pop()
+			want := model[0]
+			model = model[1:]
+			if got != want {
+				t.Fatalf("step %d: Pop = %d, model says %d", step, got, want)
+			}
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, h.Len(), len(model))
+		}
+	}
+}
+
+func TestStructItems(t *testing.T) {
+	type task struct {
+		priority int
+		name     string
+	}
+	h := New(func(a, b task) bool { return a.priority < b.priority })
+	h.Push(task{3, "c"})
+	h.Push(task{1, "a"})
+	h.Push(task{2, "b"})
+	if got := h.Pop().name; got != "a" {
+		t.Fatalf("first pop = %q, want a", got)
+	}
+	if got := h.Pop().name; got != "b" {
+		t.Fatalf("second pop = %q, want b", got)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int, 1024)
+	for i := range vals {
+		vals[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewWithCapacity(len(vals), func(a, b int) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+		}
+		for !h.Empty() {
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package queryset generates the query workloads of the paper's evaluation
+// (§4.1): sets of KOR queries with a fixed keyword count, random start and
+// end locations, and a per-experiment budget limit. The paper uses five
+// sets of 50 queries with 2–10 keywords per dataset.
+package queryset
+
+import (
+	"math/rand"
+	"sort"
+
+	"kor/internal/core"
+	"kor/internal/graph"
+)
+
+// Spec describes one query set.
+type Spec struct {
+	Seed int64
+	// Count is the number of queries (the paper uses 50 per set).
+	Count int
+	// Keywords is the number of query keywords m.
+	Keywords int
+	// Budget is the budget limit Δ applied to every query.
+	Budget float64
+	// MinDocFreq drops candidate keywords carried by fewer nodes (default
+	// 1: any keyword in use).
+	MinDocFreq int
+	// MaxCrowKm, when positive and the graph carries coordinates, bounds
+	// the straight-line distance between the endpoints. The experiment
+	// harness sets it to a fraction of Δ so that a useful share of queries
+	// stays feasible on the scaled-down datasets (see EXPERIMENTS.md).
+	MaxCrowKm float64
+	// PlanarCoords declares node positions to be kilometre-plane
+	// coordinates (the road networks) rather than lon/lat degrees (the
+	// Flickr-like city); it selects the distance measure for MaxCrowKm.
+	PlanarCoords bool
+	// TopTermFraction restricts the keyword pool to the most frequent
+	// fraction of eligible terms (0 < f ≤ 1, default 1). Map-search
+	// keywords are overwhelmingly common category words ("restaurant",
+	// "museum"); the harness uses 0.25 to mirror that.
+	TopTermFraction float64
+}
+
+// Generate builds the query set. Keywords are sampled in proportion to
+// their document frequency — queries ask for the kinds of places the data
+// actually has, as search logs do — and endpoints are uniform distinct
+// nodes. Generation is deterministic in the seed.
+func Generate(g *graph.Graph, index graph.PostingSource, spec Spec) []core.Query {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Count <= 0 {
+		spec.Count = 50
+	}
+	if spec.MinDocFreq <= 0 {
+		spec.MinDocFreq = 1
+	}
+
+	// Weighted keyword pool.
+	type termWeight struct {
+		term graph.Term
+		df   int
+	}
+	var pool []termWeight
+	for t := graph.Term(0); int(t) < g.Vocab().Len(); t++ {
+		df := index.DocFrequency(t)
+		if df >= spec.MinDocFreq {
+			pool = append(pool, termWeight{t, df})
+		}
+	}
+	if len(pool) == 0 || g.NumNodes() < 2 {
+		return nil
+	}
+	if spec.TopTermFraction > 0 && spec.TopTermFraction < 1 {
+		sort.Slice(pool, func(i, j int) bool {
+			if pool[i].df != pool[j].df {
+				return pool[i].df > pool[j].df
+			}
+			return pool[i].term < pool[j].term
+		})
+		keep := int(spec.TopTermFraction * float64(len(pool)))
+		if keep < spec.Keywords {
+			keep = spec.Keywords
+		}
+		if keep < len(pool) {
+			pool = pool[:keep]
+		}
+	}
+	total := 0
+	for _, tw := range pool {
+		total += tw.df
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].term < pool[j].term })
+
+	pickTerm := func() graph.Term {
+		x := rng.Intn(total)
+		for _, tw := range pool {
+			x -= tw.df
+			if x < 0 {
+				return tw.term
+			}
+		}
+		return pool[len(pool)-1].term
+	}
+
+	queries := make([]core.Query, 0, spec.Count)
+	attemptsLeft := 400 * spec.Count
+	for len(queries) < spec.Count && attemptsLeft > 0 {
+		attemptsLeft--
+		src := graph.NodeID(rng.Intn(g.NumNodes()))
+		dst := graph.NodeID(rng.Intn(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		if spec.MaxCrowKm > 0 && g.HasPositions() {
+			var crow float64
+			if spec.PlanarCoords {
+				crow = g.Position(src).Euclidean(g.Position(dst))
+			} else {
+				crow = g.Position(src).CityDistanceKm(g.Position(dst))
+			}
+			if crow > spec.MaxCrowKm {
+				continue
+			}
+		}
+		kws := make([]graph.Term, 0, spec.Keywords)
+		seen := make(map[graph.Term]bool)
+		attempts := 0
+		for len(kws) < spec.Keywords && attempts < 1000 {
+			attempts++
+			t := pickTerm()
+			if !seen[t] {
+				seen[t] = true
+				kws = append(kws, t)
+			}
+		}
+		if len(kws) < spec.Keywords {
+			break // vocabulary too small for m distinct keywords
+		}
+		queries = append(queries, core.Query{Source: src, Target: dst, Keywords: kws, Budget: spec.Budget})
+	}
+	return queries
+}

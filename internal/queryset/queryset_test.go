@@ -1,0 +1,118 @@
+package queryset
+
+import (
+	"testing"
+
+	"kor/internal/gen"
+	"kor/internal/graph"
+)
+
+func testGraph(t *testing.T) (*graph.Graph, *graph.MemIndex) {
+	t.Helper()
+	g := gen.RoadNetwork(gen.RoadConfig{Seed: 4, Nodes: 300, VocabSize: 80})
+	return g, graph.NewMemIndex(g)
+}
+
+func TestGenerateShape(t *testing.T) {
+	g, idx := testGraph(t)
+	qs := Generate(g, idx, Spec{Seed: 1, Count: 40, Keywords: 4, Budget: 12})
+	if len(qs) != 40 {
+		t.Fatalf("got %d queries, want 40", len(qs))
+	}
+	for i, q := range qs {
+		if q.Source == q.Target {
+			t.Errorf("query %d: source == target", i)
+		}
+		if !g.Valid(q.Source) || !g.Valid(q.Target) {
+			t.Errorf("query %d: endpoints out of range", i)
+		}
+		if len(q.Keywords) != 4 {
+			t.Errorf("query %d: %d keywords", i, len(q.Keywords))
+		}
+		seen := make(map[graph.Term]bool)
+		for _, kw := range q.Keywords {
+			if seen[kw] {
+				t.Errorf("query %d: duplicate keyword", i)
+			}
+			seen[kw] = true
+			if idx.DocFrequency(kw) == 0 {
+				t.Errorf("query %d: keyword %d has no postings", i, kw)
+			}
+		}
+		if q.Budget != 12 {
+			t.Errorf("query %d: budget %v", i, q.Budget)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g, idx := testGraph(t)
+	spec := Spec{Seed: 42, Count: 10, Keywords: 3, Budget: 9}
+	a := Generate(g, idx, spec)
+	b := Generate(g, idx, spec)
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Target != b[i].Target {
+			t.Fatalf("query %d differs between identical seeds", i)
+		}
+		for j := range a[i].Keywords {
+			if a[i].Keywords[j] != b[i].Keywords[j] {
+				t.Fatalf("query %d keyword %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(g, idx, Spec{Seed: 43, Count: 10, Keywords: 3, Budget: 9})
+	different := false
+	for i := range a {
+		if a[i].Source != c[i].Source || a[i].Target != c[i].Target {
+			different = true
+		}
+	}
+	if !different {
+		t.Error("different seeds produced identical query sets")
+	}
+}
+
+func TestGenerateFavorsFrequentKeywords(t *testing.T) {
+	g, idx := testGraph(t)
+	counts := make(map[graph.Term]int)
+	for _, q := range Generate(g, idx, Spec{Seed: 7, Count: 200, Keywords: 2, Budget: 10}) {
+		for _, kw := range q.Keywords {
+			counts[kw]++
+		}
+	}
+	// The most frequent keyword in the data should be asked for far more
+	// often than a random rare one. Find max-df and min-df sampled terms.
+	var popular graph.Term
+	bestDF := -1
+	for t := graph.Term(0); int(t) < g.Vocab().Len(); t++ {
+		if df := idx.DocFrequency(t); df > bestDF {
+			bestDF = df
+			popular = t
+		}
+	}
+	if counts[popular] == 0 {
+		t.Errorf("most frequent keyword (df=%d) never sampled in 400 draws", bestDF)
+	}
+}
+
+func TestGenerateDegenerateInputs(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode() // single node, no keywords
+	g := b.MustBuild()
+	if qs := Generate(g, graph.NewMemIndex(g), Spec{Seed: 1, Count: 5, Keywords: 2, Budget: 5}); len(qs) != 0 {
+		t.Errorf("degenerate graph produced %d queries", len(qs))
+	}
+
+	// Vocabulary smaller than m: generator must stop rather than spin.
+	b2 := graph.NewBuilder()
+	v0 := b2.AddNode("only")
+	v1 := b2.AddNode("only")
+	if err := b2.AddEdge(v0, v1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g2 := b2.MustBuild()
+	qs := Generate(g2, graph.NewMemIndex(g2), Spec{Seed: 1, Count: 5, Keywords: 3, Budget: 5})
+	if len(qs) != 0 {
+		t.Errorf("impossible keyword count produced %d queries", len(qs))
+	}
+}

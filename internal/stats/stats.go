@@ -1,0 +1,189 @@
+// Package stats provides the small aggregation and table-rendering layer
+// the experiment harness reports through.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	P50  float64
+	P95  float64
+	Sum  float64
+}
+
+// Summarize computes the summary of xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	return s
+}
+
+// quantile returns the q-quantile of a sorted sample by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Table is a titled grid of cells rendered as aligned text or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Note is free text printed under the table (workload description,
+	// paper-series reference, and so on).
+	Note string
+}
+
+// AddRow appends one row, stringifying the cells with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to compare.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v", v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, cell); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("P50 = %v, want 2.5", s.P50)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.P95 != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+// Property: Min ≤ P50 ≤ P95 ≤ Max and Mean within [Min, Max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep magnitudes sane so Sum cannot overflow — overflow is
+				// a float limitation, not a Summarize property.
+				xs = append(xs, math.Mod(x, 1e12))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.P95+1e-9 && s.P95 <= s.Max+1e-9 &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	s := Summarize(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if s.P50 != sorted[50] {
+		t.Errorf("P50 = %v, sorted median %v", s.P50, sorted[50])
+	}
+	if s.P95 != sorted[95] {
+		t.Errorf("P95 = %v, sorted %v", s.P95, sorted[95])
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Figure 4: runtime vs keywords",
+		Columns: []string{"m", "OSScaling", "BucketBound"},
+		Note:    "Flickr-like dataset",
+	}
+	tbl.AddRow(2, 15.5, 1.75)
+	tbl.AddRow(10, 10600.0, 910.0)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "OSScaling", "10600", "note: Flickr-like"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, two rows, note
+		t.Errorf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"name", "value"}}
+	tbl.AddRow(`quo"ted`, 1.5)
+	tbl.AddRow("with,comma", 2)
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\n\"quo\"\"ted\",1.500\n\"with,comma\",2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1234.56: "1234.6",
+		3.14159: "3.142",
+		0.0421:  "0.0421",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("FormatFloat(Inf) = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package textindex
+
+import "kor/internal/graph"
+
+// GraphIndex adapts an InvertedFile to graph.PostingSource so the route
+// search algorithms can run against the disk-resident index. Postings read
+// from disk are memoized: the search algorithms hit the same few query terms
+// repeatedly, and the paper's complexity analysis assumes those lookups are
+// cheap after the first fetch.
+type GraphIndex struct {
+	file  *InvertedFile
+	vocab *graph.Vocabulary
+	memo  map[graph.Term][]graph.NodeID
+}
+
+// NewGraphIndex wraps file, translating graph Terms through vocab.
+func NewGraphIndex(file *InvertedFile, vocab *graph.Vocabulary) *GraphIndex {
+	return &GraphIndex{file: file, vocab: vocab, memo: make(map[graph.Term][]graph.NodeID)}
+}
+
+// BuildForGraph writes the inverted file for g at path and returns the
+// adapter over it.
+func BuildForGraph(path string, g *graph.Graph) (*GraphIndex, error) {
+	file, err := CreateInverted(path)
+	if err != nil {
+		return nil, err
+	}
+	postings := make(map[graph.Term][]uint32)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, t := range g.Terms(v) {
+			postings[t] = append(postings[t], uint32(v))
+		}
+	}
+	for t, docs := range postings {
+		if err := file.PutPostings(g.Vocab().Name(t), docs); err != nil {
+			file.Close()
+			return nil, err
+		}
+	}
+	if err := file.Flush(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	return NewGraphIndex(file, g.Vocab()), nil
+}
+
+// Postings returns the sorted node IDs carrying term t.
+func (gi *GraphIndex) Postings(t graph.Term) []graph.NodeID {
+	if docs, ok := gi.memo[t]; ok {
+		return docs
+	}
+	name := gi.vocab.Name(t)
+	var out []graph.NodeID
+	if name != "" {
+		raw, err := gi.file.Postings(name)
+		if err == nil {
+			out = make([]graph.NodeID, len(raw))
+			for i, d := range raw {
+				out[i] = graph.NodeID(d)
+			}
+		}
+	}
+	gi.memo[t] = out
+	return out
+}
+
+// DocFrequency returns the number of nodes carrying term t.
+func (gi *GraphIndex) DocFrequency(t graph.Term) int { return len(gi.Postings(t)) }
+
+// Suggest forwards a prefix scan to the inverted file.
+func (gi *GraphIndex) Suggest(prefix string, limit int) ([]TermCount, error) {
+	return gi.file.SuggestTerms(prefix, limit)
+}
+
+// Close closes the underlying inverted file.
+func (gi *GraphIndex) Close() error { return gi.file.Close() }

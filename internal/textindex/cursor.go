@@ -1,0 +1,91 @@
+package textindex
+
+import "bytes"
+
+// Cursor iterates keys in ascending order along the leaf chain. A cursor is
+// invalidated by writes to the tree; interleaving writes with iteration is
+// not supported.
+type Cursor struct {
+	t    *Tree
+	leaf pageID
+	idx  int
+	key  []byte
+	val  []byte
+	err  error
+	done bool
+}
+
+// SeekFirst positions a cursor before the smallest key.
+func (t *Tree) SeekFirst() (*Cursor, error) { return t.Seek(nil) }
+
+// Seek positions a cursor before the smallest key ≥ key. Call Next to load
+// the first entry.
+func (t *Tree) Seek(key []byte) (*Cursor, error) {
+	if t.closed {
+		return nil, ErrClosed
+	}
+	n, err := t.getNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for n.typ == pageInternal {
+		ci := 0
+		if key != nil {
+			ci = childIndex(n.keys, key)
+		}
+		n, err = t.getNode(n.children[ci])
+		if err != nil {
+			return nil, err
+		}
+	}
+	idx := 0
+	if key != nil {
+		idx, _ = findKey(n.keys, key)
+	}
+	return &Cursor{t: t, leaf: n.id, idx: idx - 1}, nil
+}
+
+// Next advances to the next entry, reporting whether one exists. On success
+// Key and Value return the entry.
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	c.idx++
+	for {
+		n, err := c.t.getNode(c.leaf)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		if c.idx < len(n.keys) {
+			c.key = append(c.key[:0], n.keys[c.idx]...)
+			v, err := c.t.leafValue(n, c.idx)
+			if err != nil {
+				c.err = err
+				return false
+			}
+			c.val = v
+			return true
+		}
+		if n.next == invalidPage {
+			c.done = true
+			return false
+		}
+		c.leaf = n.next
+		c.idx = 0
+	}
+}
+
+// Key returns the current key. The slice is reused by Next; copy to retain.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Value returns the current value. The caller owns the slice.
+func (c *Cursor) Value() []byte { return c.val }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Prefix reports whether the current key starts with p; handy for
+// vocabulary-prefix scans over the inverted file.
+func (c *Cursor) Prefix(p []byte) bool { return bytes.HasPrefix(c.key, p) }

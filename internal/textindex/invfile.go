@@ -1,0 +1,166 @@
+package textindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// InvertedFile is the paper's disk-resident inverted index: for every
+// keyword, the ascending list of node identifiers whose keyword sets contain
+// it. Posting lists are delta-compressed varints inside a B+-tree keyed by
+// the keyword string, so vocabulary lookups, frequency checks and ordered
+// vocabulary scans are all tree operations.
+type InvertedFile struct {
+	tree *Tree
+}
+
+// CreateInverted creates a new inverted file at path.
+func CreateInverted(path string) (*InvertedFile, error) {
+	t, err := Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &InvertedFile{tree: t}, nil
+}
+
+// OpenInverted opens an existing inverted file.
+func OpenInverted(path string) (*InvertedFile, error) {
+	t, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &InvertedFile{tree: t}, nil
+}
+
+// PutPostings stores the complete posting list for term, replacing any
+// previous list. The input need not be sorted; duplicates are removed.
+func (f *InvertedFile) PutPostings(term string, docs []uint32) error {
+	if term == "" {
+		return ErrEmptyKey
+	}
+	sorted := append([]uint32(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	w := 0
+	for i, d := range sorted {
+		if i == 0 || d != sorted[w-1] {
+			sorted[w] = d
+			w++
+		}
+	}
+	sorted = sorted[:w]
+	return f.tree.Put([]byte(term), encodePostings(sorted))
+}
+
+// AddDoc inserts one document into term's posting list, creating the list if
+// needed. Bulk builders should prefer PutPostings: AddDoc re-encodes the list
+// on every call.
+func (f *InvertedFile) AddDoc(term string, doc uint32) error {
+	docs, err := f.Postings(term)
+	if err != nil {
+		return err
+	}
+	i := sort.Search(len(docs), func(i int) bool { return docs[i] >= doc })
+	if i < len(docs) && docs[i] == doc {
+		return nil
+	}
+	docs = append(docs, 0)
+	copy(docs[i+1:], docs[i:])
+	docs[i] = doc
+	return f.tree.Put([]byte(term), encodePostings(docs))
+}
+
+// Postings returns the ascending posting list for term; a missing term
+// yields an empty list.
+func (f *InvertedFile) Postings(term string) ([]uint32, error) {
+	raw, ok, err := f.tree.Get([]byte(term))
+	if err != nil || !ok {
+		return nil, err
+	}
+	return decodePostings(raw)
+}
+
+// DocFrequency returns the posting-list length for term.
+func (f *InvertedFile) DocFrequency(term string) (int, error) {
+	raw, ok, err := f.tree.Get([]byte(term))
+	if err != nil || !ok {
+		return 0, err
+	}
+	n, _ := binary.Uvarint(raw)
+	return int(n), nil
+}
+
+// NumTerms returns the vocabulary size.
+func (f *InvertedFile) NumTerms() int { return f.tree.Len() }
+
+// Walk calls fn for every (term, postings) pair in ascending term order,
+// stopping early if fn returns false.
+func (f *InvertedFile) Walk(fn func(term string, docs []uint32) bool) error {
+	c, err := f.tree.SeekFirst()
+	if err != nil {
+		return err
+	}
+	for c.Next() {
+		docs, err := decodePostings(c.Value())
+		if err != nil {
+			return err
+		}
+		if !fn(string(c.Key()), docs) {
+			return nil
+		}
+	}
+	return c.Err()
+}
+
+// Flush writes dirty pages to disk.
+func (f *InvertedFile) Flush() error { return f.tree.Flush() }
+
+// Close flushes and closes the underlying tree.
+func (f *InvertedFile) Close() error { return f.tree.Close() }
+
+// Tree exposes the underlying B+-tree for stats and tests.
+func (f *InvertedFile) Tree() *Tree { return f.tree }
+
+// encodePostings writes count followed by delta-encoded doc IDs as uvarints.
+func encodePostings(docs []uint32) []byte {
+	buf := make([]byte, 0, 1+5*len(docs))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(docs)))
+	buf = append(buf, tmp[:n]...)
+	prev := uint32(0)
+	for i, d := range docs {
+		delta := uint64(d)
+		if i > 0 {
+			delta = uint64(d - prev)
+		}
+		n = binary.PutUvarint(tmp[:], delta)
+		buf = append(buf, tmp[:n]...)
+		prev = d
+	}
+	return buf
+}
+
+// decodePostings reverses encodePostings.
+func decodePostings(raw []byte) ([]uint32, error) {
+	count, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad posting count", ErrCorrupt)
+	}
+	raw = raw[n:]
+	docs := make([]uint32, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: posting list truncated at %d of %d", ErrCorrupt, i, count)
+		}
+		raw = raw[n:]
+		if i == 0 {
+			prev = delta
+		} else {
+			prev += delta
+		}
+		docs = append(docs, uint32(prev))
+	}
+	return docs, nil
+}

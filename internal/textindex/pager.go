@@ -1,0 +1,387 @@
+package textindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the paging layer of the B+-tree: node (de)serialization,
+// page allocation, the free list, overflow chains, and the write-back page
+// cache with random replacement.
+//
+// Page layout, all little-endian:
+//
+//	offset 0  u8  type (leaf/internal/overflow/free)
+//	offset 1  u8  reserved
+//	offset 2  u16 cell count (leaf/internal)
+//	offset 4  u32 next: leaf → right sibling; internal → child[0];
+//	              overflow/free → next page in chain
+//	offset 8  u32 extra: overflow → bytes used in this page
+//	offset 16 cells / chunk data
+//
+// Leaf cell:     u16 keyLen | key | u8 inline | inline=1: u32 len | bytes
+//
+//	inline=0: u32 total | u32 head
+//
+// Internal cell: u16 keyLen | key | u32 child[i+1]
+const overflowCap = PageSize - pageHeaderLen
+
+// newNode allocates a page and returns a fresh dirty node image for it.
+func (t *Tree) newNode(typ byte) *node {
+	n := &node{id: t.allocPage(), typ: typ, dirty: true}
+	t.cache[n.id] = n
+	t.touch(n)
+	return n
+}
+
+// allocPage takes a page from the free list or grows the file.
+func (t *Tree) allocPage() pageID {
+	if t.freeHead != invalidPage {
+		id := t.freeHead
+		buf := make([]byte, pageHeaderLen)
+		if _, err := t.f.ReadAt(buf, int64(id)*PageSize); err == nil {
+			t.freeHead = binary.LittleEndian.Uint32(buf[4:])
+			return id
+		}
+		// Unreadable free page: fall through and grow instead.
+		t.freeHead = invalidPage
+	}
+	id := t.pageCount
+	t.pageCount++
+	return id
+}
+
+// freePage links a page onto the free list.
+func (t *Tree) freePage(id pageID) error {
+	buf := make([]byte, PageSize)
+	buf[0] = pageFree
+	binary.LittleEndian.PutUint32(buf[4:], t.freeHead)
+	if _, err := t.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return err
+	}
+	t.freeHead = id
+	delete(t.cache, id)
+	return nil
+}
+
+// getNode returns the node image for a page, reading it if not cached.
+func (t *Tree) getNode(id pageID) (*node, error) {
+	if n, ok := t.cache[id]; ok {
+		t.touch(n)
+		return n, nil
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	t.cache[id] = n
+	t.touch(n)
+	return n, nil
+}
+
+func (t *Tree) touch(n *node) {
+	t.clock++
+	n.lastUsed = t.clock
+}
+
+// maybeEvict trims the cache back under capacity, writing dirty victims.
+// Victims are the least recently used half of an arbitrary sample, which
+// approximates LRU without an ordering structure on the hot path.
+func (t *Tree) maybeEvict() error {
+	if len(t.cache) <= t.cacheCap {
+		return nil
+	}
+	type victim struct {
+		id   pageID
+		used uint64
+	}
+	victims := make([]victim, 0, len(t.cache))
+	for id, n := range t.cache {
+		if id == t.root {
+			continue
+		}
+		victims = append(victims, victim{id, n.lastUsed})
+	}
+	// Partial selection: evict the oldest quarter.
+	target := len(t.cache) - t.cacheCap + t.cacheCap/4
+	if target > len(victims) {
+		target = len(victims)
+	}
+	for i := 0; i < target; i++ {
+		oldest := i
+		for j := i + 1; j < len(victims); j++ {
+			if victims[j].used < victims[oldest].used {
+				oldest = j
+			}
+		}
+		victims[i], victims[oldest] = victims[oldest], victims[i]
+		n := t.cache[victims[i].id]
+		if n.dirty {
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+		}
+		delete(t.cache, victims[i].id)
+	}
+	return nil
+}
+
+// writeHeader persists the tree metadata to page 0.
+func (t *Tree) writeHeader() error {
+	buf := make([]byte, PageSize)
+	copy(buf[0:], treeMagic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[4:], treeVersion)
+	le.PutUint32(buf[8:], PageSize)
+	le.PutUint32(buf[12:], t.root)
+	le.PutUint32(buf[16:], t.pageCount)
+	le.PutUint32(buf[20:], t.freeHead)
+	le.PutUint64(buf[24:], t.numKeys)
+	_, err := t.f.WriteAt(buf, 0)
+	return err
+}
+
+// writeNode serializes a node into its page.
+func (t *Tree) writeNode(n *node) error {
+	buf := make([]byte, PageSize)
+	le := binary.LittleEndian
+	buf[0] = n.typ
+	le.PutUint16(buf[2:], uint16(len(n.keys)))
+	off := pageHeaderLen
+	switch n.typ {
+	case pageLeaf:
+		le.PutUint32(buf[4:], n.next)
+		for i, k := range n.keys {
+			le.PutUint16(buf[off:], uint16(len(k)))
+			off += 2
+			off += copy(buf[off:], k)
+			if n.overflow[i] == invalidPage {
+				buf[off] = 1
+				off++
+				le.PutUint32(buf[off:], uint32(len(n.vals[i])))
+				off += 4
+				off += copy(buf[off:], n.vals[i])
+			} else {
+				buf[off] = 0
+				off++
+				le.PutUint32(buf[off:], n.vlen[i])
+				off += 4
+				le.PutUint32(buf[off:], n.overflow[i])
+				off += 4
+			}
+		}
+	case pageInternal:
+		le.PutUint32(buf[4:], n.children[0])
+		for i, k := range n.keys {
+			le.PutUint16(buf[off:], uint16(len(k)))
+			off += 2
+			off += copy(buf[off:], k)
+			le.PutUint32(buf[off:], n.children[i+1])
+			off += 4
+		}
+	default:
+		return fmt.Errorf("%w: writing page %d of type %d", ErrCorrupt, n.id, n.typ)
+	}
+	if off > PageSize {
+		return fmt.Errorf("%w: page %d overflows serialization (%d bytes)", ErrCorrupt, n.id, off)
+	}
+	if _, err := t.f.WriteAt(buf, int64(n.id)*PageSize); err != nil {
+		return err
+	}
+	n.dirty = false
+	return nil
+}
+
+// readNode deserializes a page into a node image.
+func (t *Tree) readNode(id pageID) (*node, error) {
+	if id == invalidPage || id >= t.pageCount {
+		return nil, fmt.Errorf("%w: page %d out of range", ErrCorrupt, id)
+	}
+	buf := make([]byte, PageSize)
+	if _, err := t.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("%w: reading page %d: %v", ErrCorrupt, id, err)
+	}
+	le := binary.LittleEndian
+	n := &node{id: id, typ: buf[0]}
+	count := int(le.Uint16(buf[2:]))
+	off := pageHeaderLen
+	need := func(k int) error {
+		if off+k > PageSize {
+			return fmt.Errorf("%w: page %d truncated cell", ErrCorrupt, id)
+		}
+		return nil
+	}
+	switch n.typ {
+	case pageLeaf:
+		n.next = le.Uint32(buf[4:])
+		for i := 0; i < count; i++ {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			klen := int(le.Uint16(buf[off:]))
+			off += 2
+			if err := need(klen + 1); err != nil {
+				return nil, err
+			}
+			key := append([]byte(nil), buf[off:off+klen]...)
+			off += klen
+			inline := buf[off]
+			off++
+			n.keys = append(n.keys, key)
+			if inline == 1 {
+				if err := need(4); err != nil {
+					return nil, err
+				}
+				vlen := int(le.Uint32(buf[off:]))
+				off += 4
+				if err := need(vlen); err != nil {
+					return nil, err
+				}
+				n.vals = append(n.vals, append([]byte(nil), buf[off:off+vlen]...))
+				off += vlen
+				n.overflow = append(n.overflow, invalidPage)
+				n.vlen = append(n.vlen, uint32(vlen))
+			} else {
+				if err := need(8); err != nil {
+					return nil, err
+				}
+				total := le.Uint32(buf[off:])
+				off += 4
+				head := le.Uint32(buf[off:])
+				off += 4
+				n.vals = append(n.vals, nil)
+				n.overflow = append(n.overflow, head)
+				n.vlen = append(n.vlen, total)
+			}
+		}
+	case pageInternal:
+		n.children = append(n.children, le.Uint32(buf[4:]))
+		for i := 0; i < count; i++ {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			klen := int(le.Uint16(buf[off:]))
+			off += 2
+			if err := need(klen + 4); err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+klen]...))
+			off += klen
+			n.children = append(n.children, le.Uint32(buf[off:]))
+			off += 4
+		}
+	default:
+		return nil, fmt.Errorf("%w: page %d has unexpected type %d", ErrCorrupt, id, n.typ)
+	}
+	return n, nil
+}
+
+// leafSize returns the serialized size of a leaf node.
+func leafSize(n *node) int {
+	size := pageHeaderLen
+	for i, k := range n.keys {
+		size += 2 + len(k) + 1
+		if n.overflow[i] == invalidPage {
+			size += 4 + len(n.vals[i])
+		} else {
+			size += 8
+		}
+	}
+	return size
+}
+
+// internalSize returns the serialized size of an internal node.
+func internalSize(n *node) int {
+	size := pageHeaderLen
+	for _, k := range n.keys {
+		size += 2 + len(k) + 4
+	}
+	return size
+}
+
+// writeChain stores value across overflow pages, returning the chain head.
+func (t *Tree) writeChain(value []byte) (pageID, error) {
+	var head, prev pageID
+	le := binary.LittleEndian
+	for start := 0; start < len(value); start += overflowCap {
+		end := start + overflowCap
+		if end > len(value) {
+			end = len(value)
+		}
+		id := t.allocPage()
+		buf := make([]byte, PageSize)
+		buf[0] = pageOverflow
+		le.PutUint32(buf[8:], uint32(end-start))
+		copy(buf[pageHeaderLen:], value[start:end])
+		if _, err := t.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+			return 0, err
+		}
+		if head == invalidPage {
+			head = id
+		} else {
+			// Patch the previous page's next pointer.
+			var nb [4]byte
+			le.PutUint32(nb[:], id)
+			if _, err := t.f.WriteAt(nb[:], int64(prev)*PageSize+4); err != nil {
+				return 0, err
+			}
+		}
+		prev = id
+	}
+	return head, nil
+}
+
+// readChain reads total bytes from an overflow chain.
+func (t *Tree) readChain(head pageID, total uint32) ([]byte, error) {
+	out := make([]byte, 0, total)
+	le := binary.LittleEndian
+	buf := make([]byte, PageSize)
+	for id := head; id != invalidPage; {
+		if id >= t.pageCount {
+			return nil, fmt.Errorf("%w: overflow page %d out of range", ErrCorrupt, id)
+		}
+		if _, err := t.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+			return nil, fmt.Errorf("%w: overflow page %d: %v", ErrCorrupt, id, err)
+		}
+		if buf[0] != pageOverflow {
+			return nil, fmt.Errorf("%w: page %d is not an overflow page", ErrCorrupt, id)
+		}
+		used := le.Uint32(buf[8:])
+		if used > overflowCap {
+			return nil, fmt.Errorf("%w: overflow page %d claims %d bytes", ErrCorrupt, id, used)
+		}
+		out = append(out, buf[pageHeaderLen:pageHeaderLen+used]...)
+		if uint32(len(out)) > total {
+			return nil, fmt.Errorf("%w: overflow chain longer than recorded %d", ErrCorrupt, total)
+		}
+		id = le.Uint32(buf[4:])
+	}
+	if uint32(len(out)) != total {
+		return nil, fmt.Errorf("%w: overflow chain has %d bytes, recorded %d", ErrCorrupt, len(out), total)
+	}
+	return out, nil
+}
+
+// freeChain returns an overflow chain to the free list.
+func (t *Tree) freeChain(head pageID) error {
+	le := binary.LittleEndian
+	buf := make([]byte, pageHeaderLen)
+	for id := head; id != invalidPage; {
+		if id >= t.pageCount {
+			return fmt.Errorf("%w: freeing overflow page %d out of range", ErrCorrupt, id)
+		}
+		if _, err := t.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("%w: freeing truncated overflow page %d", ErrCorrupt, id)
+			}
+			return err
+		}
+		next := le.Uint32(buf[4:])
+		if err := t.freePage(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}

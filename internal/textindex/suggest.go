@@ -1,0 +1,36 @@
+package textindex
+
+// SuggestTerms returns up to limit vocabulary terms starting with prefix,
+// in ascending order, each with its document frequency — the autocomplete
+// primitive a route-search box needs. It is a bounded range scan over the
+// B+-tree's leaf chain.
+func (f *InvertedFile) SuggestTerms(prefix string, limit int) ([]TermCount, error) {
+	if limit <= 0 {
+		limit = 10
+	}
+	c, err := f.tree.Seek([]byte(prefix))
+	if err != nil {
+		return nil, err
+	}
+	var out []TermCount
+	for len(out) < limit && c.Next() {
+		if !c.Prefix([]byte(prefix)) {
+			break
+		}
+		docs, err := decodePostings(c.Value())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TermCount{Term: string(c.Key()), Count: len(docs)})
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TermCount pairs a vocabulary term with its document frequency.
+type TermCount struct {
+	Term  string
+	Count int
+}

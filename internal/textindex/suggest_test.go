@@ -1,0 +1,76 @@
+package textindex
+
+import (
+	"testing"
+)
+
+func TestSuggestTerms(t *testing.T) {
+	f := newInverted(t)
+	terms := map[string][]uint32{
+		"cafe":      {1, 2, 3},
+		"cafeteria": {4},
+		"camera":    {5, 6},
+		"park":      {7},
+	}
+	for term, docs := range terms {
+		if err := f.PutPostings(term, docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.SuggestTerms("caf", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("suggestions = %v, want cafe and cafeteria", got)
+	}
+	if got[0].Term != "cafe" || got[0].Count != 3 {
+		t.Errorf("first suggestion = %+v", got[0])
+	}
+	if got[1].Term != "cafeteria" || got[1].Count != 1 {
+		t.Errorf("second suggestion = %+v", got[1])
+	}
+
+	// Limit applies.
+	got, err = f.SuggestTerms("ca", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("limited suggestions = %v", got)
+	}
+
+	// No match.
+	got, err = f.SuggestTerms("zz", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("suggestions for zz = %v", got)
+	}
+
+	// Empty prefix lists everything up to the limit, in order.
+	got, err = f.SuggestTerms("", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0].Term != "cafe" || got[3].Term != "park" {
+		t.Fatalf("full listing = %v", got)
+	}
+}
+
+func TestSuggestTermsDefaultsLimit(t *testing.T) {
+	f := newInverted(t)
+	for i := 0; i < 30; i++ {
+		if err := f.PutPostings("tag"+string(rune('a'+i%26))+string(rune('a'+i/26)), []uint32{uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.SuggestTerms("tag", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("default limit returned %d", len(got))
+	}
+}

@@ -1,0 +1,240 @@
+// Package trajectory implements the paper's dataset pipeline (§4.1): from a
+// collection of geo-tagged, timestamped, user-attributed photos to the KOR
+// graph. The steps mirror the paper exactly:
+//
+//  1. cluster photos into locations (grid clustering, after Kurashima et
+//     al.), keeping locations with enough photos;
+//  2. aggregate each location's tags, removing noisy tags contributed by
+//     too few distinct users;
+//  3. sort each user's photos by time and record a trip between two
+//     consecutive photos at different locations taken less than a day
+//     apart;
+//  4. score each edge's popularity Pr(i,j) = Num(i,j)/TotalTrips and set
+//     its objective value o(i,j) = log(1/Pr(i,j)), so that minimizing the
+//     objective maximizes route popularity; the budget value is the
+//     Euclidean distance between the locations in kilometres.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"kor/internal/geo"
+	"kor/internal/graph"
+)
+
+// Photo is one geo-tagged photo observation.
+type Photo struct {
+	User int
+	Time time.Time
+	Pos  geo.Point
+	Tags []string
+}
+
+// Config tunes the pipeline. Zero values take the documented defaults.
+type Config struct {
+	// ClusterPitch is the grid cell side in coordinate degrees
+	// (default 0.002 ≈ 200 m at NYC latitudes).
+	ClusterPitch float64
+	// MinPhotosPerLocation keeps a cluster only when it holds at least this
+	// many photos (default 3).
+	MinPhotosPerLocation int
+	// MinUsersPerTag keeps a location tag only when that many distinct
+	// users contributed it (default 2 — the paper removes tags contributed
+	// by only one user).
+	MinUsersPerTag int
+	// MaxTripGap is the largest time gap between consecutive photos that
+	// still forms a trip (default 24h, per the paper).
+	MaxTripGap time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClusterPitch <= 0 {
+		c.ClusterPitch = 0.002
+	}
+	if c.MinPhotosPerLocation <= 0 {
+		c.MinPhotosPerLocation = 3
+	}
+	if c.MinUsersPerTag <= 0 {
+		c.MinUsersPerTag = 2
+	}
+	if c.MaxTripGap <= 0 {
+		c.MaxTripGap = 24 * time.Hour
+	}
+	return c
+}
+
+// Stats reports what the pipeline produced.
+type Stats struct {
+	Photos     int
+	Locations  int
+	Tags       int // distinct location tags after denoising
+	Trips      int // total trips (the popularity denominator)
+	TripPairs  int // distinct directed location pairs with at least one trip
+	DroppedPho int // photos outside any kept location
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("photos=%d locations=%d tags=%d trips=%d pairs=%d dropped=%d",
+		s.Photos, s.Locations, s.Tags, s.Trips, s.TripPairs, s.DroppedPho)
+}
+
+// ErrNoTrips reports that the photo set yields no trips at all.
+var ErrNoTrips = errors.New("trajectory: no trips extractable from photos")
+
+// BuildGraph runs the full pipeline and returns the KOR graph, whose node
+// IDs index the returned location centroids 1:1.
+func BuildGraph(photos []Photo, cfg Config) (*graph.Graph, Stats, error) {
+	cfg = cfg.withDefaults()
+	st := Stats{Photos: len(photos)}
+
+	// 1. Cluster into locations.
+	pts := make([]geo.Point, len(photos))
+	for i, p := range photos {
+		pts[i] = p.Pos
+	}
+	clusters := geo.NewGridClusterer(geo.Point{}, cfg.ClusterPitch).Cluster(pts, cfg.MinPhotosPerLocation)
+	st.Locations = len(clusters)
+	if len(clusters) == 0 {
+		return nil, st, errors.New("trajectory: no location cluster met the photo minimum")
+	}
+	photoLoc := make([]int, len(photos)) // photo → location, -1 = dropped
+	for i := range photoLoc {
+		photoLoc[i] = -1
+	}
+	for li, c := range clusters {
+		for _, pi := range c.Members {
+			photoLoc[pi] = li
+		}
+	}
+	for _, l := range photoLoc {
+		if l == -1 {
+			st.DroppedPho++
+		}
+	}
+
+	// 2. Denoised tags per location: tag → distinct contributing users.
+	tagUsers := make([]map[string]map[int]bool, len(clusters))
+	for i := range tagUsers {
+		tagUsers[i] = make(map[string]map[int]bool)
+	}
+	for pi, p := range photos {
+		li := photoLoc[pi]
+		if li < 0 {
+			continue
+		}
+		for _, tag := range p.Tags {
+			if tagUsers[li][tag] == nil {
+				tagUsers[li][tag] = make(map[int]bool)
+			}
+			tagUsers[li][tag][p.User] = true
+		}
+	}
+	locTags := make([][]string, len(clusters))
+	allTags := make(map[string]bool)
+	for li, tu := range tagUsers {
+		for tag, users := range tu {
+			if len(users) >= cfg.MinUsersPerTag {
+				locTags[li] = append(locTags[li], tag)
+				allTags[tag] = true
+			}
+		}
+		sort.Strings(locTags[li])
+	}
+	st.Tags = len(allTags)
+
+	// 3. Trips from consecutive photos of the same user.
+	type photoRef struct {
+		t   time.Time
+		loc int
+	}
+	byUser := make(map[int][]photoRef)
+	for pi, p := range photos {
+		if photoLoc[pi] < 0 {
+			continue
+		}
+		byUser[p.User] = append(byUser[p.User], photoRef{t: p.Time, loc: photoLoc[pi]})
+	}
+	tripCount := make(map[[2]int]int)
+	totalTrips := 0
+	users := make([]int, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Ints(users) // deterministic iteration
+	for _, u := range users {
+		refs := byUser[u]
+		sort.Slice(refs, func(i, j int) bool { return refs[i].t.Before(refs[j].t) })
+		for i := 1; i < len(refs); i++ {
+			prev, cur := refs[i-1], refs[i]
+			if prev.loc == cur.loc {
+				continue
+			}
+			if cur.t.Sub(prev.t) >= cfg.MaxTripGap {
+				continue
+			}
+			tripCount[[2]int{prev.loc, cur.loc}]++
+			totalTrips++
+		}
+	}
+	st.Trips = totalTrips
+	st.TripPairs = len(tripCount)
+	if totalTrips == 0 {
+		return nil, st, ErrNoTrips
+	}
+
+	// 4. Assemble the graph. The popularity of edge (i,j) is
+	// Pr = Num/TotalTrips and its objective o = log(1/Pr). Adding one to
+	// the denominator's numerator (log((Total+1)/Num)) keeps o strictly
+	// positive even for an edge carrying every trip, which the edge
+	// validator (and the scaling factor θ) requires.
+	b := graph.NewBuilder()
+	for li, c := range clusters {
+		id := b.AddNode(locTags[li]...)
+		if err := b.SetPosition(id, c.Centroid); err != nil {
+			return nil, st, err
+		}
+	}
+	pairs := make([][2]int, 0, len(tripCount))
+	for pair := range tripCount {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pair := range pairs {
+		num := tripCount[pair]
+		objective := math.Log(float64(totalTrips+1) / float64(num))
+		from, to := clusters[pair[0]].Centroid, clusters[pair[1]].Centroid
+		budget := from.CityDistanceKm(to)
+		if budget <= 0 {
+			// Centroids of distinct cells can in principle coincide only
+			// through degenerate input; keep the edge usable.
+			budget = cfg.ClusterPitch * 111.0 / 2
+		}
+		if err := b.AddEdge(graph.NodeID(pair[0]), graph.NodeID(pair[1]), objective, budget); err != nil {
+			return nil, st, err
+		}
+	}
+	g, err := b.Build()
+	return g, st, err
+}
+
+// EdgePopularity recovers Pr(i,j) from an objective value produced by
+// BuildGraph with the given total trip count: the objective is
+// o = ln((total+1)/num), so num = (total+1)·e^(−o) and Pr = num/total.
+// Exposed for tests and reporting.
+func EdgePopularity(objective float64, totalTrips int) float64 {
+	if totalTrips <= 0 {
+		return 0
+	}
+	num := float64(totalTrips+1) * math.Exp(-objective)
+	return num / float64(totalTrips)
+}

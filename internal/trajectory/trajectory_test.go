@@ -1,0 +1,184 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"kor/internal/geo"
+	"kor/internal/graph"
+)
+
+var t0 = time.Date(2011, time.June, 1, 9, 0, 0, 0, time.UTC)
+
+// photoAt builds a photo near a grid-cell corner.
+func photoAt(user int, minutes int, x, y float64, tags ...string) Photo {
+	return Photo{User: user, Time: t0.Add(time.Duration(minutes) * time.Minute), Pos: geo.Point{X: x, Y: y}, Tags: tags}
+}
+
+// smallWorld: two locations (cells around (0,0) and (0.01, 0)), three users
+// commuting between them.
+func smallWorld() []Photo {
+	var ps []Photo
+	for user := 0; user < 3; user++ {
+		base := user * 600
+		// Morning at location A, then B within the same day → trip A→B.
+		// Only user 0 contributes "lake" and "art": single-user tags that
+		// the pipeline must denoise away.
+		tagsA := []string{"park"}
+		tagsB := []string{"museum"}
+		if user == 0 {
+			tagsA = append(tagsA, "lake")
+			tagsB = append(tagsB, "art")
+		}
+		ps = append(ps,
+			photoAt(user, base, 0.0001, 0.0001, tagsA...),
+			photoAt(user, base+1, 0.0003, 0.0002, "park"),
+			photoAt(user, base+2, 0.0002, 0.0004, "park"),
+			photoAt(user, base+120, 0.0101, 0.0001, "museum"),
+			photoAt(user, base+121, 0.0103, 0.0002, tagsB...),
+			photoAt(user, base+122, 0.0102, 0.0003, "museum"),
+		)
+	}
+	// One user returns B→A the same day.
+	ps = append(ps, photoAt(0, 200, 0.0001, 0.0002, "park"))
+	return ps
+}
+
+func TestBuildGraphPipeline(t *testing.T) {
+	cfg := Config{ClusterPitch: 0.002, MinPhotosPerLocation: 3, MinUsersPerTag: 2, MaxTripGap: 24 * time.Hour}
+	g, st, err := BuildGraph(smallWorld(), cfg)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	if st.Locations != 2 {
+		t.Fatalf("locations = %d, want 2 (stats %v)", st.Locations, st)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Trips: three users A→B plus one B→A = 4 total.
+	if st.Trips != 4 {
+		t.Errorf("trips = %d, want 4", st.Trips)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2 (A→B and B→A)", g.NumEdges())
+	}
+
+	// Keywords: "park" and "museum" are multi-user; "lake" and "art" came
+	// from one user each and must be denoised away.
+	vocab := g.Vocab()
+	if _, ok := vocab.Lookup("park"); !ok {
+		t.Error("park missing from vocabulary")
+	}
+	if _, ok := vocab.Lookup("museum"); !ok {
+		t.Error("museum missing from vocabulary")
+	}
+	if _, ok := vocab.Lookup("lake"); ok {
+		t.Error("single-user tag lake survived denoising")
+	}
+	if _, ok := vocab.Lookup("art"); ok {
+		t.Error("single-user tag art survived denoising")
+	}
+
+	// Popularity: A→B carries 3 of 4 trips, B→A carries 1 of 4; the A→B
+	// objective must be smaller (more popular = cheaper).
+	var objectives []float64
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, e := range g.Out(v) {
+			objectives = append(objectives, e.Objective)
+		}
+	}
+	if len(objectives) != 2 {
+		t.Fatalf("expected two directed edges, got %d", len(objectives))
+	}
+	hi, lo := math.Max(objectives[0], objectives[1]), math.Min(objectives[0], objectives[1])
+	wantLo := math.Log(5.0 / 3.0) // log((4+1)/3)
+	wantHi := math.Log(5.0 / 1.0)
+	if math.Abs(lo-wantLo) > 1e-9 || math.Abs(hi-wantHi) > 1e-9 {
+		t.Errorf("objectives = %v/%v, want %v/%v", lo, hi, wantLo, wantHi)
+	}
+
+	// Budget: roughly the east-west distance of one hundredth of a degree
+	// of longitude at latitude ~0 → ~1.11 km.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, e := range g.Out(v) {
+			if e.Budget < 0.5 || e.Budget > 2.0 {
+				t.Errorf("edge budget %v km outside plausible range", e.Budget)
+			}
+		}
+	}
+
+	if pop := EdgePopularity(lo, st.Trips); math.Abs(pop-0.75) > 1e-9 {
+		t.Errorf("EdgePopularity(A→B) = %v, want 0.75", pop)
+	}
+}
+
+func TestTripGapBreaksTrips(t *testing.T) {
+	// Two photos at different locations 26h apart: no trip.
+	ps := []Photo{
+		photoAt(0, 0, 0.0001, 0.0001, "a"),
+		photoAt(0, 1, 0.0002, 0.0001, "a"),
+		photoAt(0, 2, 0.0001, 0.0003, "a"),
+		photoAt(0, 26*60, 0.0101, 0.0001, "b"),
+		photoAt(0, 26*60+1, 0.0102, 0.0001, "b"),
+		photoAt(0, 26*60+2, 0.0102, 0.0002, "b"),
+	}
+	_, _, err := BuildGraph(ps, Config{ClusterPitch: 0.002, MinPhotosPerLocation: 3, MinUsersPerTag: 1})
+	if !errors.Is(err, ErrNoTrips) {
+		t.Fatalf("err = %v, want ErrNoTrips", err)
+	}
+}
+
+func TestSameLocationPhotosNoTrip(t *testing.T) {
+	ps := []Photo{
+		photoAt(0, 0, 0.0001, 0.0001, "a"),
+		photoAt(0, 5, 0.0002, 0.0002, "a"),
+		photoAt(0, 9, 0.0003, 0.0001, "a"),
+	}
+	_, _, err := BuildGraph(ps, Config{ClusterPitch: 0.002, MinPhotosPerLocation: 1, MinUsersPerTag: 1})
+	if !errors.Is(err, ErrNoTrips) {
+		t.Fatalf("err = %v, want ErrNoTrips", err)
+	}
+}
+
+func TestMinPhotosFiltersLocations(t *testing.T) {
+	ps := smallWorld()
+	// A lone photo far away must not become a location.
+	ps = append(ps, photoAt(9, 0, 0.5, 0.5, "ghost"))
+	_, st, err := BuildGraph(ps, Config{ClusterPitch: 0.002, MinPhotosPerLocation: 3, MinUsersPerTag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Locations != 2 {
+		t.Errorf("locations = %d, want 2", st.Locations)
+	}
+	if st.DroppedPho != 1 {
+		t.Errorf("dropped = %d, want 1", st.DroppedPho)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{}
+	g1, st1, err1 := BuildGraph(smallWorld(), cfg)
+	g2, st2, err2 := BuildGraph(smallWorld(), cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats differ: %v vs %v", st1, st2)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("graphs differ between identical runs")
+	}
+	if st1.String() == "" {
+		t.Error("empty Stats.String")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, _, err := BuildGraph(nil, Config{}); err == nil {
+		t.Fatal("BuildGraph(nil) succeeded")
+	}
+}

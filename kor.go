@@ -1,0 +1,408 @@
+// Package kor implements keyword-aware optimal route search: given a
+// directed graph whose nodes carry keywords and whose edges carry an
+// objective value (minimized) and a budget value (constrained), a KOR query
+// asks for the route from a source to a target that covers a set of
+// keywords, keeps its summed budget within a limit Δ, and minimizes its
+// summed objective.
+//
+// The problem is NP-hard; the package provides the approximation algorithms
+// of Cao, Chen, Cong and Xiao, "Keyword-aware Optimal Route Search", PVLDB
+// 5(11), 2012:
+//
+//   - OSScaling — approximation bound 1/(1−ε) on the objective score;
+//   - BucketBound — bound β/(1−ε), usually much faster;
+//   - Greedy — beam-greedy heuristic, fastest, no guarantee;
+//   - top-k (KkR) variants of the two label algorithms;
+//   - an exact branch-and-bound and a brute-force baseline for validation.
+//
+// # Quick start
+//
+//	b := kor.NewBuilder()
+//	hotel := b.AddNode("hotel")
+//	cafe := b.AddNode("cafe", "jazz")
+//	park := b.AddNode("park")
+//	b.AddEdge(hotel, cafe, 0.7, 1.2) // objective, budget
+//	b.AddEdge(cafe, park, 0.3, 0.8)
+//	b.AddEdge(park, hotel, 0.5, 1.0)
+//	g := b.MustBuild()
+//
+//	eng, _ := kor.NewEngine(g, nil)
+//	route, _ := eng.Search(kor.Query{
+//		From: hotel, To: hotel,
+//		Keywords: []string{"jazz", "park"},
+//		Budget:   4,
+//	}, kor.DefaultOptions())
+//	fmt.Println(route)
+//
+// Node keywords, edge attributes and the two pre-processing path families
+// (τ: minimum objective, σ: minimum budget) follow the paper's definitions;
+// see DESIGN.md in the repository for the fidelity notes.
+package kor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"kor/internal/apsp"
+	"kor/internal/core"
+	"kor/internal/gen"
+	"kor/internal/graph"
+	"kor/internal/textindex"
+)
+
+// Re-exported fundamental types. The façade keeps the internal packages'
+// types rather than wrapping them: they are already the public shape.
+type (
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+	// Term is an interned keyword.
+	Term = graph.Term
+	// Graph is the immutable KOR graph.
+	Graph = graph.Graph
+	// Builder assembles a Graph.
+	Builder = graph.Builder
+	// Route is a search result.
+	Route = core.Route
+	// Result carries the found routes and the search work counters.
+	Result = core.Result
+	// Options tunes the algorithms (ε, β, α, beam width, k, strategies).
+	Options = core.Options
+	// Metrics counts the work a search performed.
+	Metrics = core.Metrics
+)
+
+// Errors surfaced by the engine, re-exported from the core package.
+var (
+	// ErrNoRoute reports that no feasible route exists.
+	ErrNoRoute = core.ErrNoRoute
+	// ErrBadQuery reports a malformed query.
+	ErrBadQuery = core.ErrBadQuery
+	// ErrBudgetExceeded reports a greedy route that covers the keywords but
+	// violates the budget; the route is still returned.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrUnknownKeyword reports a query keyword absent from the graph's
+	// vocabulary.
+	ErrUnknownKeyword = errors.New("kor: unknown keyword")
+)
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// DefaultOptions returns the paper's experimental defaults: ε=0.5, β=1.2,
+// α=0.5, beam width 1, k=1, both optimization strategies enabled.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Query is a KOR query posed with keyword strings.
+type Query struct {
+	// From and To are the route endpoints; they may be equal for a round
+	// trip.
+	From NodeID
+	To   NodeID
+	// Keywords are the keyword strings the route must cover.
+	Keywords []string
+	// Budget is the budget limit Δ.
+	Budget float64
+}
+
+// OracleKind selects the τ/σ pre-processing implementation.
+type OracleKind int
+
+const (
+	// OracleAuto picks dense tables for small graphs and lazy sweeps for
+	// large ones.
+	OracleAuto OracleKind = iota
+	// OracleDense materializes the full |V|² score tables (the paper's
+	// pre-processing).
+	OracleDense
+	// OracleLazy memoizes single-source/single-target Dijkstra sweeps.
+	OracleLazy
+	// OraclePartitioned uses the paper's §6 partition-based design.
+	OraclePartitioned
+)
+
+// denseOracleLimit is the node count up to which OracleAuto chooses dense
+// tables (4·n²·8 bytes ≈ 1.2 GiB at the limit).
+const denseOracleLimit = 6000
+
+// EngineConfig customizes engine construction. The zero value is valid.
+type EngineConfig struct {
+	// Oracle selects the pre-processing implementation.
+	Oracle OracleKind
+	// PartitionCellSize bounds region sizes for OraclePartitioned
+	// (default apsp.DefaultCellSize).
+	PartitionCellSize int
+	// IndexPath, when non-empty, builds (or reuses) a disk-resident
+	// inverted file at this path instead of the in-memory index — the
+	// paper's B+-tree storage.
+	IndexPath string
+}
+
+// Engine answers KOR queries over one graph. Construction runs the
+// pre-processing; queries are then independent. An Engine is not safe for
+// concurrent use.
+type Engine struct {
+	g         *Graph
+	searcher  *core.Searcher
+	index     io.Closer // non-nil when a disk index is open
+	diskIndex *textindex.GraphIndex
+}
+
+// Suggestion pairs a keyword with the number of nodes carrying it.
+type Suggestion struct {
+	Keyword string
+	Nodes   int
+}
+
+// Suggest returns up to limit keywords starting with prefix, each with its
+// node count — the autocomplete primitive for a search box. With a disk
+// index configured it is a B+-tree range scan; otherwise it scans the
+// vocabulary.
+func (e *Engine) Suggest(prefix string, limit int) ([]Suggestion, error) {
+	if limit <= 0 {
+		limit = 10
+	}
+	if e.diskIndex != nil {
+		tcs, err := e.diskIndex.Suggest(prefix, limit)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Suggestion, len(tcs))
+		for i, tc := range tcs {
+			out[i] = Suggestion{Keyword: tc.Term, Nodes: tc.Count}
+		}
+		return out, nil
+	}
+	var out []Suggestion
+	idx := e.searcher.Index()
+	names := e.g.Vocab().Names()
+	// Names are in interning order; collect matches then sort by name to
+	// match the disk index's ordering.
+	for term, name := range names {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out = append(out, Suggestion{Keyword: name, Nodes: idx.DocFrequency(Term(term))})
+		}
+	}
+	sortSuggestions(out)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+func sortSuggestions(s []Suggestion) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Keyword < s[j-1].Keyword; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// NewEngine builds an engine over g. A nil config uses OracleAuto and the
+// in-memory inverted index.
+func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("kor: nil graph")
+	}
+	if cfg == nil {
+		cfg = &EngineConfig{}
+	}
+
+	var oracle core.RouteOracle
+	kind := cfg.Oracle
+	if kind == OracleAuto {
+		if g.NumNodes() <= denseOracleLimit {
+			kind = OracleDense
+		} else {
+			kind = OracleLazy
+		}
+	}
+	switch kind {
+	case OracleDense:
+		oracle = apsp.NewMatrixOracle(g)
+	case OracleLazy:
+		oracle = apsp.NewLazyOracle(g)
+	case OraclePartitioned:
+		cell := cfg.PartitionCellSize
+		if cell <= 0 {
+			cell = apsp.DefaultCellSize
+		}
+		oracle = apsp.NewPartitionedOracle(g, cell)
+	default:
+		return nil, fmt.Errorf("kor: unknown oracle kind %d", cfg.Oracle)
+	}
+
+	eng := &Engine{g: g}
+	var index graph.PostingSource
+	if cfg.IndexPath != "" {
+		gi, err := openOrBuildIndex(cfg.IndexPath, g)
+		if err != nil {
+			return nil, err
+		}
+		index = gi
+		eng.index = gi
+		eng.diskIndex = gi
+	} else {
+		index = graph.NewMemIndex(g)
+	}
+	eng.searcher = core.NewSearcher(g, oracle, index)
+	return eng, nil
+}
+
+func openOrBuildIndex(path string, g *Graph) (*textindex.GraphIndex, error) {
+	if _, err := os.Stat(path); err == nil {
+		file, err := textindex.OpenInverted(path)
+		if err != nil {
+			return nil, fmt.Errorf("kor: opening inverted file: %w", err)
+		}
+		return textindex.NewGraphIndex(file, g.Vocab()), nil
+	}
+	gi, err := textindex.BuildForGraph(path, g)
+	if err != nil {
+		return nil, fmt.Errorf("kor: building inverted file: %w", err)
+	}
+	return gi, nil
+}
+
+// Close releases the disk index, if any.
+func (e *Engine) Close() error {
+	if e.index != nil {
+		return e.index.Close()
+	}
+	return nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// resolve translates a façade query into the core query.
+func (e *Engine) resolve(q Query) (core.Query, error) {
+	terms := make([]Term, 0, len(q.Keywords))
+	for _, kw := range q.Keywords {
+		t, ok := e.g.Vocab().Lookup(kw)
+		if !ok {
+			return core.Query{}, fmt.Errorf("%w: %q", ErrUnknownKeyword, kw)
+		}
+		terms = append(terms, t)
+	}
+	return core.Query{Source: q.From, Target: q.To, Keywords: terms, Budget: q.Budget}, nil
+}
+
+// Search answers the query with BucketBound, the paper's recommended
+// speed/quality trade-off, returning the best route.
+func (e *Engine) Search(q Query, opts Options) (Route, error) {
+	res, err := e.BucketBound(q, opts)
+	if err != nil {
+		return Route{}, err
+	}
+	return res.Best(), nil
+}
+
+// OSScaling answers the query with Algorithm 1 (bound 1/(1−ε)).
+func (e *Engine) OSScaling(q Query, opts Options) (Result, error) {
+	cq, err := e.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.searcher.OSScaling(cq, opts)
+}
+
+// BucketBound answers the query with Algorithm 2 (bound β/(1−ε)).
+func (e *Engine) BucketBound(q Query, opts Options) (Result, error) {
+	cq, err := e.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.searcher.BucketBound(cq, opts)
+}
+
+// Greedy answers the query with Algorithm 3. opts.Width selects Greedy-1 or
+// Greedy-2; opts.BudgetPriority flips the variant that respects Δ at the
+// cost of keyword coverage.
+func (e *Engine) Greedy(q Query, opts Options) (Result, error) {
+	cq, err := e.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.searcher.Greedy(cq, opts)
+}
+
+// TopK answers the KkR query (§3.5): the k best distinct feasible routes,
+// via the OSScaling extension. Set opts.K; k=1 equals OSScaling.
+func (e *Engine) TopK(q Query, opts Options) ([]Route, error) {
+	cq, err := e.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.searcher.OSScaling(cq, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Routes, nil
+}
+
+// Exact answers the query exactly with branch and bound. Exponential worst
+// case; meant for validation on small inputs.
+func (e *Engine) Exact(q Query, opts Options) (Result, error) {
+	cq, err := e.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.searcher.Exact(cq, opts)
+}
+
+// Describe renders a route using node names where available.
+func (e *Engine) Describe(r Route) string {
+	out := ""
+	for i, v := range r.Nodes {
+		if i > 0 {
+			out += " → "
+		}
+		if name := e.g.Name(v); name != "" {
+			out += name
+		} else {
+			out += fmt.Sprintf("#%d", v)
+		}
+	}
+	return fmt.Sprintf("%s  (objective %.4g, budget %.4g)", out, r.Objective, r.Budget)
+}
+
+// SaveGraph writes g to path in the binary graph format.
+func SaveGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGraph reads a graph written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Load(f)
+}
+
+// SyntheticCity generates the Flickr-like city dataset used throughout the
+// examples and benchmarks: simulated photographers whose trips induce a
+// popularity-weighted location graph (objective = −log popularity, budget =
+// kilometres). Deterministic in seed.
+func SyntheticCity(seed int64) (*Graph, error) {
+	g, _, err := gen.FlickrGraph(gen.FlickrConfig{Seed: seed})
+	return g, err
+}
+
+// SyntheticRoadNetwork generates a strongly connected road-network graph
+// with the given node count: Euclidean budgets (km), uniform (0,1)
+// objectives, Zipf keywords. Deterministic in seed.
+func SyntheticRoadNetwork(seed int64, nodes int) *Graph {
+	return gen.RoadNetwork(gen.RoadConfig{Seed: seed, Nodes: nodes})
+}

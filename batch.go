@@ -1,0 +1,66 @@
+package kor
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchResult is one query's outcome within a SearchBatch call. Err carries
+// the same per-query errors the single-query methods return (ErrNoRoute,
+// ErrUnknownKeyword, a wrapped context error, ...); when it is nil, Route
+// holds the best route found.
+type BatchResult struct {
+	Route Route
+	Err   error
+}
+
+// SearchBatch answers many queries concurrently against the shared engine
+// substrates, using BucketBound like Search. Results are returned in query
+// order. parallelism bounds the worker pool; values < 1 mean GOMAXPROCS.
+//
+// Cancelling ctx stops the batch early: queries already running abort via
+// their search loops' context polls, and queries not yet started fail
+// immediately. The returned error is nil on a full run and the context's
+// error when the batch was cut short; per-query failures are reported only
+// through the BatchResult entries, never as a batch-level error.
+func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts Options, parallelism int) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(queries)
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	out := make([]BatchResult, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: fmt.Errorf("kor: batch query %d not started: %w", i, err)}
+					continue
+				}
+				route, err := e.SearchCtx(ctx, queries[i], opts)
+				out[i] = BatchResult{Route: route, Err: err}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, ctx.Err()
+}

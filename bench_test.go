@@ -9,8 +9,11 @@
 package kor
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"kor/internal/core"
@@ -263,6 +266,106 @@ func BenchmarkAblationStrategies(b *testing.B) {
 		opts.DisableStrategy2 = v.s2
 		b.Run(v.name, func(b *testing.B) {
 			runSet(b, ds, queries, experiments.Algorithm{Opts: opts, Kind: experiments.KindOSScaling})
+		})
+	}
+}
+
+// Shared fixture for the concurrency benchmarks: one Engine on the lazy
+// oracle (the concurrent-contention configuration) over a 2k-node road
+// network, plus a fixed query set.
+var (
+	parOnce sync.Once
+	parEng  *Engine
+	parErr  error
+	parQs   []Query
+)
+
+func parallelFixture(b *testing.B) (*Engine, []Query) {
+	b.Helper()
+	parOnce.Do(func() {
+		g := SyntheticRoadNetwork(2012, 2000)
+		parEng, parErr = NewEngine(g, &EngineConfig{Oracle: OracleLazy})
+		if parErr != nil {
+			return // report via parErr so later benchmarks fail cleanly too
+		}
+		parQs = concurrencyQueries(b, parEng, 16)
+		// Warm the sweep caches so the measured region reflects steady-state
+		// serving, as the figure benchmarks do.
+		for _, q := range parQs {
+			_, _ = parEng.Search(q, DefaultOptions())
+		}
+	})
+	if parErr != nil {
+		b.Fatal(parErr)
+	}
+	return parEng, parQs
+}
+
+// BenchmarkThroughputSerial — baseline: one goroutine draining the query
+// set against the shared engine. Compare with BenchmarkThroughputParallel
+// to see the concurrency win on multi-core hardware.
+func BenchmarkThroughputSerial(b *testing.B) {
+	eng, queries := parallelFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		_, _ = eng.Search(q, DefaultOptions())
+	}
+}
+
+// BenchmarkThroughputParallel — GOMAXPROCS goroutines sharing one Engine
+// and one lazy oracle, the korserve serving pattern.
+func BenchmarkThroughputParallel(b *testing.B) {
+	eng, queries := parallelFixture(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := queries[int(next.Add(1))%len(queries)]
+			_, _ = eng.Search(q, DefaultOptions())
+		}
+	})
+}
+
+// BenchmarkThroughputParallelMixed — as above, but the goroutines mix the
+// three approximation algorithms the way a live query stream would.
+func BenchmarkThroughputParallelMixed(b *testing.B) {
+	eng, queries := parallelFixture(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			q := queries[i%len(queries)]
+			switch i % 3 {
+			case 0:
+				_, _ = eng.BucketBound(q, DefaultOptions())
+			case 1:
+				_, _ = eng.OSScaling(q, DefaultOptions())
+			default:
+				_, _ = eng.Greedy(q, DefaultOptions())
+			}
+		}
+	})
+}
+
+// BenchmarkSearchBatch — the batch API end to end: one call answering the
+// whole query set on a worker pool.
+func BenchmarkSearchBatch(b *testing.B) {
+	eng, queries := parallelFixture(b)
+	ctx := context.Background()
+	pars := []int{1, runtime.GOMAXPROCS(0)}
+	if pars[1] == 1 {
+		pars = pars[:1] // single-CPU host: one level, no duplicate sub-benchmark
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SearchBatch(ctx, queries, DefaultOptions(), par); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(queries)), "queries/op")
 		})
 	}
 }

@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"kor"
 )
@@ -30,6 +33,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.5, "greedy balance α")
 		width     = flag.Int("width", 1, "greedy beam width (1 or 2)")
 		metrics   = flag.Bool("metrics", false, "print search work counters")
+		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *keywords == "" || *delta <= 0 {
@@ -61,20 +65,37 @@ func main() {
 		Budget:   *delta,
 	}
 
+	// Ctrl-C (or -timeout) aborts the search cleanly through its context —
+	// the exact search especially can run effectively forever on the wrong
+	// query.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res kor.Result
 	switch strings.ToLower(*algo) {
 	case "bucketbound":
-		res, err = eng.BucketBound(q, opts)
+		res, err = eng.BucketBoundCtx(ctx, q, opts)
 	case "osscaling":
-		res, err = eng.OSScaling(q, opts)
+		res, err = eng.OSScalingCtx(ctx, q, opts)
 	case "greedy":
-		res, err = eng.Greedy(q, opts)
+		res, err = eng.GreedyCtx(ctx, q, opts)
 	case "exact":
-		res, err = eng.Exact(q, opts)
+		res, err = eng.ExactCtx(ctx, q, opts)
 	default:
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "korquery: search timed out")
+		os.Exit(1)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "korquery: search interrupted")
+		os.Exit(1)
 	case errors.Is(err, kor.ErrNoRoute):
 		fmt.Println("no feasible route exists")
 		os.Exit(1)

@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	korserve -graph city.korg [-addr :8080]
+//	korserve -graph city.korg [-addr :8080] [-timeout 10s]
 //
 // Endpoints:
 //
-//	GET /query?from=12&to=80&keywords=cafe,jazz&delta=6[&algo=bucketbound][&k=3]
-//	GET /node/12
-//	GET /stats
+//	GET  /query?from=12&to=80&keywords=cafe,jazz&delta=6[&algo=bucketbound][&k=3]
+//	POST /batch      {"queries": [{"from":12,"to":80,"keywords":["cafe"],"delta":6}, ...]}
+//	GET  /node/12
+//	GET  /keywords?prefix=caf&limit=10
+//	GET  /stats
+//
+// One Engine serves every request: the engine is safe for concurrent use,
+// so handlers run in parallel with no per-request rebuild and no global
+// query lock. Each request gets a deadline (-timeout) through its context,
+// and SIGINT/SIGTERM drains in-flight requests before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -20,20 +28,28 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"kor"
 )
 
 type server struct {
-	eng *kor.Engine
+	eng     *kor.Engine
+	timeout time.Duration // per-request search deadline, 0 = none
+	maxPar  int           // worker-pool cap for /batch
 }
 
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "graph file written by kordata (required)")
 		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request search deadline (0 disables)")
+		batchPar  = flag.Int("batch-parallelism", 0, "worker pool size for /batch (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -49,16 +65,52 @@ func main() {
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}
-	s := &server{eng: eng}
+	s := &server{eng: eng, timeout: *timeout, maxPar: *batchPar}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /node/{id}", s.handleNode)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /keywords", s.handleKeywords)
-	log.Printf("korserve: %d nodes, %d edges, listening on %s",
-		g.NumNodes(), g.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("korserve: %d nodes, %d edges, listening on %s",
+			g.NumNodes(), g.NumEdges(), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("korserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("korserve: shutting down, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("korserve: shutdown: %v", err)
+	}
+}
+
+// queryCtx derives the search context for one request: the client's
+// context (so a dropped connection aborts the search) plus the configured
+// deadline.
+func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
 }
 
 type routeJSON struct {
@@ -106,28 +158,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q := kor.Query{From: kor.NodeID(from), To: kor.NodeID(to), Keywords: keywords, Budget: delta}
 
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
 	var res kor.Result
 	var err error
 	switch algo := qv.Get("algo"); algo {
 	case "", "bucketbound":
-		res, err = s.eng.BucketBound(q, opts)
+		res, err = s.eng.BucketBoundCtx(ctx, q, opts)
 	case "osscaling":
-		res, err = s.eng.OSScaling(q, opts)
+		res, err = s.eng.OSScalingCtx(ctx, q, opts)
 	case "greedy":
-		res, err = s.eng.Greedy(q, opts)
+		res, err = s.eng.GreedyCtx(ctx, q, opts)
 	default:
 		httpError(w, http.StatusBadRequest, "unknown algo "+algo)
 		return
 	}
-	switch {
-	case errors.Is(err, kor.ErrNoRoute):
-		httpError(w, http.StatusNotFound, "no feasible route")
-		return
-	case errors.Is(err, kor.ErrUnknownKeyword), errors.Is(err, kor.ErrBadQuery):
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	case err != nil && !errors.Is(err, kor.ErrBudgetExceeded):
-		httpError(w, http.StatusInternalServerError, err.Error())
+	if !s.writeSearchError(w, err) {
 		return
 	}
 
@@ -136,6 +183,97 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		routes[i] = s.routeJSON(rt)
 	}
 	writeJSON(w, map[string]any{"routes": routes})
+}
+
+// writeSearchError maps a search error onto an HTTP response. It reports
+// whether the handler should proceed to write the result.
+func (s *server) writeSearchError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil, errors.Is(err, kor.ErrBudgetExceeded):
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "search deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+	case errors.Is(err, kor.ErrNoRoute):
+		httpError(w, http.StatusNotFound, "no feasible route")
+	case errors.Is(err, kor.ErrUnknownKeyword), errors.Is(err, kor.ErrBadQuery):
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+	return false
+}
+
+type batchQueryJSON struct {
+	From     kor.NodeID `json:"from"`
+	To       kor.NodeID `json:"to"`
+	Keywords []string   `json:"keywords"`
+	Delta    float64    `json:"delta"`
+}
+
+type batchResultJSON struct {
+	Route *routeJSON `json:"route,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// handleBatch answers many queries in one request via the engine's worker
+// pool. Per-query failures (no route, bad keyword) come back inline so one
+// infeasible query does not fail the batch.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Queries     []batchQueryJSON `json:"queries"`
+		Parallelism int              `json:"parallelism"`
+	}
+	// Bound the body before decoding: the 1024-query limit below cannot
+	// protect memory if the decoder has already swallowed the payload.
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > 1024 {
+		httpError(w, http.StatusBadRequest, "batch must contain 1..1024 queries")
+		return
+	}
+	// Bound the client-requested parallelism: the configured cap, or
+	// GOMAXPROCS when none was set — never let a request pick its own
+	// unbounded worker count.
+	maxPar := s.maxPar
+	if maxPar <= 0 {
+		maxPar = runtime.GOMAXPROCS(0)
+	}
+	par := req.Parallelism
+	if par < 1 || par > maxPar {
+		par = maxPar
+	}
+	queries := make([]kor.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = kor.Query{From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Delta}
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	// A deadline firing mid-batch must not discard the queries that did
+	// finish: SearchBatch fills every slot either way, so always return the
+	// per-query results — entries cut short carry their ctx error inline —
+	// and flag the batch as incomplete.
+	results, batchErr := s.eng.SearchBatch(ctx, queries, kor.DefaultOptions(), par)
+
+	out := make([]batchResultJSON, len(results))
+	for i, br := range results {
+		if br.Err != nil {
+			out[i] = batchResultJSON{Error: br.Err.Error()}
+			continue
+		}
+		rj := s.routeJSON(br.Route)
+		out[i] = batchResultJSON{Route: &rj}
+	}
+	resp := map[string]any{"results": out}
+	if batchErr != nil {
+		resp["incomplete"] = true
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {

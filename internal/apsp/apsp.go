@@ -40,6 +40,12 @@ const (
 
 // Oracle answers τ/σ score queries between node pairs. Implementations
 // return ok=false when no path exists; scores are then undefined.
+//
+// All package oracles are safe for concurrent readers: MatrixOracle and
+// PartitionedOracle are immutable after construction, and LazyOracle
+// synchronizes its sweep caches internally. Custom implementations must
+// uphold the same contract — one oracle instance serves every concurrent
+// query of an engine.
 type Oracle interface {
 	// MinObjective returns the objective and budget score of τ(from,to).
 	MinObjective(from, to graph.NodeID) (os, bs float64, ok bool)

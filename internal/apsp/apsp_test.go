@@ -298,7 +298,7 @@ func TestLazyPrefetchHints(t *testing.T) {
 	g := buildPaperGraph(t)
 	lazy := NewLazyOracle(g)
 	PrefetchTarget(lazy, 7)
-	sweepsAfterPrefetch := lazy.Sweeps
+	sweepsAfterPrefetch := lazy.SweepCount()
 	if sweepsAfterPrefetch != 2 {
 		t.Fatalf("PrefetchTarget ran %d sweeps, want 2", sweepsAfterPrefetch)
 	}
@@ -307,17 +307,17 @@ func TestLazyPrefetchHints(t *testing.T) {
 		lazy.MinObjective(v, 7)
 		lazy.MinBudget(v, 7)
 	}
-	if lazy.Sweeps != sweepsAfterPrefetch {
-		t.Errorf("queries into prefetched target ran %d extra sweeps", lazy.Sweeps-sweepsAfterPrefetch)
+	if lazy.SweepCount() != sweepsAfterPrefetch {
+		t.Errorf("queries into prefetched target ran %d extra sweeps", lazy.SweepCount()-sweepsAfterPrefetch)
 	}
 	// Forward prefetch covers (source, ·) queries.
 	PrefetchSource(lazy, 0)
-	base := lazy.Sweeps
+	base := lazy.SweepCount()
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
 		lazy.MinObjective(0, v)
 	}
-	if lazy.Sweeps != base {
-		t.Errorf("queries from prefetched source ran %d extra sweeps", lazy.Sweeps-base)
+	if lazy.SweepCount() != base {
+		t.Errorf("queries from prefetched source ran %d extra sweeps", lazy.SweepCount()-base)
 	}
 	// Prefetch hints on a dense oracle are a no-op, not a crash.
 	PrefetchSource(NewMatrixOracle(g), 0)
@@ -334,8 +334,8 @@ func TestLazyCacheEviction(t *testing.T) {
 			lazy.MinObjective(0, v)
 		}
 	}
-	if len(lazy.rev) > 4 || len(lazy.fwd) > 4 {
-		t.Errorf("cache exceeded capacity: rev=%d fwd=%d", len(lazy.rev), len(lazy.fwd))
+	if len(lazy.rev.entries) > 4 || len(lazy.fwd.entries) > 4 {
+		t.Errorf("cache exceeded capacity: rev=%d fwd=%d", len(lazy.rev.entries), len(lazy.fwd.entries))
 	}
 	if os, _, ok := lazy.MinObjective(0, 7); !ok || os != 4 {
 		t.Errorf("post-eviction τ(0,7) = %v,%v", os, ok)

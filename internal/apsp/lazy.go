@@ -1,6 +1,9 @@
 package apsp
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"kor/internal/graph"
 )
 
@@ -13,23 +16,135 @@ import (
 //
 // Sweeps are cached with FIFO eviction bounded by capacity, so memory stays
 // O(capacity·|V|) on the 20k-node scalability graphs.
+//
+// A LazyOracle is safe for concurrent use. Each direction's cache is
+// guarded by a mutex, and sweep computation is single-flighted: concurrent
+// queries needing the same missing sweep share one Dijkstra run instead of
+// racing to compute it redundantly. The sweeps themselves are immutable
+// once published.
 type LazyOracle struct {
-	g        *graph.Graph
-	capacity int
+	g *graph.Graph
 
-	fwd map[sweepKey]*sweep
-	rev map[sweepKey]*sweep
-	// FIFO eviction order per cache.
-	fwdOrder []sweepKey
-	revOrder []sweepKey
+	fwd sweepCache
+	rev sweepCache
 
-	// Sweep-count statistics, exposed for the ablation benchmarks.
-	Sweeps int
+	// sweeps counts Dijkstra runs, exposed for the ablation benchmarks.
+	sweeps atomic.Int64
 }
 
 type sweepKey struct {
 	root   graph.NodeID
 	metric Metric
+}
+
+// sweepEntry is one cache slot. done is closed once s is published; waiters
+// that found the entry in flight block on it instead of recomputing.
+type sweepEntry struct {
+	done chan struct{}
+	s    *sweep // written under the cache mutex before done is closed
+}
+
+// sweepCache is one direction's bounded sweep cache with FIFO eviction and
+// single-flight computation. The steady-state read path (cache hits) takes
+// only the read lock; the write lock guards insertion and eviction.
+type sweepCache struct {
+	mu       sync.RWMutex
+	capacity int
+	entries  map[sweepKey]*sweepEntry
+	order    []sweepKey // FIFO eviction order
+}
+
+// peek returns the completed sweep for k, or nil when k is absent or still
+// in flight. It never blocks on a computation.
+func (c *sweepCache) peek(k sweepKey) *sweep {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.entries[k]; ok {
+		return e.s // nil while in flight
+	}
+	return nil
+}
+
+// wait blocks until e's sweep is published and returns it, falling back to
+// an uncached compute when the computing goroutine panicked.
+func (c *sweepCache) wait(e *sweepEntry, compute func() *sweep) *sweep {
+	<-e.done
+	if e.s == nil {
+		return compute()
+	}
+	return e.s
+}
+
+// get returns the sweep for k, computing it with compute if missing. When
+// several goroutines miss on the same key at once, exactly one runs compute
+// and the rest wait for its result.
+func (c *sweepCache) get(k sweepKey, compute func() *sweep) *sweep {
+	c.mu.RLock()
+	e, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		return c.wait(e, compute)
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok { // lost the insert race
+		c.mu.Unlock()
+		return c.wait(e, compute)
+	}
+	e = &sweepEntry{done: make(chan struct{})}
+	c.insertLocked(k, e)
+	c.mu.Unlock()
+
+	// If compute panics, drop the placeholder and unblock waiters anyway;
+	// e.s stays nil and waiters fall back to computing their own sweep.
+	// Only our own entry is removed (a FIFO eviction during the compute may
+	// have replaced it with a newer one), together with its order slot so
+	// eviction accounting stays exact.
+	defer func() {
+		if e.s == nil {
+			c.mu.Lock()
+			if cur, ok := c.entries[k]; ok && cur == e {
+				delete(c.entries, k)
+				for i := range c.order {
+					if c.order[i] == k {
+						c.order = append(c.order[:i], c.order[i+1:]...)
+						break
+					}
+				}
+			}
+			c.mu.Unlock()
+			close(e.done)
+		}
+	}()
+
+	s := compute()
+
+	c.mu.Lock()
+	e.s = s
+	c.mu.Unlock()
+	close(e.done)
+	return s
+}
+
+// insertLocked records a new entry, evicting the oldest one when the cache
+// is full. Evicting an in-flight entry is harmless: its waiters hold the
+// entry pointer and still receive the result; it just is not cached.
+func (c *sweepCache) insertLocked(k sweepKey, e *sweepEntry) {
+	if len(c.order) >= c.capacity {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[k] = e
+	c.order = append(c.order, k)
+}
+
+func (c *sweepCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	for len(c.order) > n {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
 }
 
 // DefaultSweepCapacity bounds each direction's sweep cache.
@@ -38,51 +153,37 @@ const DefaultSweepCapacity = 128
 // NewLazyOracle returns an oracle over g with the default cache capacity.
 func NewLazyOracle(g *graph.Graph) *LazyOracle {
 	return &LazyOracle{
-		g:        g,
-		capacity: DefaultSweepCapacity,
-		fwd:      make(map[sweepKey]*sweep),
-		rev:      make(map[sweepKey]*sweep),
+		g:   g,
+		fwd: sweepCache{capacity: DefaultSweepCapacity, entries: make(map[sweepKey]*sweepEntry)},
+		rev: sweepCache{capacity: DefaultSweepCapacity, entries: make(map[sweepKey]*sweepEntry)},
 	}
 }
 
 // SetCapacity adjusts the per-direction sweep cache bound (minimum 4).
+// Safe to call concurrently with queries; shrinking evicts oldest sweeps.
 func (o *LazyOracle) SetCapacity(n int) {
 	if n < 4 {
 		n = 4
 	}
-	o.capacity = n
+	o.fwd.setCapacity(n)
+	o.rev.setCapacity(n)
 }
 
+// SweepCount reports how many Dijkstra sweeps the oracle has run.
+func (o *LazyOracle) SweepCount() int64 { return o.sweeps.Load() }
+
 func (o *LazyOracle) forward(root graph.NodeID, m Metric) *sweep {
-	k := sweepKey{root, m}
-	if s, ok := o.fwd[k]; ok {
-		return s
-	}
-	s := dijkstra(o.g, root, m, false)
-	o.Sweeps++
-	if len(o.fwdOrder) >= o.capacity {
-		delete(o.fwd, o.fwdOrder[0])
-		o.fwdOrder = o.fwdOrder[1:]
-	}
-	o.fwd[k] = s
-	o.fwdOrder = append(o.fwdOrder, k)
-	return s
+	return o.fwd.get(sweepKey{root, m}, func() *sweep {
+		o.sweeps.Add(1)
+		return dijkstra(o.g, root, m, false)
+	})
 }
 
 func (o *LazyOracle) reverse(root graph.NodeID, m Metric) *sweep {
-	k := sweepKey{root, m}
-	if s, ok := o.rev[k]; ok {
-		return s
-	}
-	s := dijkstra(o.g, root, m, true)
-	o.Sweeps++
-	if len(o.revOrder) >= o.capacity {
-		delete(o.rev, o.revOrder[0])
-		o.revOrder = o.revOrder[1:]
-	}
-	o.rev[k] = s
-	o.revOrder = append(o.revOrder, k)
-	return s
+	return o.rev.get(sweepKey{root, m}, func() *sweep {
+		o.sweeps.Add(1)
+		return dijkstra(o.g, root, m, true)
+	})
 }
 
 // lookup answers a pair query under metric m, preferring whichever sweep is
@@ -92,14 +193,14 @@ func (o *LazyOracle) lookup(from, to graph.NodeID, m Metric) (float64, float64, 
 	if from == to {
 		return 0, 0, true
 	}
-	if s, ok := o.rev[sweepKey{to, m}]; ok {
+	if s := o.rev.peek(sweepKey{to, m}); s != nil {
 		if !s.reached(from) {
 			return 0, 0, false
 		}
 		os, bs := s.scores(from, m)
 		return os, bs, true
 	}
-	if s, ok := o.fwd[sweepKey{from, m}]; ok {
+	if s := o.fwd.peek(sweepKey{from, m}); s != nil {
 		if !s.reached(to) {
 			return 0, 0, false
 		}
@@ -151,7 +252,7 @@ func (o *LazyOracle) path(from, to graph.NodeID, m Metric) ([]graph.NodeID, bool
 	if from == to {
 		return []graph.NodeID{from}, true
 	}
-	if s, ok := o.rev[sweepKey{to, m}]; ok {
+	if s := o.rev.peek(sweepKey{to, m}); s != nil {
 		return s.walkReverse(to, from)
 	}
 	return o.forward(from, m).walkForward(from, to)

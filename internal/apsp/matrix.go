@@ -13,6 +13,9 @@ import (
 // states; it suits point-of-interest graphs ("the number of points of
 // interest within a city is not large"). Use LazyOracle for the synthetic
 // road networks.
+//
+// The tables are immutable after construction and the path methods run
+// fresh sweeps on the stack, so a MatrixOracle is safe for concurrent use.
 type MatrixOracle struct {
 	g *graph.Graph
 	n int

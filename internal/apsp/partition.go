@@ -23,6 +23,9 @@ import (
 // for and the primary scores are exact. Among equal-primary paths the
 // reported secondary score is that of the assembled decomposition, which can
 // differ from the Dijkstra oracles' tie-break on exactly tied paths.
+//
+// All tables are immutable once NewPartitionedOracle returns, so a
+// PartitionedOracle is safe for concurrent use.
 type PartitionedOracle struct {
 	g *graph.Graph
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"kor/internal/pqueue"
@@ -16,7 +17,13 @@ import (
 // With opts.K > 1 it answers the KkR query: the search ends once k distinct
 // feasible routes have surfaced from the front bucket.
 func (s *Searcher) BucketBound(q Query, opts Options) (Result, error) {
-	p, err := s.newPlan(q, opts)
+	return s.BucketBoundCtx(context.Background(), q, opts)
+}
+
+// BucketBoundCtx is BucketBound with cancellation: the bucket loop polls ctx
+// and returns a wrapped ctx error once it fires.
+func (s *Searcher) BucketBoundCtx(ctx context.Context, q Query, opts Options) (Result, error) {
+	p, err := s.newPlan(ctx, q, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -125,6 +132,9 @@ func (p *plan) runBucketBound() (Result, error) {
 	p.metrics.LabelsEnqueued++
 
 	for {
+		if err := p.checkCtx(); err != nil {
+			return Result{Metrics: p.metrics}, err
+		}
 		l, front := ring.pop()
 		if l == nil {
 			break

@@ -17,6 +17,18 @@
 // a τ/σ score oracle (package apsp) and a keyword posting source (the
 // inverted file). All algorithms are deterministic: ties in label order are
 // broken by node ID and creation sequence.
+//
+// # Concurrency model
+//
+// The package splits state into two tiers. The Searcher's substrates —
+// graph, oracle, posting source — are shared and must be safe for
+// concurrent readers (all package apsp oracles and both index
+// implementations are). Everything a query mutates — label stores, queues,
+// candidate sets, metrics, the scaling plan — lives in a per-query plan
+// allocated at search start and never escapes it. One Searcher therefore
+// serves any number of concurrent searches. Each search method also has a
+// Ctx variant that polls a context in its main loop and returns the
+// context's error, wrapped, when it fires.
 package core
 
 import (
@@ -63,8 +75,9 @@ type Query struct {
 }
 
 // Searcher bundles a graph with the substrates the algorithms consult.
-// Create one with NewSearcher and reuse it across queries; it is not safe
-// for concurrent use (the lazy oracle memoizes sweeps).
+// Create one with NewSearcher and reuse it across queries. A Searcher is
+// safe for concurrent use: its substrates are immutable or internally
+// synchronized, and all per-query scratch state lives in the plan.
 type Searcher struct {
 	g      *graph.Graph
 	oracle RouteOracle

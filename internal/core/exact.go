@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"kor/internal/bitset"
@@ -15,7 +16,13 @@ import (
 // approximation bounds of the fast algorithms, matching the role of the
 // paper's brute-force comparison in §4.2.2.
 func (s *Searcher) Exact(q Query, opts Options) (Result, error) {
-	p, err := s.newPlan(q, opts)
+	return s.ExactCtx(context.Background(), q, opts)
+}
+
+// ExactCtx is Exact with cancellation — essential here, since the exact
+// search is the one most likely to need a deadline on adversarial inputs.
+func (s *Searcher) ExactCtx(ctx context.Context, q Query, opts Options) (Result, error) {
+	p, err := s.newPlan(ctx, q, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -36,8 +43,14 @@ func exactScaled(os float64) int64 {
 // bounds the damage, returning ErrSearchLimit when exceeded — the analogue
 // of the paper's runs that "cannot finish after 1 day".
 func (s *Searcher) BruteForce(q Query, maxExpansions int) (Result, error) {
+	return s.BruteForceCtx(context.Background(), q, maxExpansions)
+}
+
+// BruteForceCtx is BruteForce with cancellation, polled once per dequeued
+// partial path.
+func (s *Searcher) BruteForceCtx(ctx context.Context, q Query, maxExpansions int) (Result, error) {
 	opts := DefaultOptions()
-	p, err := s.newPlan(q, opts)
+	p, err := s.newPlan(ctx, q, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -60,6 +73,9 @@ func (s *Searcher) BruteForce(q Query, maxExpansions int) (Result, error) {
 	expansions := 0
 
 	for len(queue) > 0 {
+		if err := p.checkCtx(); err != nil {
+			return Result{Metrics: p.metrics}, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -27,11 +28,17 @@ import (
 // respects Δ but may leave keywords uncovered, reported via the route's
 // CoversAll flag.
 func (s *Searcher) Greedy(q Query, opts Options) (Result, error) {
+	return s.GreedyCtx(context.Background(), q, opts)
+}
+
+// GreedyCtx is Greedy with cancellation: every beam step polls ctx and
+// returns a wrapped ctx error once it fires.
+func (s *Searcher) GreedyCtx(ctx context.Context, q Query, opts Options) (Result, error) {
 	// The optimization strategies belong to the label algorithms; disabling
 	// them skips their oracle prefetching.
 	opts.DisableStrategy1 = true
 	opts.DisableStrategy2 = true
-	p, err := s.newPlan(q, opts)
+	p, err := s.newPlan(ctx, q, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -92,7 +99,9 @@ func (p *plan) runGreedy() (Result, error) {
 		waypoints: []graph.NodeID{p.q.Source},
 		covered:   p.nodeMask[p.q.Source],
 	}
-	p.greedyStep(start, nodeSet, &best, &haveBest, betterOutcome)
+	if err := p.greedyStep(start, nodeSet, &best, &haveBest, betterOutcome); err != nil {
+		return Result{Metrics: p.metrics}, err
+	}
 	if !haveBest {
 		return Result{Metrics: p.metrics}, ErrNoRoute
 	}
@@ -117,14 +126,14 @@ func (p *plan) runGreedy() (Result, error) {
 // greedyStep extends one partial outcome by every beam candidate, recursing
 // until the keywords are covered (keyword mode) or no candidate fits the
 // budget (budget-priority mode), then completes the route to the target.
-func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedyOutcome, haveBest *bool, better func(a, b greedyOutcome) bool) {
+func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedyOutcome, haveBest *bool, better func(a, b greedyOutcome) bool) error {
 	oracle := p.s.oracle
 	cur := st.waypoints[len(st.waypoints)-1]
 	uncovered := p.qMask.Diff(st.covered)
 
 	if uncovered.Empty() {
 		p.finishGreedy(st, best, haveBest, better)
-		return
+		return nil
 	}
 
 	apsp.PrefetchSource(oracle, cur)
@@ -135,6 +144,9 @@ func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedy
 	}
 	var candidates []scored
 	for _, m := range nodeSet {
+		if err := p.checkCtx(); err != nil {
+			return err
+		}
 		if m == cur || p.nodeMask[m].Intersect(uncovered).Empty() {
 			continue
 		}
@@ -164,7 +176,7 @@ func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedy
 			p.finishGreedy(st, best, haveBest, better)
 		}
 		// Keyword mode: dead branch — some keyword is unreachable.
-		return
+		return nil
 	}
 	sort.Slice(candidates, func(i, j int) bool {
 		if candidates[i].score != candidates[j].score {
@@ -185,8 +197,11 @@ func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedy
 			bs:        st.bs + c.bs,
 			covered:   st.covered.Union(p.nodeMask[c.node]),
 		}
-		p.greedyStep(next, nodeSet, best, haveBest, better)
+		if err := p.greedyStep(next, nodeSet, best, haveBest, better); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // finishGreedy appends the final leg to the target (lines 12–13) and keeps

@@ -125,7 +125,7 @@ func TestLabelStoreAntichainProperty(t *testing.T) {
 func TestCandidateSetOrderingAndDedup(t *testing.T) {
 	g := paperGraph(t)
 	s := searcherFor(t, g, true)
-	p, err := s.newPlan(Query{Source: 0, Target: 7, Keywords: terms(t, g, "t1", "t2"), Budget: 10}, DefaultOptions())
+	p, err := s.newPlan(nil, Query{Source: 0, Target: 7, Keywords: terms(t, g, "t1", "t2"), Budget: 10}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"kor/internal/graph"
@@ -18,7 +19,14 @@ import (
 // coverage (the pseudocode only checks newly created labels, silently
 // missing queries whose source already covers every keyword).
 func (s *Searcher) OSScaling(q Query, opts Options) (Result, error) {
-	p, err := s.newPlan(q, opts)
+	return s.OSScalingCtx(context.Background(), q, opts)
+}
+
+// OSScalingCtx is OSScaling with cancellation: the label loop polls ctx and
+// returns a wrapped ctx error (errors.Is-compatible with context.Canceled /
+// context.DeadlineExceeded) once it fires.
+func (s *Searcher) OSScalingCtx(ctx context.Context, q Query, opts Options) (Result, error) {
+	p, err := s.newPlan(ctx, q, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -53,6 +61,9 @@ func (p *plan) runOSScaling() (Result, error) {
 	p.metrics.LabelsEnqueued++
 
 	for !queue.Empty() {
+		if err := p.checkCtx(); err != nil {
+			return Result{Metrics: p.metrics}, err
+		}
 		l := queue.Pop()
 		if l.deleted {
 			continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +19,11 @@ type plan struct {
 	s    *Searcher
 	q    Query
 	opts Options
+
+	// ctx carries the query's cancellation/deadline; the label loops poll it
+	// through checkCtx. Never nil (newPlan substitutes context.Background).
+	ctx     context.Context
+	ctxTick uint
 
 	terms    []graph.Term // deduplicated query keywords, bit i ↔ terms[i]
 	qMask    bitset.Mask
@@ -48,8 +54,15 @@ type jumpNode struct {
 	mask bitset.Mask
 }
 
-// newPlan validates the query and assembles the plan.
-func (s *Searcher) newPlan(q Query, opts Options) (*plan, error) {
+// newPlan validates the query and assembles the plan. A nil ctx means no
+// cancellation; an already-cancelled ctx fails here, before any search work.
+func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("kor: search aborted: %w", err)
+	}
 	opts, err := opts.normalize()
 	if err != nil {
 		return nil, err
@@ -58,7 +71,7 @@ func (s *Searcher) newPlan(q Query, opts Options) (*plan, error) {
 		return nil, err
 	}
 
-	p := &plan{s: s, q: q, opts: opts, infreqBit: -1}
+	p := &plan{s: s, q: q, opts: opts, ctx: ctx, infreqBit: -1}
 
 	// Deduplicate keywords, keeping first-seen order for bit stability.
 	seen := make(map[graph.Term]bool, len(q.Keywords))
@@ -143,6 +156,26 @@ func (s *Searcher) newPlan(q Query, opts Options) (*plan, error) {
 		apsp.PrefetchTarget(s.oracle, v)
 	}
 	return p, nil
+}
+
+// ctxCheckEvery is how many checkCtx calls elapse between real ctx polls.
+// Polling every iteration would put a synchronized Err() call in the hottest
+// loop; every 64th keeps cancellation latency well under a millisecond on
+// any realistic label rate.
+const ctxCheckEvery = 64
+
+// checkCtx polls the plan's context, returning its error (wrapped, so
+// errors.Is(err, context.Canceled) holds) once the context is done. Call it
+// from every search loop.
+func (p *plan) checkCtx() error {
+	p.ctxTick++
+	if p.ctxTick%ctxCheckEvery != 0 {
+		return nil
+	}
+	if err := p.ctx.Err(); err != nil {
+		return fmt.Errorf("kor: search aborted: %w", err)
+	}
+	return nil
 }
 
 // scaledObjective is ô = ⌊o/θ⌋, saturating to keep int64 arithmetic safe

@@ -16,7 +16,7 @@ import (
 // objective. Only usable on tiny graphs and budgets.
 func enumerateFeasible(t *testing.T, s *Searcher, q Query) []Route {
 	t.Helper()
-	p, err := s.newPlan(q, DefaultOptions())
+	p, err := s.newPlan(nil, q, DefaultOptions())
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}

@@ -14,6 +14,7 @@ type PostingSource interface {
 }
 
 // MemIndex is an in-memory inverted index over a graph's node keywords.
+// It is immutable after NewMemIndex and therefore safe for concurrent use.
 type MemIndex struct {
 	postings map[Term][]NodeID
 	numNodes int

@@ -1,16 +1,27 @@
 package textindex
 
-import "kor/internal/graph"
+import (
+	"sync"
+
+	"kor/internal/graph"
+)
 
 // GraphIndex adapts an InvertedFile to graph.PostingSource so the route
 // search algorithms can run against the disk-resident index. Postings read
 // from disk are memoized: the search algorithms hit the same few query terms
 // repeatedly, and the paper's complexity analysis assumes those lookups are
 // cheap after the first fetch.
+//
+// A GraphIndex is safe for concurrent use. The underlying B+-tree mutates
+// its page cache even on reads, so every descent to the file happens under
+// an exclusive lock; memoized postings are served under a read lock, which
+// is the steady-state path once a term has been fetched once.
 type GraphIndex struct {
 	file  *InvertedFile
 	vocab *graph.Vocabulary
-	memo  map[graph.Term][]graph.NodeID
+
+	mu   sync.RWMutex
+	memo map[graph.Term][]graph.NodeID
 }
 
 // NewGraphIndex wraps file, translating graph Terms through vocab.
@@ -46,18 +57,30 @@ func BuildForGraph(path string, g *graph.Graph) (*GraphIndex, error) {
 
 // Postings returns the sorted node IDs carrying term t.
 func (gi *GraphIndex) Postings(t graph.Term) []graph.NodeID {
-	if docs, ok := gi.memo[t]; ok {
+	gi.mu.RLock()
+	docs, ok := gi.memo[t]
+	gi.mu.RUnlock()
+	if ok {
+		return docs
+	}
+	gi.mu.Lock()
+	defer gi.mu.Unlock()
+	if docs, ok := gi.memo[t]; ok { // lost the fetch race: reuse the winner's
 		return docs
 	}
 	name := gi.vocab.Name(t)
 	var out []graph.NodeID
 	if name != "" {
 		raw, err := gi.file.Postings(name)
-		if err == nil {
-			out = make([]graph.NodeID, len(raw))
-			for i, d := range raw {
-				out[i] = graph.NodeID(d)
-			}
+		if err != nil {
+			// Don't memoize a failed read: a transient I/O error must not
+			// poison the term with an empty posting list for the process
+			// lifetime. The next lookup retries the disk.
+			return nil
+		}
+		out = make([]graph.NodeID, len(raw))
+		for i, d := range raw {
+			out[i] = graph.NodeID(d)
 		}
 	}
 	gi.memo[t] = out
@@ -67,10 +90,17 @@ func (gi *GraphIndex) Postings(t graph.Term) []graph.NodeID {
 // DocFrequency returns the number of nodes carrying term t.
 func (gi *GraphIndex) DocFrequency(t graph.Term) int { return len(gi.Postings(t)) }
 
-// Suggest forwards a prefix scan to the inverted file.
+// Suggest forwards a prefix scan to the inverted file. The scan walks the
+// B+-tree, so it takes the exclusive lock.
 func (gi *GraphIndex) Suggest(prefix string, limit int) ([]TermCount, error) {
+	gi.mu.Lock()
+	defer gi.mu.Unlock()
 	return gi.file.SuggestTerms(prefix, limit)
 }
 
 // Close closes the underlying inverted file.
-func (gi *GraphIndex) Close() error { return gi.file.Close() }
+func (gi *GraphIndex) Close() error {
+	gi.mu.Lock()
+	defer gi.mu.Unlock()
+	return gi.file.Close()
+}

@@ -40,10 +40,13 @@
 package kor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"slices"
+	"strings"
 
 	"kor/internal/apsp"
 	"kor/internal/core"
@@ -140,8 +143,15 @@ type EngineConfig struct {
 }
 
 // Engine answers KOR queries over one graph. Construction runs the
-// pre-processing; queries are then independent. An Engine is not safe for
-// concurrent use.
+// pre-processing; queries are then independent.
+//
+// An Engine is safe for concurrent use: the shared substrates (graph,
+// oracle, keyword index) are immutable or internally synchronized, and all
+// per-query state lives on the query's own stack. Serve every request from
+// one Engine — the lazy oracle's sweep cache then amortizes across
+// concurrent queries, with duplicate sweeps single-flighted. The ...Ctx
+// method variants accept a context for per-request deadlines and
+// cancellation; SearchBatch runs a whole query set on a worker pool.
 type Engine struct {
 	g         *Graph
 	searcher  *core.Searcher
@@ -180,23 +190,15 @@ func (e *Engine) Suggest(prefix string, limit int) ([]Suggestion, error) {
 	// Names are in interning order; collect matches then sort by name to
 	// match the disk index's ordering.
 	for term, name := range names {
-		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+		if strings.HasPrefix(name, prefix) {
 			out = append(out, Suggestion{Keyword: name, Nodes: idx.DocFrequency(Term(term))})
 		}
 	}
-	sortSuggestions(out)
+	slices.SortFunc(out, func(a, b Suggestion) int { return strings.Compare(a.Keyword, b.Keyword) })
 	if len(out) > limit {
 		out = out[:limit]
 	}
 	return out, nil
-}
-
-func sortSuggestions(s []Suggestion) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j].Keyword < s[j-1].Keyword; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // NewEngine builds an engine over g. A nil config uses OracleAuto and the
@@ -292,7 +294,14 @@ func (e *Engine) resolve(q Query) (core.Query, error) {
 // Search answers the query with BucketBound, the paper's recommended
 // speed/quality trade-off, returning the best route.
 func (e *Engine) Search(q Query, opts Options) (Route, error) {
-	res, err := e.BucketBound(q, opts)
+	return e.SearchCtx(context.Background(), q, opts)
+}
+
+// SearchCtx is Search with a context: the search aborts with the context's
+// error (wrapped; test with errors.Is against context.Canceled or
+// context.DeadlineExceeded) once the context fires.
+func (e *Engine) SearchCtx(ctx context.Context, q Query, opts Options) (Route, error) {
+	res, err := e.BucketBoundCtx(ctx, q, opts)
 	if err != nil {
 		return Route{}, err
 	}
@@ -301,41 +310,57 @@ func (e *Engine) Search(q Query, opts Options) (Route, error) {
 
 // OSScaling answers the query with Algorithm 1 (bound 1/(1−ε)).
 func (e *Engine) OSScaling(q Query, opts Options) (Result, error) {
+	return e.OSScalingCtx(context.Background(), q, opts)
+}
+
+// OSScalingCtx is OSScaling with cancellation.
+func (e *Engine) OSScalingCtx(ctx context.Context, q Query, opts Options) (Result, error) {
 	cq, err := e.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.searcher.OSScaling(cq, opts)
+	return e.searcher.OSScalingCtx(ctx, cq, opts)
 }
 
 // BucketBound answers the query with Algorithm 2 (bound β/(1−ε)).
 func (e *Engine) BucketBound(q Query, opts Options) (Result, error) {
+	return e.BucketBoundCtx(context.Background(), q, opts)
+}
+
+// BucketBoundCtx is BucketBound with cancellation.
+func (e *Engine) BucketBoundCtx(ctx context.Context, q Query, opts Options) (Result, error) {
 	cq, err := e.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.searcher.BucketBound(cq, opts)
+	return e.searcher.BucketBoundCtx(ctx, cq, opts)
 }
 
 // Greedy answers the query with Algorithm 3. opts.Width selects Greedy-1 or
 // Greedy-2; opts.BudgetPriority flips the variant that respects Δ at the
 // cost of keyword coverage.
 func (e *Engine) Greedy(q Query, opts Options) (Result, error) {
+	return e.GreedyCtx(context.Background(), q, opts)
+}
+
+// GreedyCtx is Greedy with cancellation.
+func (e *Engine) GreedyCtx(ctx context.Context, q Query, opts Options) (Result, error) {
 	cq, err := e.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.searcher.Greedy(cq, opts)
+	return e.searcher.GreedyCtx(ctx, cq, opts)
 }
 
 // TopK answers the KkR query (§3.5): the k best distinct feasible routes,
 // via the OSScaling extension. Set opts.K; k=1 equals OSScaling.
 func (e *Engine) TopK(q Query, opts Options) ([]Route, error) {
-	cq, err := e.resolve(q)
-	if err != nil {
-		return nil, err
-	}
-	res, err := e.searcher.OSScaling(cq, opts)
+	return e.TopKCtx(context.Background(), q, opts)
+}
+
+// TopKCtx is TopK with cancellation.
+func (e *Engine) TopKCtx(ctx context.Context, q Query, opts Options) ([]Route, error) {
+	res, err := e.OSScalingCtx(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -345,11 +370,16 @@ func (e *Engine) TopK(q Query, opts Options) ([]Route, error) {
 // Exact answers the query exactly with branch and bound. Exponential worst
 // case; meant for validation on small inputs.
 func (e *Engine) Exact(q Query, opts Options) (Result, error) {
+	return e.ExactCtx(context.Background(), q, opts)
+}
+
+// ExactCtx is Exact with cancellation.
+func (e *Engine) ExactCtx(ctx context.Context, q Query, opts Options) (Result, error) {
 	cq, err := e.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.searcher.Exact(cq, opts)
+	return e.searcher.ExactCtx(ctx, cq, opts)
 }
 
 // Describe renders a route using node names where available.

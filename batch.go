@@ -7,29 +7,41 @@ import (
 	"sync"
 )
 
-// BatchResult is one query's outcome within a SearchBatch call. Err carries
-// the same per-query errors the single-query methods return (ErrNoRoute,
-// ErrUnknownKeyword, a wrapped context error, ...); when it is nil, Route
-// holds the best route found.
+// BatchResult is one request's outcome within a SearchBatch call. Err
+// carries the same per-request errors Run returns (ErrNoRoute,
+// ErrUnknownKeyword, ErrBadQuery, a wrapped context error, ...); whether or
+// not it is nil, Response holds whatever Run produced — for a greedy
+// budget-overshoot that includes the violating routes.
 type BatchResult struct {
-	Route Route
-	Err   error
+	Response Response
+	Err      error
 }
 
-// SearchBatch answers many queries concurrently against the shared engine
-// substrates, using BucketBound like Search. Results are returned in query
+// Route returns the best route of a successful result, or the zero Route
+// when the request failed or found nothing.
+func (b BatchResult) Route() Route {
+	if len(b.Response.Routes) == 0 {
+		return Route{}
+	}
+	return b.Response.Best()
+}
+
+// SearchBatch answers many requests concurrently against the shared engine
+// substrates. Each request is self-describing, so one batch can mix
+// algorithms and per-request options — a top-k OSScaling probe next to a
+// fleet of default BucketBound queries. Results are returned in request
 // order. parallelism bounds the worker pool; values < 1 mean GOMAXPROCS.
 //
-// Cancelling ctx stops the batch early: queries already running abort via
-// their search loops' context polls, and queries not yet started fail
+// Cancelling ctx stops the batch early: requests already running abort via
+// their search loops' context polls, and requests not yet started fail
 // immediately. The returned error is nil on a full run and the context's
-// error when the batch was cut short; per-query failures are reported only
+// error when the batch was cut short; per-request failures are reported only
 // through the BatchResult entries, never as a batch-level error.
-func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts Options, parallelism int) ([]BatchResult, error) {
+func (e *Engine) SearchBatch(ctx context.Context, requests []Request, parallelism int) ([]BatchResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := len(queries)
+	n := len(requests)
 	if n == 0 {
 		return nil, ctx.Err()
 	}
@@ -49,11 +61,11 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts Options,
 			defer wg.Done()
 			for i := range next {
 				if err := ctx.Err(); err != nil {
-					out[i] = BatchResult{Err: fmt.Errorf("kor: batch query %d not started: %w", i, err)}
+					out[i] = BatchResult{Err: fmt.Errorf("kor: batch request %d not started: %w", i, err)}
 					continue
 				}
-				route, err := e.SearchCtx(ctx, queries[i], opts)
-				out[i] = BatchResult{Route: route, Err: err}
+				resp, err := e.Run(ctx, requests[i])
+				out[i] = BatchResult{Response: resp, Err: err}
 			}
 		}()
 	}

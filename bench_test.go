@@ -353,6 +353,10 @@ func BenchmarkThroughputParallelMixed(b *testing.B) {
 // whole query set on a worker pool.
 func BenchmarkSearchBatch(b *testing.B) {
 	eng, queries := parallelFixture(b)
+	requests := make([]Request, len(queries))
+	for i, q := range queries {
+		requests[i] = Request{From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Budget}
+	}
 	ctx := context.Background()
 	pars := []int{1, runtime.GOMAXPROCS(0)}
 	if pars[1] == 1 {
@@ -361,7 +365,7 @@ func BenchmarkSearchBatch(b *testing.B) {
 	for _, par := range pars {
 		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.SearchBatch(ctx, queries, DefaultOptions(), par); err != nil {
+				if _, err := eng.SearchBatch(ctx, requests, par); err != nil {
 					b.Fatal(err)
 				}
 			}

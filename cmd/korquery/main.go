@@ -3,7 +3,8 @@
 // Usage:
 //
 //	korquery -graph city.korg -from 12 -to 80 -keywords cafe,jazz -delta 6 \
-//	         [-algo bucketbound|osscaling|greedy|exact] [-k 3] [-epsilon 0.5]
+//	         [-algo bucketbound|osscaling|greedy|topk|exact|bruteforce] \
+//	         [-k 3] [-epsilon 0.5]
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 		to        = flag.Int("to", 0, "target node id")
 		keywords  = flag.String("keywords", "", "comma-separated query keywords (required)")
 		delta     = flag.Float64("delta", 0, "budget limit Δ (required, > 0)")
-		algo      = flag.String("algo", "bucketbound", "algorithm: bucketbound | osscaling | greedy | exact")
+		algo      = flag.String("algo", "", "algorithm: bucketbound (default) | osscaling | greedy | topk | exact | bruteforce")
 		k         = flag.Int("k", 1, "top-k routes (label algorithms)")
 		epsilon   = flag.Float64("epsilon", 0.5, "scaling parameter ε")
 		beta      = flag.Float64("beta", 1.2, "bucket base β")
@@ -40,6 +41,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "korquery: -graph, -keywords and -delta are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	algorithm, err := kor.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
 	}
 
 	g, err := kor.LoadGraph(*graphPath)
@@ -56,14 +61,6 @@ func main() {
 	opts.Beta = *beta
 	opts.Alpha = *alpha
 	opts.Width = *width
-	opts.K = *k
-
-	q := kor.Query{
-		From:     kor.NodeID(*from),
-		To:       kor.NodeID(*to),
-		Keywords: splitKeywords(*keywords),
-		Budget:   *delta,
-	}
 
 	// Ctrl-C (or -timeout) aborts the search cleanly through its context —
 	// the exact search especially can run effectively forever on the wrong
@@ -76,19 +73,15 @@ func main() {
 		defer cancel()
 	}
 
-	var res kor.Result
-	switch strings.ToLower(*algo) {
-	case "bucketbound":
-		res, err = eng.BucketBoundCtx(ctx, q, opts)
-	case "osscaling":
-		res, err = eng.OSScalingCtx(ctx, q, opts)
-	case "greedy":
-		res, err = eng.GreedyCtx(ctx, q, opts)
-	case "exact":
-		res, err = eng.ExactCtx(ctx, q, opts)
-	default:
-		fatal(fmt.Errorf("unknown -algo %q", *algo))
-	}
+	resp, err := eng.Run(ctx, kor.Request{
+		From:      kor.NodeID(*from),
+		To:        kor.NodeID(*to),
+		Keywords:  splitKeywords(*keywords),
+		Budget:    *delta,
+		Algorithm: algorithm,
+		K:         *k,
+		Options:   &opts,
+	})
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		fmt.Fprintln(os.Stderr, "korquery: search timed out")
@@ -105,14 +98,21 @@ func main() {
 		fatal(err)
 	}
 
-	for i, r := range res.Routes {
-		if len(res.Routes) > 1 {
+	for i, r := range resp.Routes {
+		if len(resp.Routes) > 1 {
 			fmt.Printf("%d. ", i+1)
 		}
 		fmt.Println(eng.Describe(r))
 	}
 	if *metrics {
-		fmt.Printf("metrics: %+v\n", res.Metrics)
+		if resp.Bound > 0 {
+			fmt.Printf("algorithm: %s (objective within %.3gx of optimal), %v\n",
+				resp.Algorithm, resp.Bound, resp.Elapsed)
+		} else {
+			fmt.Printf("algorithm: %s (no approximation guarantee), %v\n",
+				resp.Algorithm, resp.Elapsed)
+		}
+		fmt.Printf("metrics: %+v\n", resp.Metrics)
 	}
 }
 

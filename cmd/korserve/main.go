@@ -5,13 +5,21 @@
 //
 //	korserve -graph city.korg [-addr :8080] [-timeout 10s]
 //
-// Endpoints:
+// Endpoints (see the korapi package for the wire types):
 //
-//	GET  /query?from=12&to=80&keywords=cafe,jazz&delta=6[&algo=bucketbound][&k=3]
-//	POST /batch      {"queries": [{"from":12,"to":80,"keywords":["cafe"],"delta":6}, ...]}
-//	GET  /node/12
-//	GET  /keywords?prefix=caf&limit=10
-//	GET  /stats
+//	GET  /v1/route?from=12&to=80&keywords=cafe,jazz&budget=6
+//	     [&algorithm=bucketbound|osscaling|greedy|topk|exact|bruteforce]
+//	     [&k=3][&epsilon=0.5][&beta=1.2][&alpha=0.5][&width=2]
+//	     [&metrics=true][&format=geojson]
+//	POST /v1/route      korapi.Request
+//	POST /v1/batch      korapi.BatchRequest (heterogeneous algorithms/options)
+//	GET  /v1/nodes/{id}
+//	GET  /v1/keywords?prefix=caf&limit=10
+//	GET  /v1/stats
+//
+// Every error is the korapi envelope {"error":{"code":...,"message":...}}
+// with a machine-readable code. The pre-/v1 paths (/query, /batch, /node,
+// /keywords, /stats) remain as deprecated aliases of the same handlers.
 //
 // One Engine serves every request: the engine is safe for concurrent use,
 // so handlers run in parallel with no per-request rebuild and no global
@@ -21,35 +29,24 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"kor"
 )
 
-type server struct {
-	eng     *kor.Engine
-	timeout time.Duration // per-request search deadline, 0 = none
-	maxPar  int           // worker-pool cap for /batch
-}
-
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "graph file written by kordata (required)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request search deadline (0 disables)")
-		batchPar  = flag.Int("batch-parallelism", 0, "worker pool size for /batch (0 = GOMAXPROCS)")
+		batchPar  = flag.Int("batch-parallelism", 0, "worker pool size for /v1/batch (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -65,18 +62,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}
-	s := &server{eng: eng, timeout: *timeout, maxPar: *batchPar}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("GET /node/{id}", s.handleNode)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /keywords", s.handleKeywords)
+	s := newServer(eng, *timeout, *batchPar)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           s.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -101,232 +91,4 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("korserve: shutdown: %v", err)
 	}
-}
-
-// queryCtx derives the search context for one request: the client's
-// context (so a dropped connection aborts the search) plus the configured
-// deadline.
-func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.timeout <= 0 {
-		return r.Context(), func() {}
-	}
-	return context.WithTimeout(r.Context(), s.timeout)
-}
-
-type routeJSON struct {
-	Nodes     []kor.NodeID `json:"nodes"`
-	Names     []string     `json:"names,omitempty"`
-	Objective float64      `json:"objective"`
-	Budget    float64      `json:"budget"`
-	Feasible  bool         `json:"feasible"`
-}
-
-func (s *server) routeJSON(r kor.Route) routeJSON {
-	out := routeJSON{Nodes: r.Nodes, Objective: r.Objective, Budget: r.Budget, Feasible: r.Feasible}
-	g := s.eng.Graph()
-	for _, v := range r.Nodes {
-		if g.Name(v) != "" {
-			out.Names = append(out.Names, g.Name(v))
-		}
-	}
-	if len(out.Names) != len(out.Nodes) {
-		out.Names = nil
-	}
-	return out
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	qv := r.URL.Query()
-	from, err1 := strconv.Atoi(qv.Get("from"))
-	to, err2 := strconv.Atoi(qv.Get("to"))
-	delta, err3 := strconv.ParseFloat(qv.Get("delta"), 64)
-	if err1 != nil || err2 != nil || err3 != nil || qv.Get("keywords") == "" {
-		httpError(w, http.StatusBadRequest, "from, to, delta and keywords are required")
-		return
-	}
-	var keywords []string
-	for _, kw := range strings.Split(qv.Get("keywords"), ",") {
-		if kw = strings.TrimSpace(kw); kw != "" {
-			keywords = append(keywords, kw)
-		}
-	}
-	opts := kor.DefaultOptions()
-	if k := qv.Get("k"); k != "" {
-		if kk, err := strconv.Atoi(k); err == nil {
-			opts.K = kk
-		}
-	}
-	q := kor.Query{From: kor.NodeID(from), To: kor.NodeID(to), Keywords: keywords, Budget: delta}
-
-	ctx, cancel := s.queryCtx(r)
-	defer cancel()
-
-	var res kor.Result
-	var err error
-	switch algo := qv.Get("algo"); algo {
-	case "", "bucketbound":
-		res, err = s.eng.BucketBoundCtx(ctx, q, opts)
-	case "osscaling":
-		res, err = s.eng.OSScalingCtx(ctx, q, opts)
-	case "greedy":
-		res, err = s.eng.GreedyCtx(ctx, q, opts)
-	default:
-		httpError(w, http.StatusBadRequest, "unknown algo "+algo)
-		return
-	}
-	if !s.writeSearchError(w, err) {
-		return
-	}
-
-	routes := make([]routeJSON, len(res.Routes))
-	for i, rt := range res.Routes {
-		routes[i] = s.routeJSON(rt)
-	}
-	writeJSON(w, map[string]any{"routes": routes})
-}
-
-// writeSearchError maps a search error onto an HTTP response. It reports
-// whether the handler should proceed to write the result.
-func (s *server) writeSearchError(w http.ResponseWriter, err error) bool {
-	switch {
-	case err == nil, errors.Is(err, kor.ErrBudgetExceeded):
-		return true
-	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, "search deadline exceeded")
-	case errors.Is(err, context.Canceled):
-		// Client went away; nothing useful to write.
-	case errors.Is(err, kor.ErrNoRoute):
-		httpError(w, http.StatusNotFound, "no feasible route")
-	case errors.Is(err, kor.ErrUnknownKeyword), errors.Is(err, kor.ErrBadQuery):
-		httpError(w, http.StatusBadRequest, err.Error())
-	default:
-		httpError(w, http.StatusInternalServerError, err.Error())
-	}
-	return false
-}
-
-type batchQueryJSON struct {
-	From     kor.NodeID `json:"from"`
-	To       kor.NodeID `json:"to"`
-	Keywords []string   `json:"keywords"`
-	Delta    float64    `json:"delta"`
-}
-
-type batchResultJSON struct {
-	Route *routeJSON `json:"route,omitempty"`
-	Error string     `json:"error,omitempty"`
-}
-
-// handleBatch answers many queries in one request via the engine's worker
-// pool. Per-query failures (no route, bad keyword) come back inline so one
-// infeasible query does not fail the batch.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Queries     []batchQueryJSON `json:"queries"`
-		Parallelism int              `json:"parallelism"`
-	}
-	// Bound the body before decoding: the 1024-query limit below cannot
-	// protect memory if the decoder has already swallowed the payload.
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
-		return
-	}
-	if len(req.Queries) == 0 || len(req.Queries) > 1024 {
-		httpError(w, http.StatusBadRequest, "batch must contain 1..1024 queries")
-		return
-	}
-	// Bound the client-requested parallelism: the configured cap, or
-	// GOMAXPROCS when none was set — never let a request pick its own
-	// unbounded worker count.
-	maxPar := s.maxPar
-	if maxPar <= 0 {
-		maxPar = runtime.GOMAXPROCS(0)
-	}
-	par := req.Parallelism
-	if par < 1 || par > maxPar {
-		par = maxPar
-	}
-	queries := make([]kor.Query, len(req.Queries))
-	for i, q := range req.Queries {
-		queries[i] = kor.Query{From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Delta}
-	}
-
-	ctx, cancel := s.queryCtx(r)
-	defer cancel()
-	// A deadline firing mid-batch must not discard the queries that did
-	// finish: SearchBatch fills every slot either way, so always return the
-	// per-query results — entries cut short carry their ctx error inline —
-	// and flag the batch as incomplete.
-	results, batchErr := s.eng.SearchBatch(ctx, queries, kor.DefaultOptions(), par)
-
-	out := make([]batchResultJSON, len(results))
-	for i, br := range results {
-		if br.Err != nil {
-			out[i] = batchResultJSON{Error: br.Err.Error()}
-			continue
-		}
-		rj := s.routeJSON(br.Route)
-		out[i] = batchResultJSON{Route: &rj}
-	}
-	resp := map[string]any{"results": out}
-	if batchErr != nil {
-		resp["incomplete"] = true
-	}
-	writeJSON(w, resp)
-}
-
-func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	g := s.eng.Graph()
-	if err != nil || !g.Valid(kor.NodeID(id)) {
-		httpError(w, http.StatusNotFound, "no such node")
-		return
-	}
-	v := kor.NodeID(id)
-	keywords := make([]string, 0, len(g.Terms(v)))
-	for _, t := range g.Terms(v) {
-		keywords = append(keywords, g.Vocab().Name(t))
-	}
-	writeJSON(w, map[string]any{
-		"id":       v,
-		"name":     g.Name(v),
-		"keywords": keywords,
-		"position": g.Position(v),
-		"degree":   g.OutDegree(v),
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.eng.Graph().ComputeStats())
-}
-
-// handleKeywords serves keyword autocomplete:
-// GET /keywords?prefix=caf&limit=10
-func (s *server) handleKeywords(w http.ResponseWriter, r *http.Request) {
-	limit := 10
-	if l := r.URL.Query().Get("limit"); l != "" {
-		if n, err := strconv.Atoi(l); err == nil && n > 0 && n <= 200 {
-			limit = n
-		}
-	}
-	suggestions, err := s.eng.Suggest(r.URL.Query().Get("prefix"), limit)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, map[string]any{"keywords": suggestions})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("korserve: encoding response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

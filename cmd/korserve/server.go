@@ -1,0 +1,373 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"kor"
+	"kor/korapi"
+)
+
+// server holds the shared engine and the request policy. Handlers marshal
+// straight to and from the korapi wire types; the engine's Run entrypoint
+// does the dispatching.
+type server struct {
+	eng     *kor.Engine
+	timeout time.Duration // per-request search deadline, 0 = none
+	maxPar  int           // worker-pool cap for /v1/batch
+}
+
+func newServer(eng *kor.Engine, timeout time.Duration, maxPar int) *server {
+	return &server{eng: eng, timeout: timeout, maxPar: maxPar}
+}
+
+// routes builds the HTTP surface: the versioned /v1 endpoints plus the
+// pre-/v1 spellings as deprecated aliases onto the same handlers.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/route", s.handleRouteGet)
+	mux.HandleFunc("POST /v1/route", s.handleRoutePost)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
+	mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	// Deprecated pre-/v1 aliases; they answer with the /v1 bodies and a
+	// Deprecation header pointing at the successor.
+	mux.HandleFunc("GET /query", deprecated("/v1/route", s.handleRouteGet))
+	mux.HandleFunc("POST /batch", deprecated("/v1/batch", s.handleBatch))
+	mux.HandleFunc("GET /node/{id}", deprecated("/v1/nodes/{id}", s.handleNode))
+	mux.HandleFunc("GET /keywords", deprecated("/v1/keywords", s.handleKeywords))
+	mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.handleStats))
+	return mux
+}
+
+// deprecated marks a legacy path while serving the modern handler.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		h(w, r)
+	}
+}
+
+// queryCtx derives the search context for one request: the client's context
+// (so a dropped connection aborts the search) plus the configured deadline.
+func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// requestFromParams decodes a korapi.Request from URL query parameters.
+// Every malformed value is a hard bad_request error — nothing is silently
+// dropped.
+func requestFromParams(qv map[string][]string) (korapi.Request, *korapi.Error) {
+	get := func(key string) string {
+		if vs := qv[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	badParam := func(key, val string) *korapi.Error {
+		return &korapi.Error{
+			Code:    korapi.CodeBadRequest,
+			Message: fmt.Sprintf("malformed parameter %s=%q", key, val),
+		}
+	}
+
+	var req korapi.Request
+	for _, key := range []string{"from", "to"} {
+		v := get(key)
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, badParam(key, v)
+		}
+		if key == "from" {
+			req.From = n
+		} else {
+			req.To = n
+		}
+	}
+
+	budgetKey := "budget"
+	if get(budgetKey) == "" && get("delta") != "" {
+		budgetKey = "delta" // deprecated alias
+	}
+	budget, err := strconv.ParseFloat(get(budgetKey), 64)
+	if err != nil {
+		return req, badParam(budgetKey, get(budgetKey))
+	}
+	req.Budget = budget
+
+	for _, kw := range strings.Split(get("keywords"), ",") {
+		if kw = strings.TrimSpace(kw); kw != "" {
+			req.Keywords = append(req.Keywords, kw)
+		}
+	}
+	if len(req.Keywords) == 0 {
+		return req, &korapi.Error{Code: korapi.CodeBadRequest, Message: "at least one keyword is required"}
+	}
+
+	req.Algorithm = get("algorithm")
+	if req.Algorithm == "" {
+		req.Algorithm = get("algo") // deprecated alias
+	}
+	if v := get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return req, badParam("k", v)
+		}
+		req.K = k
+	}
+	if v := get("metrics"); v != "" {
+		m, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, badParam("metrics", v)
+		}
+		req.Metrics = m
+	}
+
+	// Flat tuning overrides. Out-of-domain values pass through here and are
+	// rejected by Options.Validate inside Engine.Run.
+	var opts korapi.Options
+	any := false
+	for _, p := range []struct {
+		key string
+		dst **float64
+	}{
+		{"epsilon", &opts.Epsilon}, {"beta", &opts.Beta}, {"alpha", &opts.Alpha},
+	} {
+		if v := get(p.key); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return req, badParam(p.key, v)
+			}
+			*p.dst = &f
+			any = true
+		}
+	}
+	if v := get("width"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, badParam("width", v)
+		}
+		opts.Width = &n
+		any = true
+	}
+	if any {
+		req.Options = &opts
+	}
+	return req, nil
+}
+
+func (s *server) handleRouteGet(w http.ResponseWriter, r *http.Request) {
+	req, apiErr := requestFromParams(r.URL.Query())
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	s.serveRoute(w, r, req)
+}
+
+func (s *server) handleRoutePost(w http.ResponseWriter, r *http.Request) {
+	var req korapi.Request
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "bad request body: " + err.Error()})
+		return
+	}
+	s.serveRoute(w, r, req)
+}
+
+// serveRoute answers one route request, shared by the GET and POST forms.
+// format=geojson renders the best route as a GeoJSON FeatureCollection
+// instead of the korapi response.
+func (s *server) serveRoute(w http.ResponseWriter, r *http.Request, req korapi.Request) {
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "geojson" {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "unknown format " + format})
+		return
+	}
+	korReq, err := req.KorRequest()
+	if err != nil {
+		writeError(w, korapi.ErrorFrom(err))
+		return
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	resp, err := s.eng.Run(ctx, korReq)
+	if apiErr := korapi.ErrorFrom(err); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	if format == "geojson" {
+		if !s.eng.Graph().HasPositions() {
+			writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "graph carries no coordinates for GeoJSON"})
+			return
+		}
+		buf, err := kor.RouteGeoJSON(s.eng.Graph(), resp.Best())
+		if err != nil {
+			writeError(w, &korapi.Error{Code: korapi.CodeInternal, Message: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/geo+json")
+		if _, err := w.Write(buf); err != nil {
+			log.Printf("korserve: writing geojson: %v", err)
+		}
+		return
+	}
+	writeJSON(w, korapi.ResponseFromKor(s.eng.Graph(), resp, req.Metrics))
+}
+
+// handleBatch answers many requests in one call via the engine's worker
+// pool. Per-request failures come back inline so one infeasible query does
+// not fail the batch.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch korapi.BatchRequest
+	// Bound the body before decoding: the request-count limit below cannot
+	// protect memory if the decoder has already swallowed the payload.
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "bad batch body: " + err.Error()})
+		return
+	}
+	wireReqs := batch.All()
+	if len(wireReqs) == 0 || len(wireReqs) > 1024 {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "batch must contain 1..1024 requests"})
+		return
+	}
+	// Bound the client-requested parallelism: the configured cap, or
+	// GOMAXPROCS when none was set — never let a request pick its own
+	// unbounded worker count.
+	maxPar := s.maxPar
+	if maxPar <= 0 {
+		maxPar = runtime.GOMAXPROCS(0)
+	}
+	par := batch.Parallelism
+	if par < 1 || par > maxPar {
+		par = maxPar
+	}
+	requests := make([]kor.Request, len(wireReqs))
+	for i, wr := range wireReqs {
+		kr, err := wr.KorRequest()
+		if err != nil {
+			writeError(w, korapi.ErrorFrom(fmt.Errorf("request %d: %w", i, err)))
+			return
+		}
+		requests[i] = kr
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	// A deadline firing mid-batch must not discard the requests that did
+	// finish: SearchBatch fills every slot either way, so always return the
+	// per-request results — entries cut short carry their error inline —
+	// and flag the batch as incomplete.
+	results, batchErr := s.eng.SearchBatch(ctx, requests, par)
+
+	out := korapi.BatchResponse{Results: make([]korapi.BatchResult, len(results)), Incomplete: batchErr != nil}
+	for i, br := range results {
+		if apiErr := korapi.ErrorFrom(br.Err); apiErr != nil {
+			out.Results[i] = korapi.BatchResult{Error: apiErr}
+			continue
+		}
+		resp := korapi.ResponseFromKor(s.eng.Graph(), br.Response, wireReqs[i].Metrics)
+		out.Results[i] = korapi.BatchResult{Response: &resp}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	g := s.eng.Graph()
+	if err != nil || !g.Valid(kor.NodeID(id)) {
+		writeError(w, &korapi.Error{Code: korapi.CodeNotFound, Message: "no such node"})
+		return
+	}
+	v := kor.NodeID(id)
+	keywords := make([]string, 0, len(g.Terms(v)))
+	for _, t := range g.Terms(v) {
+		keywords = append(keywords, g.Vocab().Name(t))
+	}
+	pos := g.Position(v)
+	writeJSON(w, korapi.Node{
+		ID:       id,
+		Name:     g.Name(v),
+		Keywords: keywords,
+		X:        pos.X,
+		Y:        pos.Y,
+		Degree:   g.OutDegree(v),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Graph().ComputeStats()
+	writeJSON(w, korapi.Stats{
+		Nodes:        st.Nodes,
+		Edges:        st.Edges,
+		Terms:        st.Terms,
+		AvgOutDegree: st.AvgOutDegree,
+		MaxOutDegree: st.MaxOutDegree,
+		AvgTerms:     st.AvgTerms,
+		MinObjective: st.MinObjective,
+		MaxObjective: st.MaxObjective,
+		MinBudget:    st.MinBudget,
+		MaxBudget:    st.MaxBudget,
+		Isolated:     st.Isolated,
+	})
+}
+
+// handleKeywords serves keyword autocomplete:
+// GET /v1/keywords?prefix=caf&limit=10
+func (s *server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	limit := 10
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 1 || n > 200 {
+			writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "limit must be an integer in 1..200"})
+			return
+		}
+		limit = n
+	}
+	suggestions, err := s.eng.Suggest(r.URL.Query().Get("prefix"), limit)
+	if err != nil {
+		writeError(w, &korapi.Error{Code: korapi.CodeInternal, Message: err.Error()})
+		return
+	}
+	out := korapi.KeywordsResponse{Keywords: make([]korapi.Keyword, len(suggestions))}
+	for i, sg := range suggestions {
+		out.Keywords[i] = korapi.Keyword{Keyword: sg.Keyword, Nodes: sg.Nodes}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("korserve: encoding response: %v", err)
+	}
+}
+
+// writeError emits the korapi error envelope with the code's HTTP status.
+// A canceled search means the client already went away: nothing is written.
+func writeError(w http.ResponseWriter, apiErr *korapi.Error) {
+	if apiErr.Code == korapi.CodeCanceled {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(apiErr.Code.HTTPStatus())
+	if err := json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: *apiErr}); err != nil {
+		log.Printf("korserve: encoding error response: %v", err)
+	}
+}

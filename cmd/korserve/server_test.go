@@ -1,0 +1,416 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kor"
+	"kor/internal/geo"
+	"kor/korapi"
+)
+
+// testGraph is the façade test city plus coordinates, so GeoJSON works.
+func testGraph(t *testing.T) *kor.Graph {
+	t.Helper()
+	b := kor.NewBuilder()
+	hotel := b.AddNode("hotel")
+	cafe := b.AddNode("cafe", "jazz")
+	park := b.AddNode("park")
+	mall := b.AddNode("mall", "cafe")
+	edges := []struct {
+		from, to kor.NodeID
+		o, c     float64
+	}{
+		{hotel, cafe, 0.7, 1.2}, {cafe, park, 0.3, 0.8}, {park, hotel, 0.5, 1.0},
+		{cafe, mall, 0.4, 0.5}, {mall, park, 0.6, 0.9}, {hotel, park, 2.0, 0.4},
+		{park, cafe, 0.3, 0.8},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.from, e.to, e.o, e.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.SetName(hotel, "Grand Hotel"); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []kor.NodeID{hotel, cafe, park, mall} {
+		if err := b.SetPosition(v, geo.Point{X: float64(i), Y: float64(i) * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func testServer(t *testing.T, timeout time.Duration) *httptest.Server {
+	t.Helper()
+	eng, err := kor.NewEngine(testGraph(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, timeout, 0).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// get fetches a path and decodes the JSON body into out (unless nil).
+func get(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s body %q: %v", path, body, err)
+		}
+	}
+	return resp
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, in, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s body %q: %v", path, body, err)
+		}
+	}
+	return resp
+}
+
+func wantEnvelope(t *testing.T, resp *http.Response, env korapi.ErrorEnvelope, status int, code korapi.ErrorCode) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Errorf("status = %d, want %d", resp.StatusCode, status)
+	}
+	if env.Error.Code != code {
+		t.Errorf("error code = %q, want %q", env.Error.Code, code)
+	}
+	if env.Error.Message == "" {
+		t.Error("error envelope carries no message")
+	}
+}
+
+func TestServeV1Route(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var out korapi.Response
+	resp := get(t, ts, "/v1/route?from=0&to=0&keywords=jazz,park&budget=4&metrics=true", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Algorithm != "bucketbound" {
+		t.Errorf("algorithm = %q, want bucketbound", out.Algorithm)
+	}
+	if out.Bound < 2.39 || out.Bound > 2.41 {
+		t.Errorf("bound = %v, want 2.4", out.Bound)
+	}
+	if len(out.Routes) != 1 || !out.Routes[0].Feasible {
+		t.Fatalf("routes = %+v", out.Routes)
+	}
+	if out.Metrics == nil {
+		t.Error("metrics=true did not attach metrics")
+	}
+	if out.Routes[0].Nodes[0] != 0 || out.Routes[0].Nodes[len(out.Routes[0].Nodes)-1] != 0 {
+		t.Errorf("round trip endpoints wrong: %v", out.Routes[0].Nodes)
+	}
+}
+
+func TestServeV1RoutePost(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	eps := 0.1
+	req := korapi.Request{
+		From: 0, To: 2, Keywords: []string{"cafe"}, Budget: 6,
+		Algorithm: "topk", K: 3,
+		Options: &korapi.Options{Epsilon: &eps},
+	}
+	var out korapi.Response
+	resp := post(t, ts, "/v1/route", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Algorithm != "topk" {
+		t.Errorf("algorithm = %q, want topk", out.Algorithm)
+	}
+	if len(out.Routes) < 2 {
+		t.Errorf("top-k returned %d routes", len(out.Routes))
+	}
+}
+
+// TestServeV1RouteBadParams: every malformed numeric parameter is a hard
+// 400 with the error envelope — nothing is silently ignored. Before /v1 a
+// bad k was dropped on the floor.
+func TestServeV1RouteBadParams(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	cases := []struct {
+		name, path string
+		code       korapi.ErrorCode
+	}{
+		{"bad k", "/v1/route?from=0&to=2&keywords=cafe&budget=5&k=abc", korapi.CodeBadRequest},
+		{"negative k", "/v1/route?from=0&to=2&keywords=cafe&budget=5&k=-3", korapi.CodeBadRequest},
+		{"out-of-range from", "/v1/route?from=4294967296&to=2&keywords=cafe&budget=5", korapi.CodeBadRequest},
+		{"bad from", "/v1/route?from=xyz&to=2&keywords=cafe&budget=5", korapi.CodeBadRequest},
+		{"bad budget", "/v1/route?from=0&to=2&keywords=cafe&budget=much", korapi.CodeBadRequest},
+		{"missing keywords", "/v1/route?from=0&to=2&budget=5", korapi.CodeBadRequest},
+		{"bad epsilon value", "/v1/route?from=0&to=2&keywords=cafe&budget=5&epsilon=nope", korapi.CodeBadRequest},
+		{"out-of-domain epsilon", "/v1/route?from=0&to=2&keywords=cafe&budget=5&epsilon=1.5", korapi.CodeBadRequest},
+		{"bad width", "/v1/route?from=0&to=2&keywords=cafe&budget=5&width=0", korapi.CodeBadRequest},
+		{"bad metrics", "/v1/route?from=0&to=2&keywords=cafe&budget=5&metrics=perhaps", korapi.CodeBadRequest},
+		{"bad format", "/v1/route?from=0&to=2&keywords=cafe&budget=5&format=xml", korapi.CodeBadRequest},
+		{"unknown algorithm", "/v1/route?from=0&to=2&keywords=cafe&budget=5&algorithm=warp", korapi.CodeUnknownAlgorithm},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var env korapi.ErrorEnvelope
+			resp := get(t, ts, c.path, &env)
+			wantEnvelope(t, resp, env, http.StatusBadRequest, c.code)
+		})
+	}
+}
+
+// TestServeErrorCodes maps the search outcomes onto statuses and codes:
+// no feasible route → 404/no_route, unknown keyword → 400/unknown_keyword,
+// deadline → 504/deadline_exceeded.
+func TestServeErrorCodes(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+
+	var env korapi.ErrorEnvelope
+	resp := get(t, ts, "/v1/route?from=0&to=2&keywords=jazz&budget=0.1", &env)
+	wantEnvelope(t, resp, env, http.StatusNotFound, korapi.CodeNoRoute)
+
+	env = korapi.ErrorEnvelope{}
+	resp = get(t, ts, "/v1/route?from=0&to=2&keywords=spa&budget=5", &env)
+	wantEnvelope(t, resp, env, http.StatusBadRequest, korapi.CodeUnknownKeyword)
+
+	// A server whose deadline already passed when the search starts.
+	tiny := testServer(t, time.Nanosecond)
+	env = korapi.ErrorEnvelope{}
+	resp = get(t, tiny, "/v1/route?from=0&to=2&keywords=cafe&budget=5", &env)
+	wantEnvelope(t, resp, env, http.StatusGatewayTimeout, korapi.CodeDeadline)
+}
+
+func TestServeV1Batch(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	eps := 0.1
+	batch := korapi.BatchRequest{
+		Requests: []korapi.Request{
+			{From: 0, To: 2, Keywords: []string{"cafe"}, Budget: 5},
+			{From: 0, To: 2, Keywords: []string{"cafe"}, Budget: 6, Algorithm: "topk", K: 3, Options: &korapi.Options{Epsilon: &eps}},
+			{From: 0, To: 2, Keywords: []string{"spa"}, Budget: 5},
+			{From: 0, To: 2, Keywords: []string{"cafe"}, Budget: 5, Algorithm: "exact"},
+			{From: 0, To: 2, Keywords: []string{"cafe"}, Budget: 5, Algorithm: "warp"},
+		},
+	}
+	var out korapi.BatchResponse
+	resp := post(t, ts, "/v1/batch", batch, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Results) != 5 {
+		t.Fatalf("results = %d, want 5", len(out.Results))
+	}
+	if out.Incomplete {
+		t.Error("full batch flagged incomplete")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if out.Results[i].Response == nil || out.Results[i].Error != nil {
+			t.Errorf("slot %d: %+v, want success", i, out.Results[i])
+		}
+	}
+	if out.Results[1].Response != nil {
+		if out.Results[1].Response.Algorithm != "topk" {
+			t.Errorf("slot 1 ran %q, want topk", out.Results[1].Response.Algorithm)
+		}
+		if len(out.Results[1].Response.Routes) < 2 {
+			t.Errorf("slot 1 top-k returned %d routes", len(out.Results[1].Response.Routes))
+		}
+	}
+	if out.Results[3].Response != nil && out.Results[3].Response.Bound != 1 {
+		t.Errorf("exact slot bound = %v, want 1", out.Results[3].Response.Bound)
+	}
+	if out.Results[2].Error == nil || out.Results[2].Error.Code != korapi.CodeUnknownKeyword {
+		t.Errorf("failing slot = %+v, want unknown_keyword error", out.Results[2])
+	}
+	// A batch slot with a bad algorithm carries the same code /v1/route uses.
+	if out.Results[4].Error == nil || out.Results[4].Error.Code != korapi.CodeUnknownAlgorithm {
+		t.Errorf("bad-algorithm slot = %+v, want unknown_algorithm error", out.Results[4])
+	}
+
+	// Malformed bodies and empty batches are hard 400s.
+	var env korapi.ErrorEnvelope
+	resp = post(t, ts, "/v1/batch", korapi.BatchRequest{}, &env)
+	wantEnvelope(t, resp, env, http.StatusBadRequest, korapi.CodeBadRequest)
+}
+
+func TestServeV1Nodes(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var node korapi.Node
+	resp := get(t, ts, "/v1/nodes/1", &node)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if node.ID != 1 || len(node.Keywords) != 2 {
+		t.Errorf("node = %+v, want id 1 with keywords {cafe, jazz}", node)
+	}
+
+	for _, path := range []string{"/v1/nodes/999", "/v1/nodes/abc"} {
+		var env korapi.ErrorEnvelope
+		resp := get(t, ts, path, &env)
+		wantEnvelope(t, resp, env, http.StatusNotFound, korapi.CodeNotFound)
+	}
+}
+
+func TestServeV1Keywords(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var out korapi.KeywordsResponse
+	resp := get(t, ts, "/v1/keywords?prefix=ca&limit=10", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Keywords) != 1 || out.Keywords[0].Keyword != "cafe" || out.Keywords[0].Nodes != 2 {
+		t.Errorf("keywords = %+v, want [{cafe 2}]", out.Keywords)
+	}
+
+	var env korapi.ErrorEnvelope
+	resp = get(t, ts, "/v1/keywords?limit=lots", &env)
+	wantEnvelope(t, resp, env, http.StatusBadRequest, korapi.CodeBadRequest)
+}
+
+func TestServeV1Stats(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var st korapi.Stats
+	resp := get(t, ts, "/v1/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.Nodes != 4 || st.Edges != 7 {
+		t.Errorf("stats = %+v, want 4 nodes / 7 edges", st)
+	}
+}
+
+func TestServeGeoJSON(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	resp, err := http.Get(ts.URL + "/v1/route?from=0&to=0&keywords=jazz,park&budget=4&format=geojson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/geo+json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Geometry struct {
+				Type string `json:"type"`
+			} `json:"geometry"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(body, &fc); err != nil {
+		t.Fatalf("decoding geojson %q: %v", body, err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) < 2 {
+		t.Errorf("geojson = %s", body)
+	}
+	if fc.Features[0].Geometry.Type != "LineString" {
+		t.Errorf("first feature geometry = %q, want LineString", fc.Features[0].Geometry.Type)
+	}
+}
+
+// TestServeLegacyAliases: the pre-/v1 paths still answer (with the /v1
+// bodies) and are flagged deprecated.
+func TestServeLegacyAliases(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var out korapi.Response
+	resp := get(t, ts, "/query?from=0&to=0&keywords=jazz,park&delta=4&algo=greedy", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("legacy path not flagged with a Deprecation header")
+	}
+	if !strings.Contains(resp.Header.Get("Link"), "/v1/route") {
+		t.Errorf("Link header = %q, want successor /v1/route", resp.Header.Get("Link"))
+	}
+	if out.Algorithm != "greedy" {
+		t.Errorf("algorithm = %q, want greedy via legacy algo param", out.Algorithm)
+	}
+
+	// The satellite fix: a malformed k on the legacy path is now a 400, not
+	// silently ignored.
+	var env korapi.ErrorEnvelope
+	respBad := get(t, ts, "/query?from=0&to=0&keywords=jazz&delta=4&k=abc", &env)
+	wantEnvelope(t, respBad, env, http.StatusBadRequest, korapi.CodeBadRequest)
+
+	var batchOut korapi.BatchResponse
+	legacyBody := map[string]any{
+		"queries": []map[string]any{
+			{"from": 0, "to": 2, "keywords": []string{"cafe"}, "delta": 5},
+		},
+	}
+	respBatch := post(t, ts, "/batch", legacyBody, &batchOut)
+	if respBatch.StatusCode != http.StatusOK {
+		t.Fatalf("legacy batch status = %d", respBatch.StatusCode)
+	}
+	if len(batchOut.Results) != 1 || batchOut.Results[0].Response == nil {
+		t.Errorf("legacy batch results = %+v", batchOut.Results)
+	}
+}
+
+// TestServeConcurrentRoutes hammers one server from several goroutines as a
+// sanity check that the shared-engine handlers stay race-free end to end.
+func TestServeConcurrentRoutes(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/v1/route?from=0&to=0&keywords=jazz,park&budget=4")
+			if err != nil {
+				done <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				done <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"kor"
+	"kor/korapi"
+)
+
+// TestServeBinarySmoke builds the korserve binary, starts it on a saved
+// graph, and drives the /v1 surface over real HTTP — the smoke job CI runs
+// with `go test ./... -run TestServe`.
+func TestServeBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test in -short mode")
+	}
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "korserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building korserve: %v\n%s", err, out)
+	}
+
+	graphPath := filepath.Join(dir, "city.korg")
+	if err := kor.SaveGraph(graphPath, testGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeAddr(t)
+	srv := exec.Command(bin, "-graph", graphPath, "-addr", addr, "-timeout", "5s")
+	srv.Stderr = io.Discard
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+
+	base := "http://" + addr
+	waitReady(t, base+"/v1/stats")
+
+	var routeResp korapi.Response
+	getInto(t, base+"/v1/route?from=0&to=0&keywords=jazz,park&budget=4", http.StatusOK, &routeResp)
+	if len(routeResp.Routes) != 1 || !routeResp.Routes[0].Feasible {
+		t.Errorf("binary /v1/route = %+v", routeResp)
+	}
+
+	var env korapi.ErrorEnvelope
+	getInto(t, base+"/v1/route?from=0&to=2&keywords=spa&budget=5", http.StatusBadRequest, &env)
+	if env.Error.Code != korapi.CodeUnknownKeyword {
+		t.Errorf("binary error code = %q, want unknown_keyword", env.Error.Code)
+	}
+
+	var st korapi.Stats
+	getInto(t, base+"/v1/stats", http.StatusOK, &st)
+	if st.Nodes != 4 {
+		t.Errorf("binary /v1/stats nodes = %d, want 4", st.Nodes)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("korserve binary never became ready at %s", url)
+}
+
+func getInto(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s: status %d, want %d (body %s)", url, resp.StatusCode, wantStatus, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("decoding %s body %q: %v", url, body, err)
+	}
+}

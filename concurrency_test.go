@@ -159,8 +159,12 @@ func TestSearchBatch(t *testing.T) {
 		}
 	}
 
+	requests := make([]Request, len(queries))
+	for i, q := range queries {
+		requests[i] = Request{From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Budget}
+	}
 	for _, par := range []int{0, 1, 4, 16} {
-		results, err := eng.SearchBatch(context.Background(), queries, DefaultOptions(), par)
+		results, err := eng.SearchBatch(context.Background(), requests, par)
 		if err != nil {
 			t.Fatalf("SearchBatch(par=%d): %v", par, err)
 		}
@@ -168,7 +172,7 @@ func TestSearchBatch(t *testing.T) {
 			t.Fatalf("SearchBatch(par=%d) returned %d results for %d queries", par, len(results), len(queries))
 		}
 		for i, br := range results {
-			got := br.Route.String()
+			got := br.Route().String()
 			if br.Err != nil {
 				got = "error: " + br.Err.Error()
 			}
@@ -184,9 +188,13 @@ func TestSearchBatch(t *testing.T) {
 func TestSearchBatchCancelled(t *testing.T) {
 	eng := concurrencyEngine(t)
 	queries := concurrencyQueries(t, eng, 4)
+	requests := make([]Request, len(queries))
+	for i, q := range queries {
+		requests[i] = Request{From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Budget}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results, err := eng.SearchBatch(ctx, queries, DefaultOptions(), 2)
+	results, err := eng.SearchBatch(ctx, requests, 2)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("batch error = %v, want context.Canceled", err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	query := kor.Query{
+	// Run is the engine's single entry point: the request carries the whole
+	// query, including which algorithm to run (the zero Algorithm picks
+	// BucketBound, the paper's recommended trade-off).
+	request := kor.Request{
 		From:     hotel,
 		To:       hotel, // round trip
 		Keywords: []string{"jazz", "park"},
@@ -62,18 +66,20 @@ func main() {
 	}
 
 	fmt.Println("query: cover {jazz, park} from the hotel and back, within 4 km")
-	route, err := eng.Search(query, kor.DefaultOptions())
+	resp, err := eng.Run(context.Background(), request)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("best route:", eng.Describe(route))
+	fmt.Println("best route:", eng.Describe(resp.Best()))
+	fmt.Printf("found by %s within %.2gx of optimal in %v\n",
+		resp.Algorithm, resp.Bound, resp.Elapsed)
 
 	// Tighten the budget until the scenic route no longer fits.
-	query.Budget = 2.5
-	route, err = eng.Search(query, kor.DefaultOptions())
+	request.Budget = 2.5
+	resp, err = eng.Run(context.Background(), request)
 	if err != nil {
 		fmt.Println("within 2.5 km:", err)
 		return
 	}
-	fmt.Println("within 2.5 km:", eng.Describe(route))
+	fmt.Println("within 2.5 km:", eng.Describe(resp.Best()))
 }

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,20 +51,22 @@ func main() {
 	}
 
 	opts := kor.DefaultOptions()
-	opts.K = 4
 	opts.Epsilon = 0.1 // tight scaling: rank alternatives accurately
-	routes, err := eng.TopK(kor.Query{
-		From:     ids[0],
-		To:       ids[5],
-		Keywords: []string{"food", "art"},
-		Budget:   5,
-	}, opts)
+	resp, err := eng.Run(context.Background(), kor.Request{
+		From:      ids[0],
+		To:        ids[5],
+		Keywords:  []string{"food", "art"},
+		Budget:    5,
+		Algorithm: kor.AlgorithmTopK,
+		K:         4,
+		Options:   &opts,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("top %d routes from Station to Terminal covering {food, art}, Δ=5:\n", len(routes))
-	for i, r := range routes {
+	fmt.Printf("top %d routes from Station to Terminal covering {food, art}, Δ=5:\n", len(resp.Routes))
+	for i, r := range resp.Routes {
 		fmt.Printf("%d. %s\n", i+1, eng.Describe(r))
 	}
 }

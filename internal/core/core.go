@@ -47,6 +47,9 @@ var (
 	ErrNoRoute = errors.New("kor: no feasible route exists")
 	// ErrBadQuery reports a malformed query.
 	ErrBadQuery = errors.New("kor: bad query")
+	// ErrUnknownAlgorithm reports an algorithm name missing from the
+	// registry. Errors carrying it also match ErrBadQuery.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
 	// ErrBudgetExceeded is returned by Greedy in keyword-priority mode when
 	// the route it constructed covers the keywords but violates the budget.
 	// The violating route is still returned for inspection.

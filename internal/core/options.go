@@ -61,22 +61,43 @@ func DefaultOptions() Options {
 	}
 }
 
-// normalize validates and fills derived defaults.
-func (o Options) normalize() (Options, error) {
+// Validate rejects tuning values outside the algorithms' domains: ε∈(0,1),
+// β>1, α∈[0,1], K≥1, Width≥1. Every violation is reported as an ErrBadQuery
+// wrap, so callers test with errors.Is(err, ErrBadQuery). Validate is
+// stricter than the legacy entry points, which silently lifted K and Width
+// to 1: Engine.Run calls it so a misconfigured request fails fast instead of
+// degrading to defaults.
+func (o Options) Validate() error {
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
-		return o, fmt.Errorf("%w: epsilon %v must lie in (0,1)", ErrBadQuery, o.Epsilon)
+		return fmt.Errorf("%w: epsilon %v must lie in (0,1)", ErrBadQuery, o.Epsilon)
 	}
 	if o.Beta <= 1 {
-		return o, fmt.Errorf("%w: beta %v must exceed 1", ErrBadQuery, o.Beta)
+		return fmt.Errorf("%w: beta %v must exceed 1", ErrBadQuery, o.Beta)
 	}
 	if o.Alpha < 0 || o.Alpha > 1 {
-		return o, fmt.Errorf("%w: alpha %v must lie in [0,1]", ErrBadQuery, o.Alpha)
+		return fmt.Errorf("%w: alpha %v must lie in [0,1]", ErrBadQuery, o.Alpha)
 	}
+	if o.K < 1 {
+		return fmt.Errorf("%w: k %d must be at least 1", ErrBadQuery, o.K)
+	}
+	if o.Width < 1 {
+		return fmt.Errorf("%w: width %d must be at least 1", ErrBadQuery, o.Width)
+	}
+	return nil
+}
+
+// normalize validates and fills derived defaults. Unlike Validate it is
+// lenient on K and Width (lifted to 1), preserving the historical behaviour
+// of the deprecated per-algorithm entry points.
+func (o Options) normalize() (Options, error) {
 	if o.Width < 1 {
 		o.Width = 1
 	}
 	if o.K < 1 {
 		o.K = 1
+	}
+	if err := o.Validate(); err != nil {
+		return o, err
 	}
 	if o.InfrequentFraction <= 0 {
 		o.InfrequentFraction = 0.01

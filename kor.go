@@ -27,12 +27,19 @@
 //	g := b.MustBuild()
 //
 //	eng, _ := kor.NewEngine(g, nil)
-//	route, _ := eng.Search(kor.Query{
+//	resp, _ := eng.Run(context.Background(), kor.Request{
 //		From: hotel, To: hotel,
 //		Keywords: []string{"jazz", "park"},
 //		Budget:   4,
-//	}, kor.DefaultOptions())
-//	fmt.Println(route)
+//	})
+//	fmt.Println(resp.Best())
+//
+// Run is the single entry point: the Request names the algorithm (the zero
+// value picks BucketBound) and optionally overrides the tuning Options, and
+// the Response carries the routes with the algorithm's approximation bound,
+// work metrics and wall time. The per-algorithm methods (Search, OSScaling,
+// BucketBound, Greedy, TopK, Exact and their Ctx variants) remain as
+// deprecated wrappers over Run.
 //
 // Node keywords, edge attributes and the two pre-processing path families
 // (τ: minimum objective, σ: minimum budget) follow the paper's definitions;
@@ -85,6 +92,12 @@ var (
 	// ErrBudgetExceeded reports a greedy route that covers the keywords but
 	// violates the budget; the route is still returned.
 	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrSearchLimit reports that the expansion cap fired before the search
+	// concluded.
+	ErrSearchLimit = core.ErrSearchLimit
+	// ErrUnknownAlgorithm reports a Request.Algorithm missing from the
+	// registry; errors carrying it also match ErrBadQuery.
+	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
 	// ErrUnknownKeyword reports a query keyword absent from the graph's
 	// vocabulary.
 	ErrUnknownKeyword = errors.New("kor: unknown keyword")
@@ -149,9 +162,9 @@ type EngineConfig struct {
 // oracle, keyword index) are immutable or internally synchronized, and all
 // per-query state lives on the query's own stack. Serve every request from
 // one Engine — the lazy oracle's sweep cache then amortizes across
-// concurrent queries, with duplicate sweeps single-flighted. The ...Ctx
-// method variants accept a context for per-request deadlines and
-// cancellation; SearchBatch runs a whole query set on a worker pool.
+// concurrent queries, with duplicate sweeps single-flighted. Run answers
+// one Request with per-request deadlines and cancellation through its
+// context; SearchBatch runs a whole Request set on a worker pool.
 type Engine struct {
 	g         *Graph
 	searcher  *core.Searcher
@@ -293,6 +306,8 @@ func (e *Engine) resolve(q Query) (core.Query, error) {
 
 // Search answers the query with BucketBound, the paper's recommended
 // speed/quality trade-off, returning the best route.
+//
+// Deprecated: use Run with AlgorithmBucketBound (or the zero Algorithm).
 func (e *Engine) Search(q Query, opts Options) (Route, error) {
 	return e.SearchCtx(context.Background(), q, opts)
 }
@@ -300,8 +315,10 @@ func (e *Engine) Search(q Query, opts Options) (Route, error) {
 // SearchCtx is Search with a context: the search aborts with the context's
 // error (wrapped; test with errors.Is against context.Canceled or
 // context.DeadlineExceeded) once the context fires.
+//
+// Deprecated: use Run with AlgorithmBucketBound (or the zero Algorithm).
 func (e *Engine) SearchCtx(ctx context.Context, q Query, opts Options) (Route, error) {
-	res, err := e.BucketBoundCtx(ctx, q, opts)
+	res, err := e.runLegacy(ctx, AlgorithmBucketBound, q, opts)
 	if err != nil {
 		return Route{}, err
 	}
@@ -309,58 +326,62 @@ func (e *Engine) SearchCtx(ctx context.Context, q Query, opts Options) (Route, e
 }
 
 // OSScaling answers the query with Algorithm 1 (bound 1/(1−ε)).
+//
+// Deprecated: use Run with AlgorithmOSScaling.
 func (e *Engine) OSScaling(q Query, opts Options) (Result, error) {
 	return e.OSScalingCtx(context.Background(), q, opts)
 }
 
 // OSScalingCtx is OSScaling with cancellation.
+//
+// Deprecated: use Run with AlgorithmOSScaling.
 func (e *Engine) OSScalingCtx(ctx context.Context, q Query, opts Options) (Result, error) {
-	cq, err := e.resolve(q)
-	if err != nil {
-		return Result{}, err
-	}
-	return e.searcher.OSScalingCtx(ctx, cq, opts)
+	return e.runLegacy(ctx, AlgorithmOSScaling, q, opts)
 }
 
 // BucketBound answers the query with Algorithm 2 (bound β/(1−ε)).
+//
+// Deprecated: use Run with AlgorithmBucketBound.
 func (e *Engine) BucketBound(q Query, opts Options) (Result, error) {
 	return e.BucketBoundCtx(context.Background(), q, opts)
 }
 
 // BucketBoundCtx is BucketBound with cancellation.
+//
+// Deprecated: use Run with AlgorithmBucketBound.
 func (e *Engine) BucketBoundCtx(ctx context.Context, q Query, opts Options) (Result, error) {
-	cq, err := e.resolve(q)
-	if err != nil {
-		return Result{}, err
-	}
-	return e.searcher.BucketBoundCtx(ctx, cq, opts)
+	return e.runLegacy(ctx, AlgorithmBucketBound, q, opts)
 }
 
 // Greedy answers the query with Algorithm 3. opts.Width selects Greedy-1 or
 // Greedy-2; opts.BudgetPriority flips the variant that respects Δ at the
 // cost of keyword coverage.
+//
+// Deprecated: use Run with AlgorithmGreedy.
 func (e *Engine) Greedy(q Query, opts Options) (Result, error) {
 	return e.GreedyCtx(context.Background(), q, opts)
 }
 
 // GreedyCtx is Greedy with cancellation.
+//
+// Deprecated: use Run with AlgorithmGreedy.
 func (e *Engine) GreedyCtx(ctx context.Context, q Query, opts Options) (Result, error) {
-	cq, err := e.resolve(q)
-	if err != nil {
-		return Result{}, err
-	}
-	return e.searcher.GreedyCtx(ctx, cq, opts)
+	return e.runLegacy(ctx, AlgorithmGreedy, q, opts)
 }
 
 // TopK answers the KkR query (§3.5): the k best distinct feasible routes,
 // via the OSScaling extension. Set opts.K; k=1 equals OSScaling.
+//
+// Deprecated: use Run with AlgorithmTopK and Request.K.
 func (e *Engine) TopK(q Query, opts Options) ([]Route, error) {
 	return e.TopKCtx(context.Background(), q, opts)
 }
 
 // TopKCtx is TopK with cancellation.
+//
+// Deprecated: use Run with AlgorithmTopK and Request.K.
 func (e *Engine) TopKCtx(ctx context.Context, q Query, opts Options) ([]Route, error) {
-	res, err := e.OSScalingCtx(ctx, q, opts)
+	res, err := e.runLegacy(ctx, AlgorithmTopK, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -369,17 +390,17 @@ func (e *Engine) TopKCtx(ctx context.Context, q Query, opts Options) ([]Route, e
 
 // Exact answers the query exactly with branch and bound. Exponential worst
 // case; meant for validation on small inputs.
+//
+// Deprecated: use Run with AlgorithmExact.
 func (e *Engine) Exact(q Query, opts Options) (Result, error) {
 	return e.ExactCtx(context.Background(), q, opts)
 }
 
 // ExactCtx is Exact with cancellation.
+//
+// Deprecated: use Run with AlgorithmExact.
 func (e *Engine) ExactCtx(ctx context.Context, q Query, opts Options) (Result, error) {
-	cq, err := e.resolve(q)
-	if err != nil {
-		return Result{}, err
-	}
-	return e.searcher.ExactCtx(ctx, cq, opts)
+	return e.runLegacy(ctx, AlgorithmExact, q, opts)
 }
 
 // Describe renders a route using node names where available.

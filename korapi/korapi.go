@@ -1,0 +1,258 @@
+// Package korapi defines the JSON wire types of the kor HTTP API: the
+// request and response bodies the versioned /v1 endpoints of korserve speak,
+// and the error envelope with machine-readable error codes. Any client — or
+// an alternative server — can depend on this package alone for the wire
+// contract; the conversions to and from the in-process kor types live in
+// convert.go.
+//
+// Wire stability: field names are part of the public contract. New fields
+// may be added (always with omitempty); existing names and meanings do not
+// change within /v1.
+package korapi
+
+import "fmt"
+
+// Request is the wire form of one KOR query, accepted by POST /v1/route and
+// inside /v1/batch bodies. GET /v1/route encodes the same fields as URL
+// parameters (from, to, keywords, budget, algorithm, k, plus the flat
+// option parameters epsilon/beta/alpha/width).
+type Request struct {
+	// From and To are the route endpoint node IDs; equal for a round trip.
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+	// Keywords are the keyword strings the route must cover.
+	Keywords []string `json:"keywords"`
+	// Budget is the budget limit Δ.
+	Budget float64 `json:"budget,omitempty"`
+	// Delta is the deprecated alias for Budget kept for pre-/v1 clients;
+	// when Budget is zero, Delta is used instead.
+	Delta float64 `json:"delta,omitempty"`
+	// Algorithm selects the search algorithm: "bucketbound" (default),
+	// "osscaling", "greedy", "topk", "exact" or "bruteforce".
+	Algorithm string `json:"algorithm,omitempty"`
+	// K, when positive, asks for the K best distinct routes.
+	K int `json:"k,omitempty"`
+	// Metrics asks the server to attach the search work counters to the
+	// response.
+	Metrics bool `json:"metrics,omitempty"`
+	// Options overrides individual tuning parameters; absent fields keep
+	// the server defaults.
+	Options *Options `json:"options,omitempty"`
+}
+
+// BudgetLimit resolves the budget between the canonical and legacy fields.
+func (r Request) BudgetLimit() float64 {
+	if r.Budget != 0 {
+		return r.Budget
+	}
+	return r.Delta
+}
+
+// Options is the wire form of the tuning parameters. Every field is a
+// pointer so "absent" (keep the default) is distinguishable from an explicit
+// zero; out-of-domain values are rejected server-side with a bad_request
+// error rather than silently corrected.
+type Options struct {
+	// Epsilon is the scaling parameter ε ∈ (0,1).
+	Epsilon *float64 `json:"epsilon,omitempty"`
+	// Beta is BucketBound's bucket base β > 1.
+	Beta *float64 `json:"beta,omitempty"`
+	// Alpha balances objective against budget in the greedy score, ∈ [0,1].
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Width is the greedy beam width (≥ 1).
+	Width *int `json:"width,omitempty"`
+	// BudgetPriority switches Greedy to the budget-first variant.
+	BudgetPriority *bool `json:"budget_priority,omitempty"`
+	// DisableStrategy1 turns off the σ-shortcut optimization.
+	DisableStrategy1 *bool `json:"disable_strategy1,omitempty"`
+	// DisableStrategy2 turns off infrequent-keyword pruning.
+	DisableStrategy2 *bool `json:"disable_strategy2,omitempty"`
+	// MaxExpansions caps label creations.
+	MaxExpansions *int `json:"max_expansions,omitempty"`
+}
+
+// Route is the wire form of one found route.
+type Route struct {
+	// Nodes is the node-ID sequence, source first, target last.
+	Nodes []int64 `json:"nodes"`
+	// Names carries the node display names, index-aligned with Nodes; it is
+	// present only when every visited node has a name.
+	Names []string `json:"names,omitempty"`
+	// Objective is the route's objective score OS(R).
+	Objective float64 `json:"objective"`
+	// Budget is the route's budget score BS(R).
+	Budget float64 `json:"budget"`
+	// Feasible reports full keyword coverage within the budget limit.
+	Feasible bool `json:"feasible"`
+}
+
+// Metrics is the wire form of the search work counters.
+type Metrics struct {
+	LabelsCreated   int `json:"labels_created"`
+	LabelsEnqueued  int `json:"labels_enqueued"`
+	LabelsDequeued  int `json:"labels_dequeued"`
+	PrunedBudget    int `json:"pruned_budget"`
+	PrunedBound     int `json:"pruned_bound"`
+	PrunedStrategy2 int `json:"pruned_strategy2"`
+	Dominated       int `json:"dominated"`
+	DominatedSwept  int `json:"dominated_swept"`
+	ShortcutLabels  int `json:"shortcut_labels"`
+	Feasible        int `json:"feasible"`
+	PeakQueue       int `json:"peak_queue"`
+}
+
+// Response is the wire form of a successful route search.
+type Response struct {
+	// Algorithm is the canonical name of the algorithm that ran.
+	Algorithm string `json:"algorithm"`
+	// Bound is the approximation factor guaranteed on the objective score:
+	// 1 exact, 0 no guarantee.
+	Bound float64 `json:"bound,omitempty"`
+	// Routes holds the routes found, best objective first.
+	Routes []Route `json:"routes"`
+	// Metrics are the search work counters, when requested.
+	Metrics *Metrics `json:"metrics,omitempty"`
+	// ElapsedMS is the server-side search wall time in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Requests are the queries to answer; each is self-describing, so one
+	// batch can mix algorithms and options.
+	Requests []Request `json:"requests,omitempty"`
+	// Queries is the deprecated pre-/v1 alias for Requests.
+	Queries []Request `json:"queries,omitempty"`
+	// Parallelism bounds the worker pool; 0 or out-of-range values fall
+	// back to the server's cap.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// All resolves the request list between the canonical and legacy fields.
+func (b BatchRequest) All() []Request {
+	if len(b.Requests) > 0 {
+		return b.Requests
+	}
+	return b.Queries
+}
+
+// BatchResult is one request's outcome inside a BatchResponse: exactly one
+// of Response and Error is set.
+type BatchResult struct {
+	Response *Response `json:"response,omitempty"`
+	Error    *Error    `json:"error,omitempty"`
+}
+
+// BatchResponse is the body answering POST /v1/batch. Per-request failures
+// come back inline, so one infeasible query does not fail the batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	// Incomplete is set when the batch was cut short (deadline or client
+	// disconnect): every result slot is still present, the cut-off ones
+	// carrying errors.
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// Node is the body of GET /v1/nodes/{id}.
+type Node struct {
+	ID       int64    `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	Keywords []string `json:"keywords"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Degree   int      `json:"degree"`
+}
+
+// Keyword is one autocomplete suggestion in GET /v1/keywords.
+type Keyword struct {
+	Keyword string `json:"keyword"`
+	Nodes   int    `json:"nodes"`
+}
+
+// KeywordsResponse is the body of GET /v1/keywords.
+type KeywordsResponse struct {
+	Keywords []Keyword `json:"keywords"`
+}
+
+// Stats is the body of GET /v1/stats: the graph summary.
+type Stats struct {
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	Terms        int     `json:"terms"`
+	AvgOutDegree float64 `json:"avg_out_degree"`
+	MaxOutDegree int     `json:"max_out_degree"`
+	AvgTerms     float64 `json:"avg_terms"`
+	MinObjective float64 `json:"min_objective"`
+	MaxObjective float64 `json:"max_objective"`
+	MinBudget    float64 `json:"min_budget"`
+	MaxBudget    float64 `json:"max_budget"`
+	Isolated     int     `json:"isolated"`
+}
+
+// ErrorCode is a machine-readable error class. Clients switch on the code,
+// never on the message text.
+type ErrorCode string
+
+// The error codes the /v1 surface emits.
+const (
+	// CodeBadRequest — malformed parameters, body, or out-of-domain
+	// options. HTTP 400.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnknownKeyword — a query keyword absent from the graph's
+	// vocabulary. HTTP 400.
+	CodeUnknownKeyword ErrorCode = "unknown_keyword"
+	// CodeUnknownAlgorithm — the algorithm name is not registered. HTTP 400.
+	CodeUnknownAlgorithm ErrorCode = "unknown_algorithm"
+	// CodeNotFound — the addressed resource (node, path) does not exist.
+	// HTTP 404.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeNoRoute — no feasible route exists for the query. HTTP 404.
+	CodeNoRoute ErrorCode = "no_route"
+	// CodeDeadline — the search exceeded its deadline. HTTP 504.
+	CodeDeadline ErrorCode = "deadline_exceeded"
+	// CodeCanceled — the client went away mid-search. HTTP 499 (never
+	// actually received).
+	CodeCanceled ErrorCode = "canceled"
+	// CodeSearchLimit — the expansion cap fired before the search
+	// concluded. HTTP 422.
+	CodeSearchLimit ErrorCode = "search_limit"
+	// CodeInternal — an unexpected server-side failure. HTTP 500.
+	CodeInternal ErrorCode = "internal"
+)
+
+// HTTPStatus maps the code onto its HTTP status.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest, CodeUnknownKeyword, CodeUnknownAlgorithm:
+		return 400
+	case CodeNotFound, CodeNoRoute:
+		return 404
+	case CodeSearchLimit:
+		return 422
+	case CodeCanceled:
+		return 499
+	case CodeInternal:
+		return 500
+	case CodeDeadline:
+		return 504
+	default:
+		return 500
+	}
+}
+
+// Error is the wire error: a stable code plus a human-readable message.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements the error interface so wire errors can travel through
+// error-returning client code.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// ErrorEnvelope is the body of every non-2xx response:
+//
+//	{"error": {"code": "no_route", "message": "no feasible route exists"}}
+type ErrorEnvelope struct {
+	Error Error `json:"error"`
+}

@@ -1,0 +1,157 @@
+package kor
+
+import (
+	"context"
+	"time"
+
+	"kor/internal/core"
+)
+
+// Algorithm names one of the engine's search algorithms. The zero value
+// selects the default, BucketBound. Algorithm values are also the wire
+// spellings korserve and korapi accept.
+type Algorithm = core.Algorithm
+
+// The registered algorithms, re-exported from the core registry.
+const (
+	// AlgorithmDefault resolves to AlgorithmBucketBound.
+	AlgorithmDefault = core.AlgorithmDefault
+	// AlgorithmBucketBound is the §3.3 bucket label search, bound β/(1−ε).
+	AlgorithmBucketBound = core.AlgorithmBucketBound
+	// AlgorithmOSScaling is the §3.2 scaled label search, bound 1/(1−ε).
+	AlgorithmOSScaling = core.AlgorithmOSScaling
+	// AlgorithmGreedy is the §3.4 beam-greedy heuristic, no guarantee.
+	AlgorithmGreedy = core.AlgorithmGreedy
+	// AlgorithmTopK is the §3.5 KkR extension returning the K best routes.
+	AlgorithmTopK = core.AlgorithmTopK
+	// AlgorithmExact is the exact branch-and-bound.
+	AlgorithmExact = core.AlgorithmExact
+	// AlgorithmBruteForce is the exhaustive baseline for validation.
+	AlgorithmBruteForce = core.AlgorithmBruteForce
+)
+
+// ParseAlgorithm resolves a wire spelling to its Algorithm, or an
+// ErrBadQuery-wrapped error naming the valid choices.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Algorithms lists the registered algorithms in a stable order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// Request is a self-describing KOR query: the endpoints, keywords and budget
+// of Definition 4, plus which algorithm to run and how to tune it. It is the
+// input to Engine.Run, the engine's single entry point, and the in-process
+// twin of the korapi wire request.
+type Request struct {
+	// From and To are the route endpoints; equal for a round trip.
+	From NodeID
+	To   NodeID
+	// Keywords are the keyword strings the route must cover.
+	Keywords []string
+	// Budget is the budget limit Δ.
+	Budget float64
+	// Algorithm selects the search algorithm; the zero value means
+	// BucketBound, the paper's recommended speed/quality trade-off.
+	Algorithm Algorithm
+	// K, when non-zero, overrides Options.K: ask for the K best distinct
+	// routes (the KkR query) instead of just the best one. Negative values
+	// are rejected by Options.Validate.
+	K int
+	// Options overrides the tuning parameters; nil means DefaultOptions.
+	// The options are validated (Options.Validate) before any search work.
+	Options *Options
+}
+
+// Response is what Engine.Run returns: the routes found plus enough
+// metadata to interpret them — which algorithm actually ran, what
+// approximation guarantee it carried, and what the search cost.
+type Response struct {
+	// Routes holds the routes found, best objective first. Plain queries
+	// yield one; top-k queries yield up to K.
+	Routes []Route
+	// Algorithm is the canonical algorithm that ran (never empty: the
+	// default is resolved before dispatch).
+	Algorithm Algorithm
+	// Bound is the approximation factor the algorithm guarantees on the
+	// objective score under the request's options: 1 for the exact
+	// algorithms, 1/(1−ε) or β/(1−ε) for the label algorithms, 0 for the
+	// greedy heuristic (no guarantee).
+	Bound float64
+	// Metrics counts the work the search performed.
+	Metrics Metrics
+	// Elapsed is the search wall time, measured inside Run.
+	Elapsed time.Duration
+}
+
+// Best returns the first (best) route. It panics if the response is empty;
+// call only after a nil-error Run.
+func (r Response) Best() Route { return r.Routes[0] }
+
+// Run answers the request: it validates the options, resolves the keywords
+// against the graph's vocabulary, dispatches to the requested algorithm
+// through the core registry, and annotates the result with the algorithm's
+// approximation bound and the wall time.
+//
+// Errors follow the package's sentinel scheme: ErrBadQuery wraps for an
+// unknown algorithm or out-of-domain options, ErrUnknownKeyword for a
+// keyword absent from the vocabulary, ErrNoRoute when no feasible route
+// exists, and a wrapped context error when ctx fires mid-search. Like the
+// greedy method it replaces, a Greedy run that covers the keywords but
+// overshoots Δ returns both the routes and ErrBudgetExceeded.
+func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	algo, err := core.ParseAlgorithm(string(req.Algorithm))
+	if err != nil {
+		return Response{}, err
+	}
+	opts := DefaultOptions()
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	if req.K != 0 {
+		opts.K = req.K
+	}
+	if err := opts.Validate(); err != nil {
+		return Response{}, err
+	}
+	cq, err := e.resolve(Query{From: req.From, To: req.To, Keywords: req.Keywords, Budget: req.Budget})
+	if err != nil {
+		return Response{}, err
+	}
+
+	start := time.Now()
+	res, err := e.searcher.Run(ctx, algo, cq, opts)
+	resp := Response{
+		Routes:    res.Routes,
+		Algorithm: algo,
+		Bound:     core.BoundFor(algo, opts),
+		Metrics:   res.Metrics,
+		Elapsed:   time.Since(start),
+	}
+	return resp, err
+}
+
+// legacyOptions reproduces the lenient handling of the deprecated methods:
+// they lifted non-positive K and Width to 1 instead of rejecting them, so
+// the wrappers must keep doing that now that Run validates strictly.
+func legacyOptions(opts Options) Options {
+	if opts.K < 1 {
+		opts.K = 1
+	}
+	if opts.Width < 1 {
+		opts.Width = 1
+	}
+	return opts
+}
+
+// runLegacy adapts a deprecated method call onto Run, converting the
+// Response back to the method's Result shape.
+func (e *Engine) runLegacy(ctx context.Context, a Algorithm, q Query, opts Options) (Result, error) {
+	opts = legacyOptions(opts)
+	resp, err := e.Run(ctx, Request{
+		From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Budget,
+		Algorithm: a, Options: &opts,
+	})
+	return Result{Routes: resp.Routes, Metrics: resp.Metrics}, err
+}

@@ -374,6 +374,74 @@ func BenchmarkSearchBatch(b *testing.B) {
 	}
 }
 
+// Result-cache benchmarks: the same request stream against one engine with
+// the cache disabled and one with it enabled. The pair is the regression
+// guard for Engine.Run's fast path — korbench's smoke mode gates ns/op in
+// CI, these keep the cached/uncached gap visible in `go test -bench`.
+var (
+	cacheOnce sync.Once
+	cacheEng  *Engine // CacheSize > 0
+	plainEng  *Engine // no cache
+	cacheErr  error
+	cacheQs   []Request
+)
+
+func cacheFixture(b *testing.B) (*Engine, *Engine, []Request) {
+	b.Helper()
+	cacheOnce.Do(func() {
+		g := SyntheticRoadNetwork(2012, 2000)
+		plainEng, cacheErr = NewEngine(g, &EngineConfig{Oracle: OracleLazy})
+		if cacheErr != nil {
+			return
+		}
+		cacheEng, cacheErr = NewEngine(g, &EngineConfig{Oracle: OracleLazy, CacheSize: 4096})
+		if cacheErr != nil {
+			return
+		}
+		for _, q := range concurrencyQueries(b, plainEng, 16) {
+			cacheQs = append(cacheQs, Request{From: q.From, To: q.To, Keywords: q.Keywords, Budget: q.Budget})
+		}
+		ctx := context.Background()
+		for _, req := range cacheQs { // warm sweep caches and the result cache
+			_, _ = plainEng.Run(ctx, req)
+			_, _ = cacheEng.Run(ctx, req)
+		}
+	})
+	if cacheErr != nil {
+		b.Fatal(cacheErr)
+	}
+	return plainEng, cacheEng, cacheQs
+}
+
+// BenchmarkRunUncached — Engine.Run with caching disabled: every request
+// pays for a full search.
+func BenchmarkRunUncached(b *testing.B) {
+	eng, _, requests := cacheFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, requests[i%len(requests)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCached — the same stream answered from the result cache.
+func BenchmarkRunCached(b *testing.B) {
+	_, eng, requests := cacheFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.Run(ctx, requests[i%len(requests)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected a cache hit on a warmed key")
+		}
+	}
+}
+
 // BenchmarkAblationOracles — the three τ/σ oracle implementations serving
 // the same OSScaling workload: dense tables (the paper's pre-processing),
 // lazy memoized sweeps, and the §6 partitioned design.

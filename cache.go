@@ -1,0 +1,77 @@
+package kor
+
+import (
+	"encoding/binary"
+	"math"
+
+	"kor/internal/core"
+)
+
+// Response caching internals. The cache key is the request's canonical
+// form: the resolved core query (terms, not strings, so spelling aliases of
+// the same term sequence share an entry), the canonical algorithm, every
+// option that can influence the result, and the graph fingerprint. Anything
+// that cannot be canonicalized — a Tracer, which observes side effects —
+// makes the request uncacheable.
+//
+// Invalidation: a Graph is immutable and an Engine serves exactly one
+// Graph, so entries never go stale within an engine. The fingerprint guards
+// the remaining hazard — a cache entry surviving its graph via a
+// serialized/restored key space (and it documents the invariant: same
+// fingerprint, same answers).
+
+// cacheable reports whether the request's options allow caching.
+func cacheable(opts Options) bool { return opts.Tracer == nil }
+
+// cacheKey builds the canonical key. Purely binary — no separators needed
+// because every field has fixed width except the term list, whose length is
+// encoded.
+func cacheKey(fp uint64, algo Algorithm, q core.Query, opts Options) string {
+	b := make([]byte, 0, 96+8*len(q.Keywords))
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	flag := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+
+	u64(fp)
+	b = append(b, string(algo.Canonical())...)
+	b = append(b, 0)
+	u64(uint64(uint32(q.Source)))
+	u64(uint64(uint32(q.Target)))
+	f64(q.Budget)
+	u64(uint64(len(q.Keywords)))
+	for _, t := range q.Keywords {
+		u64(uint64(uint32(t)))
+	}
+	f64(opts.Epsilon)
+	f64(opts.Beta)
+	f64(opts.Alpha)
+	f64(opts.InfrequentFraction)
+	u64(uint64(opts.Width))
+	u64(uint64(opts.K))
+	u64(uint64(opts.Strategy1Candidates))
+	u64(uint64(opts.MaxExpansions))
+	flag(opts.DisableStrategy1)
+	flag(opts.DisableStrategy2)
+	flag(opts.BudgetPriority)
+	return string(b)
+}
+
+// cloneResponse deep-copies the route slices so cache entries and the
+// responses handed to callers never share mutable memory: a caller
+// scribbling on Response.Routes (or a route's Nodes) must not corrupt the
+// cache, and two callers hitting the same entry must not see each other.
+func cloneResponse(r Response) Response {
+	out := r
+	out.Routes = make([]Route, len(r.Routes))
+	for i, rt := range r.Routes {
+		out.Routes[i] = rt
+		out.Routes[i].Nodes = append([]NodeID(nil), rt.Nodes...)
+	}
+	return out
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	korserve -graph city.korg [-addr :8080] [-timeout 10s]
+//	korserve -graph city.korg [-addr :8080] [-timeout 10s] [-cache 1024]
 //
 // Endpoints (see the korapi package for the wire types):
 //
@@ -47,6 +47,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request search deadline (0 disables)")
 		batchPar  = flag.Int("batch-parallelism", 0, "worker pool size for /v1/batch (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 1024, "result cache capacity in responses (0 disables)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -58,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}
-	eng, err := kor.NewEngine(g, nil)
+	eng, err := kor.NewEngine(g, &kor.EngineConfig{CacheSize: *cacheSize})
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}

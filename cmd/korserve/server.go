@@ -313,7 +313,7 @@ func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Graph().ComputeStats()
-	writeJSON(w, korapi.Stats{
+	out := korapi.Stats{
 		Nodes:        st.Nodes,
 		Edges:        st.Edges,
 		Terms:        st.Terms,
@@ -325,7 +325,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MinBudget:    st.MinBudget,
 		MaxBudget:    st.MaxBudget,
 		Isolated:     st.Isolated,
-	})
+	}
+	if cs, ok := s.eng.CacheStats(); ok {
+		wire := korapi.CacheStatsFromKor(cs)
+		out.Cache = &wire
+	}
+	writeJSON(w, out)
 }
 
 // handleKeywords serves keyword autocomplete:

@@ -1,0 +1,88 @@
+package apsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kor/internal/graph"
+)
+
+// approxEq compares scores up to the last-ulp differences that opposite
+// summation orders (forward vs reverse sweeps) legitimately produce.
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)) }
+
+func randomGraphForBounds(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode()
+	}
+	for i := 0; i < n; i++ {
+		_ = b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), 0.1+rng.Float64(), 0.1+rng.Float64())
+	}
+	for k := 0; k < 3*n; k++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		if from != to {
+			_ = b.AddEdge(graph.NodeID(from), graph.NodeID(to), 0.1+rng.Float64(), 0.1+rng.Float64())
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestReverseBoundedSweepMatchesOracle: every node settled by a bounded
+// sweep carries exactly the full oracle's scores, every node it misses lies
+// past the bound (or is unreachable).
+func TestReverseBoundedSweepMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraphForBounds(rng, 30)
+		full := NewMatrixOracle(g)
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		for _, m := range []Metric{ByBudget, ByObjective} {
+			bound := 0.5 + rng.Float64()*2
+			sw := ReverseBoundedSweep(g, root, m, bound)
+			for v := 0; v < g.NumNodes(); v++ {
+				node := graph.NodeID(v)
+				wantOS, wantBS, wantOK := full.MinBudget(node, root)
+				if m == ByObjective {
+					wantOS, wantBS, wantOK = full.MinObjective(node, root)
+				}
+				primary := wantBS
+				if m == ByObjective {
+					primary = wantOS
+				}
+				gotOS, gotBS, gotOK := sw.Scores(node)
+				switch {
+				case !wantOK:
+					if gotOK {
+						t.Fatalf("trial %d: bounded sweep reached unreachable node %d", trial, v)
+					}
+				case primary <= bound:
+					if !gotOK || !approxEq(gotOS, wantOS) || !approxEq(gotBS, wantBS) {
+						t.Fatalf("trial %d metric %v: node %d within bound: got (%v,%v,%v), want (%v,%v,true)",
+							trial, m, v, gotOS, gotBS, gotOK, wantOS, wantBS)
+					}
+				default:
+					if gotOK && (!approxEq(gotOS, wantOS) || !approxEq(gotBS, wantBS)) {
+						t.Fatalf("trial %d metric %v: node %d past bound settled with wrong scores (%v,%v) want (%v,%v)",
+							trial, m, v, gotOS, gotBS, wantOS, wantBS)
+					}
+				}
+			}
+			// The root itself always settles at zero.
+			if os, bs, ok := sw.Scores(root); !ok || os != 0 || bs != 0 {
+				t.Fatalf("trial %d: root scores (%v,%v,%v), want (0,0,true)", trial, os, bs, ok)
+			}
+		}
+	}
+}
+
+func TestIsOnDemand(t *testing.T) {
+	g := randomGraphForBounds(rand.New(rand.NewSource(1)), 8)
+	if !IsOnDemand(NewLazyOracle(g)) {
+		t.Error("lazy oracle must report on-demand sweeps")
+	}
+	if IsOnDemand(NewMatrixOracle(g)) {
+		t.Error("matrix oracle wrongly reports on-demand sweeps")
+	}
+}

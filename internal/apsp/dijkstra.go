@@ -54,6 +54,15 @@ func lessItem(a, b dijkstraItem) bool {
 // graph is used (single-target). Ties on the primary metric are broken by
 // the secondary, so results are unique and deterministic.
 func dijkstra(g *graph.Graph, root graph.NodeID, m Metric, reverse bool) *sweep {
+	return dijkstraBounded(g, root, m, reverse, math.Inf(1))
+}
+
+// dijkstraBounded is dijkstra truncated at a primary-metric bound: labels
+// past the bound are never relaxed, so the search settles only the bound's
+// ball around the root. Settled scores are exact; unreached nodes are
+// indistinguishable from unreachable ones, which is precisely the contract
+// bounded callers want.
+func dijkstraBounded(g *graph.Graph, root graph.NodeID, m Metric, reverse bool, bound float64) *sweep {
 	n := g.NumNodes()
 	s := &sweep{
 		primary:   make([]float64, n),
@@ -89,6 +98,9 @@ func dijkstra(g *graph.Graph, root graph.NodeID, m Metric, reverse bool) *sweep 
 				p, sec = it.primary+e.Budget, it.secondary+e.Objective
 			}
 			v := e.To
+			if p > bound {
+				continue
+			}
 			if p < s.primary[v] || (p == s.primary[v] && sec < s.secondary[v]) {
 				s.primary[v] = p
 				s.secondary[v] = sec

@@ -9,13 +9,15 @@ import (
 )
 
 // MatrixOracle holds the full |V|² τ/σ score tables of the paper's
-// pre-processing. Memory is 4·|V|²·8 bytes, the same O(|V|²) the paper
-// states; it suits point-of-interest graphs ("the number of points of
-// interest within a city is not large"). Use LazyOracle for the synthetic
-// road networks.
+// pre-processing, plus the parent tables the fill sweeps produce anyway, so
+// paths materialize as O(length) table walks instead of fresh sweeps.
+// Memory is 5·|V|²·8 bytes (4 score tables + 2 packed int32 parent tables);
+// it suits point-of-interest graphs ("the number of points of interest
+// within a city is not large"). Use LazyOracle for the synthetic road
+// networks.
 //
-// The tables are immutable after construction and the path methods run
-// fresh sweeps on the stack, so a MatrixOracle is safe for concurrent use.
+// The tables are immutable after construction, so a MatrixOracle is safe
+// for concurrent use.
 type MatrixOracle struct {
 	g *graph.Graph
 	n int
@@ -24,6 +26,10 @@ type MatrixOracle struct {
 	tauBud []float64
 	sigObj []float64
 	sigBud []float64
+	// Parent tables: tauPar[from*n+to] is to's predecessor on τ(from,to)
+	// (noParent at to == from or unreachable).
+	tauPar []int32
+	sigPar []int32
 }
 
 // NewMatrixOracle fills the tables with one forward two-criteria Dijkstra
@@ -37,6 +43,8 @@ func NewMatrixOracle(g *graph.Graph) *MatrixOracle {
 		tauBud: make([]float64, n*n),
 		sigObj: make([]float64, n*n),
 		sigBud: make([]float64, n*n),
+		tauPar: make([]int32, n*n),
+		sigPar: make([]int32, n*n),
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -57,8 +65,10 @@ func NewMatrixOracle(g *graph.Graph) *MatrixOracle {
 				base := from * n
 				copy(o.tauObj[base:base+n], tau.primary)
 				copy(o.tauBud[base:base+n], tau.secondary)
+				copy(o.tauPar[base:base+n], tau.parent)
 				copy(o.sigBud[base:base+n], sig.primary)
 				copy(o.sigObj[base:base+n], sig.secondary)
+				copy(o.sigPar[base:base+n], sig.parent)
 			}
 		}()
 	}
@@ -90,17 +100,47 @@ func (o *MatrixOracle) MinBudget(from, to graph.NodeID) (float64, float64, bool)
 	return o.sigObj[i], bs, true
 }
 
-// MinObjectivePath re-derives the τ(from,to) node sequence with one forward
-// sweep; the tables store scores only, as in the paper.
+// MinObjectivePath walks τ(from,to) out of the parent table.
 func (o *MatrixOracle) MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool) {
-	return dijkstra(o.g, from, ByObjective, false).walkForward(from, to)
+	if math.IsInf(o.tauObj[int(from)*o.n+int(to)], 1) {
+		return nil, false
+	}
+	return o.walkRow(o.tauPar, from, to)
 }
 
-// MinBudgetPath re-derives the σ(from,to) node sequence.
+// MinBudgetPath walks σ(from,to) out of the parent table.
 func (o *MatrixOracle) MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
-	return dijkstra(o.g, from, ByBudget, false).walkForward(from, to)
+	if math.IsInf(o.sigBud[int(from)*o.n+int(to)], 1) {
+		return nil, false
+	}
+	return o.walkRow(o.sigPar, from, to)
 }
+
+// walkRow follows row from's parent chain back from to, returning the path
+// from→to inclusive.
+func (o *MatrixOracle) walkRow(par []int32, from, to graph.NodeID) ([]graph.NodeID, bool) {
+	row := par[int(from)*o.n : int(from+1)*o.n]
+	var rev []graph.NodeID
+	for v := to; ; {
+		rev = append(rev, v)
+		if v == from {
+			break
+		}
+		p := row[v]
+		if p == noParent {
+			return nil, false
+		}
+		v = graph.NodeID(p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// IndexedPaths marks the path methods as table walks (see apsp.Indexed).
+func (o *MatrixOracle) IndexedPaths() bool { return true }
 
 // MemoryBytes reports the table footprint, used by tooling to warn before
 // building dense tables over large graphs.
-func (o *MatrixOracle) MemoryBytes() int64 { return int64(o.n) * int64(o.n) * 8 * 4 }
+func (o *MatrixOracle) MemoryBytes() int64 { return int64(o.n) * int64(o.n) * 8 * 5 }

@@ -78,6 +78,13 @@ func (m Mask) Diff(o Mask) Mask { return m &^ o }
 // Contains reports whether m is a superset of o (m ⊇ o).
 func (m Mask) Contains(o Mask) bool { return m&o == o }
 
+// SubsetOf reports whether m is a subset of o (m ⊆ o) — the direction the
+// domination prefilter reads naturally.
+func (m Mask) SubsetOf(o Mask) bool { return m&o == m }
+
+// Intersects reports whether m and o share at least one element.
+func (m Mask) Intersects(o Mask) bool { return m&o != 0 }
+
 // Covers is an alias of Contains matching the paper's vocabulary: a route
 // covers the query keywords when its mask contains the query mask.
 func (m Mask) Covers(o Mask) bool { return m.Contains(o) }

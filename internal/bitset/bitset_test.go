@@ -168,3 +168,32 @@ func TestPositionsSortedRandom(t *testing.T) {
 		}
 	}
 }
+
+func TestSubsetOfAndIntersects(t *testing.T) {
+	a, b := New(0, 2), New(0, 1, 2)
+	if !a.SubsetOf(b) {
+		t.Errorf("%v should be a subset of %v", a, b)
+	}
+	if b.SubsetOf(a) {
+		t.Errorf("%v should not be a subset of %v", b, a)
+	}
+	if !a.SubsetOf(a) {
+		t.Error("subset must be reflexive")
+	}
+	if !Mask(0).SubsetOf(a) {
+		t.Error("empty set is a subset of everything")
+	}
+	// SubsetOf mirrors Contains.
+	if a.SubsetOf(b) != b.Contains(a) {
+		t.Error("SubsetOf and Contains disagree")
+	}
+	if !a.Intersects(b) {
+		t.Errorf("%v and %v share elements", a, b)
+	}
+	if New(1).Intersects(New(0, 2)) {
+		t.Error("disjoint masks reported as intersecting")
+	}
+	if Mask(0).Intersects(b) {
+		t.Error("empty mask intersects nothing")
+	}
+}

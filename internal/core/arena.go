@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+
+	"kor/internal/bitset"
+	"kor/internal/graph"
+)
+
+// Per-query scratch recycling. A label search allocates two kinds of memory
+// that used to be garbage after every query: thousands of small label
+// structs, and O(|V|) per-node tables (coverage masks, label lists, tail
+// memos). Both now come from a planScratch checked out of the owning
+// Searcher's pool at plan creation and returned by plan.close, so steady
+// serving performs near-zero per-query heap allocation for them. Nothing a
+// search returns (Route, Metrics, LabelView) aliases scratch memory, which
+// is what makes the recycling safe.
+
+// labelSlabSize is the number of labels per arena slab. Slabs are pooled
+// globally: a query needing n labels touches ⌈n/labelSlabSize⌉ pool objects
+// instead of n allocations.
+const labelSlabSize = 1024
+
+var slabPool = sync.Pool{New: func() any {
+	s := make([]label, labelSlabSize)
+	return &s
+}}
+
+// labelArena hands out label structs from pooled slabs. It belongs to one
+// plan and is not safe for concurrent use — exactly the plan's own
+// concurrency contract.
+type labelArena struct {
+	slabs []*[]label
+	used  int // entries used in the last slab
+}
+
+// alloc returns a zeroed label from the arena.
+func (a *labelArena) alloc() *label {
+	if len(a.slabs) == 0 || a.used == labelSlabSize {
+		a.slabs = append(a.slabs, slabPool.Get().(*[]label))
+		a.used = 0
+	}
+	l := &(*a.slabs[len(a.slabs)-1])[a.used]
+	a.used++
+	*l = label{}
+	return l
+}
+
+// release returns every slab to the pool. The caller must not touch labels
+// handed out by this arena afterwards.
+func (a *labelArena) release() {
+	for _, s := range a.slabs {
+		slabPool.Put(s)
+	}
+	a.slabs = a.slabs[:0]
+	a.used = 0
+}
+
+// tailEntry memoizes the τ/σ completions of one node into the query target:
+// the values behind Algorithm 1's per-label "best completion" checks. The
+// oracle answers these from synchronized caches; the memo turns the second
+// and every further ask per node into two array reads.
+type tailEntry struct {
+	tos, tbs float64 // τ(v, target) objective and budget
+	sbs      float64 // σ(v, target) budget
+	flags    uint8
+}
+
+const (
+	tailSigmaDone = 1 << iota // σ lookup performed
+	tailSigmaOK               // σ exists
+	tailTauDone               // τ lookup performed
+	tailTauOK                 // τ exists
+)
+
+// planScratch is the recyclable per-query state: the label arena plus every
+// O(|V|) table a plan needs. Tables are sized to the owning Searcher's graph
+// once and reused; the tail memo is invalidated wholesale by bumping gen,
+// the other tables are reset surgically by plan.close (only the entries the
+// query actually touched).
+type planScratch struct {
+	arena labelArena
+
+	nodeMask []bitset.Mask  // query-keyword coverage per node
+	perNode  [][]*label     // labelStore lists
+	union    []bitset.Mask  // per-node union of live label coverage (domination prefilter)
+	touched  []graph.NodeID // nodes whose perNode/union entries were written
+
+	tail    []tailEntry
+	tailGen []uint32
+	gen     uint32
+}
+
+// getScratch checks a scratch out of the pool, (re)sizing its tables to the
+// graph.
+func (s *Searcher) getScratch() *planScratch {
+	sc, _ := s.scratch.Get().(*planScratch)
+	if sc == nil {
+		sc = &planScratch{}
+	}
+	n := s.g.NumNodes()
+	if len(sc.nodeMask) != n {
+		sc.nodeMask = make([]bitset.Mask, n)
+		sc.perNode = make([][]*label, n)
+		sc.union = make([]bitset.Mask, n)
+		sc.tail = make([]tailEntry, n)
+		sc.tailGen = make([]uint32, n)
+		sc.touched = sc.touched[:0]
+	}
+	sc.gen++
+	if sc.gen == 0 { // generation wrap: invalidate the whole memo once
+		clear(sc.tailGen)
+		sc.gen = 1
+	}
+	return sc
+}
+
+// putScratch resets the touched table entries and returns sc to the pool.
+// postings are the query terms' posting lists — exactly the nodeMask entries
+// the plan wrote.
+func (s *Searcher) putScratch(sc *planScratch, postings [][]graph.NodeID) {
+	for _, post := range postings {
+		for _, v := range post {
+			sc.nodeMask[v] = 0
+		}
+	}
+	for _, v := range sc.touched {
+		sc.perNode[v] = sc.perNode[v][:0]
+		sc.union[v] = 0
+	}
+	sc.touched = sc.touched[:0]
+	sc.arena.release()
+	s.scratch.Put(sc)
+}

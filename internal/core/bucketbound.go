@@ -94,12 +94,12 @@ func (br *bucketRing) pop() (*label, int) {
 }
 
 func (p *plan) runBucketBound() (Result, error) {
-	oracle := p.s.oracle
+	defer p.close()
 
-	if _, sbs, ok := oracle.MinBudget(p.q.Source, p.q.Target); !ok || sbs > p.q.Budget {
+	if sbs, ok := p.sigBudgetTo(p.q.Source); !ok || sbs > p.q.Budget {
 		return Result{Metrics: p.metrics}, ErrNoRoute
 	}
-	base, _, ok := oracle.MinObjective(p.q.Source, p.q.Target)
+	base, _, ok := p.tauTo(p.q.Source)
 	if !ok {
 		return Result{Metrics: p.metrics}, ErrNoRoute
 	}
@@ -111,12 +111,12 @@ func (p *plan) runBucketBound() (Result, error) {
 	}
 
 	cands := newCandidateSet(p.opts.K)
-	store := newLabelStore(p.s.g.NumNodes(), p.opts.K, &p.metrics, p.opts.Tracer)
+	store := newLabelStore(p.sc, p.opts.K, &p.metrics, p.opts.Tracer)
 	ring := newBucketRing(base, p.opts.Beta)
 
 	start := p.startLabel()
 	store.tryInsert(start)
-	startTailOS, startTailBS, startOK := oracle.MinObjective(p.q.Source, p.q.Target)
+	startTailOS, startTailBS, startOK := p.tauTo(p.q.Source)
 	if start.covered.Covers(p.qMask) && startOK && start.bs+startTailBS <= p.q.Budget {
 		// The τ(s,t) completion of the empty route is feasible and its LOW
 		// lies in bucket 0 — the front bucket — so Lemma 5 applies at once.
@@ -149,7 +149,7 @@ func (p *plan) runBucketBound() (Result, error) {
 		// labels whose bucket was ahead of the front when they were made —
 		// e.g. a label already sitting on the target.
 		if l.covered.Covers(p.qMask) {
-			tos, tbs, ok := oracle.MinObjective(l.node, p.q.Target)
+			tos, tbs, ok := p.tauTo(l.node)
 			if ok && l.bs+tbs <= p.q.Budget {
 				if _, err := cands.offer(p, l, tos, tbs); err != nil {
 					return Result{Metrics: p.metrics}, err
@@ -207,16 +207,15 @@ func (p *plan) extendBB(l *label, front int, store *labelStore, ring *bucketRing
 }
 
 func (p *plan) admitBB(child *label, front int, store *labelStore, ring *bucketRing, cands *candidateSet) (bool, error) {
-	oracle := p.s.oracle
 	p.trace(TraceCreated, child, cands.bound())
 
-	_, sbs, ok := oracle.MinBudget(child.node, p.q.Target)
+	sbs, ok := p.sigBudgetTo(child.node)
 	if !ok || child.bs+sbs > p.q.Budget {
 		p.metrics.PrunedBudget++
 		p.trace(TracePrunedBudget, child, cands.bound())
 		return false, nil
 	}
-	tos, tbs, _ := oracle.MinObjective(child.node, p.q.Target)
+	tos, tbs, _ := p.tauTo(child.node)
 
 	if p.strategy2Prune(child, math.Inf(1)) {
 		return false, nil

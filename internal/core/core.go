@@ -34,6 +34,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"kor/internal/apsp"
 	"kor/internal/graph"
@@ -85,6 +86,11 @@ type Searcher struct {
 	g      *graph.Graph
 	oracle RouteOracle
 	index  graph.PostingSource
+
+	// scratch pools per-query planScratch values (label arenas and O(|V|)
+	// tables) across searches; see arena.go. sync.Pool is safe for the
+	// Searcher's concurrent queries.
+	scratch sync.Pool
 }
 
 // NewSearcher returns a Searcher over g. A nil oracle defaults to a lazy

@@ -54,6 +54,7 @@ func (s *Searcher) BruteForceCtx(ctx context.Context, q Query, maxExpansions int
 	if err != nil {
 		return Result{}, err
 	}
+	defer p.close()
 	if maxExpansions <= 0 {
 		maxExpansions = 1_000_000
 	}

@@ -56,6 +56,7 @@ type greedyOutcome struct {
 }
 
 func (p *plan) runGreedy() (Result, error) {
+	defer p.close()
 	oracle := p.s.oracle
 	apsp.PrefetchTarget(oracle, p.q.Target)
 

@@ -88,19 +88,32 @@ func TestLabelHeapOrdering(t *testing.T) {
 	}
 }
 
+// scratchForTest builds a standalone planScratch over n nodes for tests
+// that exercise the label store without a full plan.
+func scratchForTest(n int) *planScratch {
+	return &planScratch{
+		nodeMask: make([]bitset.Mask, n),
+		perNode:  make([][]*label, n),
+		union:    make([]bitset.Mask, n),
+		tail:     make([]tailEntry, n),
+		tailGen:  make([]uint32, n),
+		gen:      1,
+	}
+}
+
 // Property: after arbitrary insertions with k=1, no two live labels at a
 // node dominate each other.
 func TestLabelStoreAntichainProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 60; trial++ {
-		st := newLabelStore(1, 1, &Metrics{}, nil)
+		st := newLabelStore(scratchForTest(1), 1, &Metrics{}, nil)
 		for i := 0; i < 80; i++ {
 			l := arbitraryLabel(0, uint16(rng.Intn(8)), int16(rng.Intn(20)), uint16(rng.Intn(10)))
 			l.node = 0
 			l.seq = uint64(i)
 			st.tryInsert(l)
 		}
-		live := st.perNode[0]
+		live := st.sc.perNode[0]
 		for i, a := range live {
 			if a.deleted {
 				t.Fatal("deleted label left in store")

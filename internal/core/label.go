@@ -9,6 +9,9 @@ import (
 // source to node, carrying the covered query keywords λ, the scaled
 // objective score ŌS, and the exact objective and budget scores. Labels
 // form a parent-linked tree for route reconstruction.
+//
+// Labels are arena-allocated (see arena.go): they live exactly as long as
+// their plan and must never be retained past it.
 type label struct {
 	node    graph.NodeID
 	covered bitset.Mask
@@ -16,14 +19,21 @@ type label struct {
 	os      float64
 	bs      float64
 	parent  *label
-	// shortcut marks a strategy-1 jump: the hop parent→node follows the
-	// min-budget path σ(parent.node, node) rather than a single edge.
-	shortcut bool
-	// deleted marks labels lazily removed from the queues after domination.
-	deleted bool
+	// hash is the incremental route signature of the chain's node sequence
+	// (see candidates.go). It is exact only while approx is false.
+	hash uint64
 	// seq is the creation sequence number, the final deterministic
 	// tie-break in the label order.
 	seq uint64
+	// shortcut marks a strategy-1 jump: the hop parent→node follows the
+	// min-budget path σ(parent.node, node) rather than a single edge.
+	shortcut bool
+	// approx marks chains containing a shortcut anywhere: their materialized
+	// node sequence differs from the chain, so hash must be recomputed from
+	// the reconstructed route.
+	approx bool
+	// deleted marks labels lazily removed from the queues after domination.
+	deleted bool
 }
 
 // LabelView is the read-only projection of a label exposed through the
@@ -70,16 +80,17 @@ func (l *label) dominates(o *label) bool {
 
 // labelStore keeps the per-node label lists and applies (k-)domination.
 // For the KkR query (§3.5), k > 1 makes it keep any label dominated by
-// fewer than k others.
+// fewer than k others. The lists and the per-node coverage-union prefilter
+// live in the plan's pooled scratch.
 type labelStore struct {
-	perNode [][]*label
+	sc      *planScratch
 	k       int
 	metrics *Metrics
 	tracer  Tracer
 }
 
-func newLabelStore(numNodes, k int, metrics *Metrics, tracer Tracer) *labelStore {
-	return &labelStore{perNode: make([][]*label, numNodes), k: k, metrics: metrics, tracer: tracer}
+func newLabelStore(sc *planScratch, k int, metrics *Metrics, tracer Tracer) *labelStore {
+	return &labelStore{sc: sc, k: k, metrics: metrics, tracer: tracer}
 }
 
 // tryInsert adds l to its node's list unless it is k-dominated by existing
@@ -87,40 +98,58 @@ func newLabelStore(numNodes, k int, metrics *Metrics, tracer Tracer) *labelStore
 // dominated by l) are marked deleted and filtered out. It reports whether l
 // was inserted.
 func (st *labelStore) tryInsert(l *label) bool {
-	list := st.perNode[l.node]
-	dominators := 0
-	for _, x := range list {
-		if x.deleted {
-			continue
-		}
-		if x.dominates(l) {
-			dominators++
-			if dominators >= st.k {
-				st.metrics.Dominated++
-				if st.tracer != nil {
-					st.tracer.Trace(TraceEvent{Kind: TraceDominated, Label: l.view()})
+	sc := st.sc
+	list := sc.perNode[l.node]
+	if len(list) == 0 {
+		sc.perNode[l.node] = append(list, l)
+		sc.union[l.node] = l.covered
+		sc.touched = append(sc.touched, l.node)
+		return true
+	}
+
+	// Coverage prefilter: a dominator must cover ⊇ l.covered, so when even
+	// the union of live coverage at this node misses one of l's keywords, no
+	// dominator can exist and the scan is skipped.
+	if sc.union[l.node].Contains(l.covered) {
+		dominators := 0
+		for _, x := range list {
+			if x.deleted {
+				continue
+			}
+			if x.dominates(l) {
+				dominators++
+				if dominators >= st.k {
+					st.metrics.Dominated++
+					if st.tracer != nil {
+						st.tracer.Trace(TraceEvent{Kind: TraceDominated, Label: l.view()})
+					}
+					return false
 				}
-				return false
 			}
 		}
 	}
 
-	// Sweep out labels that l pushes past their domination budget.
+	// Sweep out labels that l pushes past their domination budget, rebuilding
+	// the coverage union over the survivors as we go. For the plain k=1 query
+	// l dominating x already settles the count, skipping countDominators.
 	w := 0
+	union := l.covered
 	for _, x := range list {
 		if x.deleted {
 			continue
 		}
-		if l.dominates(x) && st.countDominators(list, x, l) >= st.k {
+		if l.dominates(x) && (st.k == 1 || st.countDominators(list, x, l) >= st.k) {
 			x.deleted = true
 			st.metrics.DominatedSwept++
 			continue
 		}
 		list[w] = x
 		w++
+		union = union.Union(x.covered)
 	}
 	list = list[:w]
-	st.perNode[l.node] = append(list, l)
+	sc.perNode[l.node] = append(list, l)
+	sc.union[l.node] = union
 	return true
 }
 

@@ -126,6 +126,7 @@ type Metrics struct {
 	ShortcutLabels  int // strategy-1 σ-jump labels
 	Feasible        int // feasible candidates encountered
 	PeakQueue       int // largest queue population
+	PlanSweeps      int // query-owned sweeps: Δ-bounded candidate lookups and path reconstruction
 }
 
 // add accumulates counters from another run (used when averaging workloads).
@@ -140,6 +141,7 @@ func (m *Metrics) add(o Metrics) {
 	m.DominatedSwept += o.DominatedSwept
 	m.ShortcutLabels += o.ShortcutLabels
 	m.Feasible += o.Feasible
+	m.PlanSweeps += o.PlanSweeps
 	if o.PeakQueue > m.PeakQueue {
 		m.PeakQueue = o.PeakQueue
 	}

@@ -34,21 +34,21 @@ func (s *Searcher) OSScalingCtx(ctx context.Context, q Query, opts Options) (Res
 }
 
 func (p *plan) runOSScaling() (Result, error) {
-	oracle := p.s.oracle
+	defer p.close()
 
 	// A feasible route needs the target reachable within Δ at all.
-	if _, sbs, ok := oracle.MinBudget(p.q.Source, p.q.Target); !ok || sbs > p.q.Budget {
+	if sbs, ok := p.sigBudgetTo(p.q.Source); !ok || sbs > p.q.Budget {
 		return Result{Metrics: p.metrics}, ErrNoRoute
 	}
 
 	cands := newCandidateSet(p.opts.K)
-	store := newLabelStore(p.s.g.NumNodes(), p.opts.K, &p.metrics, p.opts.Tracer)
+	store := newLabelStore(p.sc, p.opts.K, &p.metrics, p.opts.Tracer)
 	queue := pqueue.New(func(a, b *label) bool { return a.less(b) })
 
 	start := p.startLabel()
 	store.tryInsert(start)
 	if start.covered.Covers(p.qMask) {
-		tos, tbs, ok := oracle.MinObjective(p.q.Source, p.q.Target)
+		tos, tbs, ok := p.tauTo(p.q.Source)
 		if ok && start.bs+tbs <= p.q.Budget {
 			if _, err := cands.offer(p, start, tos, tbs); err != nil {
 				return Result{Metrics: p.metrics}, err
@@ -73,7 +73,7 @@ func (p *plan) runOSScaling() (Result, error) {
 
 		// Line 7: the label cannot contribute when even its best completion
 		// exceeds the upper bound.
-		tos, _, ok := oracle.MinObjective(l.node, p.q.Target)
+		tos, _, ok := p.tauTo(l.node)
 		if !ok {
 			continue
 		}
@@ -120,9 +120,11 @@ func (p *plan) extendOSS(l *label, store *labelStore, queue *pqueue.Heap[*label]
 
 // strategy1Jump builds the optimization-strategy-1 label: jump along
 // σ(l.node, vj) to the uncovered-keyword node vj with the cheapest such
-// budget, provided the jump still admits a feasible completion.
+// budget, provided the jump still admits a feasible completion. The σ tails
+// into the target were resolved at plan time; the per-candidate σ(l.node,
+// vj) lookup comes from the plan's Δ-bounded candidate sweeps on lazy
+// oracles.
 func (p *plan) strategy1Jump(l *label) *label {
-	oracle := p.s.oracle
 	bestBS := math.Inf(1)
 	var bestNode graph.NodeID
 	var bestOS float64
@@ -134,12 +136,8 @@ func (p *plan) strategy1Jump(l *label) *label {
 		if jn.mask.Diff(l.covered).Empty() {
 			continue // carries no uncovered keyword
 		}
-		sigOS, sigBS, ok := oracle.MinBudget(l.node, jn.node)
-		if !ok {
-			continue
-		}
-		_, tailBS, ok := oracle.MinBudget(jn.node, p.q.Target)
-		if !ok || l.bs+sigBS+tailBS > p.q.Budget {
+		sigOS, sigBS, ok := p.sigInto(l.node, jn.node)
+		if !ok || l.bs+sigBS+jn.tailBS > p.q.Budget {
 			continue
 		}
 		if sigBS < bestBS || (sigBS == bestBS && jn.node < bestNode) {
@@ -156,18 +154,17 @@ func (p *plan) strategy1Jump(l *label) *label {
 // admitOSS applies the creation-time checks of Algorithm 1 (line 10 and
 // lines 16–20) to a child label.
 func (p *plan) admitOSS(child *label, store *labelStore, queue *pqueue.Heap[*label], cands *candidateSet) error {
-	oracle := p.s.oracle
 	p.trace(TraceCreated, child, cands.bound())
 
 	// Budget feasibility through the best σ tail.
-	_, sbs, ok := oracle.MinBudget(child.node, p.q.Target)
+	sbs, ok := p.sigBudgetTo(child.node)
 	if !ok || child.bs+sbs > p.q.Budget {
 		p.metrics.PrunedBudget++
 		p.trace(TracePrunedBudget, child, cands.bound())
 		return nil
 	}
 	// τ exists whenever σ does: both witness reachability.
-	tos, tbs, _ := oracle.MinObjective(child.node, p.q.Target)
+	tos, tbs, _ := p.tauTo(child.node)
 
 	u := cands.bound()
 	if child.os+tos >= u { // never fires while u is +Inf

@@ -14,7 +14,8 @@ import (
 // plan is the per-query pre-computation shared by the label algorithms:
 // keyword bit assignment, per-node coverage masks, the scaling factor θ,
 // strategy-1 candidate nodes and strategy-2 infrequent-keyword nodes, plus
-// oracle prefetch hints.
+// oracle access tuned to the query. Its scratch tables and label arena are
+// pooled; every search entry point must close the plan when it returns.
 type plan struct {
 	s    *Searcher
 	q    Query
@@ -25,20 +26,51 @@ type plan struct {
 	ctx     context.Context
 	ctxTick uint
 
+	// sc is the pooled per-query scratch; nil once the plan is closed.
+	sc *planScratch
+	// postings holds each term's posting list, parallel to terms. Fetched
+	// once: plan setup, the strategy candidates and scratch reset all walk
+	// them, and a disk-backed index must not be re-read for each.
+	postings [][]graph.NodeID
+
 	terms    []graph.Term // deduplicated query keywords, bit i ↔ terms[i]
 	qMask    bitset.Mask
-	nodeMask []bitset.Mask // query-keyword coverage per node
+	nodeMask []bitset.Mask // query-keyword coverage per node (aliases sc.nodeMask)
 
 	theta float64 // θ = ε·o_min·b_min/Δ (Definition in §3.2)
 
 	// Strategy 1: nodes carrying uncovered query keywords, each with the
-	// mask of query keywords it carries, ordered by rarest keyword first.
+	// mask of query keywords it carries and its σ-tail budget into the
+	// target, ordered by rarest keyword first. Nodes that cannot reach the
+	// target within Δ are dropped at plan time.
 	jumpNodes []jumpNode
 
-	// Strategy 2: the nodes carrying the least frequent query keyword, and
-	// that keyword's bit, when its document frequency is under threshold.
-	infreqBit   int
-	infreqNodes []graph.NodeID
+	// Strategy 2: the nodes carrying the least frequent query keyword (with
+	// their precomputed completions into the target) and that keyword's bit,
+	// when its document frequency is under threshold.
+	infreqBit int
+	infreq    []viaNode
+
+	// Candidate-subgraph sweeps: on sweep-backed (lazy) oracles the plan
+	// owns bounded reverse sweeps into its candidate nodes — the strategy-1
+	// jump nodes and strategy-2 keyword nodes — instead of forcing
+	// full-graph sweeps through the shared caches. σ sweeps are truncated at
+	// the query budget Δ, strategy-2 τ sweeps at the upper bound U; both
+	// truncations only drop nodes whose answers could never matter to this
+	// query.
+	useBounded bool
+	boundedSig map[graph.NodeID]*apsp.Sweep
+	tauVia     map[graph.NodeID]*apsp.Sweep
+
+	// indexedPaths: the oracle materializes paths as table walks (dense
+	// matrix), so reconstruction delegates to it directly.
+	indexedPaths bool
+	// Path-reconstruction sweeps for oracles that would otherwise answer
+	// each path with a fresh full sweep (e.g. the partitioned oracle): one
+	// reverse τ sweep into the target covers every tail path, one reverse σ
+	// sweep per shortcut node covers every σ segment.
+	tailPathSweep *apsp.Sweep
+	pathSweeps    map[graph.NodeID]*apsp.Sweep
 
 	// exact switches the label machinery to exact mode: the "scaled" slot
 	// carries an order-preserving encoding of the raw objective instead of
@@ -50,12 +82,23 @@ type plan struct {
 }
 
 type jumpNode struct {
+	node   graph.NodeID
+	mask   bitset.Mask
+	tailBS float64 // BS(σ(node, target)), precomputed at plan time
+}
+
+// viaNode is one strategy-2 keyword node with its completions into the
+// target: OS(τ(node, target)) and BS(σ(node, target)).
+type viaNode struct {
 	node graph.NodeID
-	mask bitset.Mask
+	osLT float64
+	bsLT float64
 }
 
 // newPlan validates the query and assembles the plan. A nil ctx means no
 // cancellation; an already-cancelled ctx fails here, before any search work.
+// The returned plan holds pooled scratch: callers must arrange for close to
+// run when the search finishes.
 func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -69,6 +112,9 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 	}
 	if err := s.validate(q); err != nil {
 		return nil, err
+	}
+	if s.g.NumEdges() == 0 {
+		return nil, fmt.Errorf("%w: graph has no edges", ErrBadQuery)
 	}
 
 	p := &plan{s: s, q: q, opts: opts, ctx: ctx, infreqBit: -1}
@@ -86,8 +132,13 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 	}
 	p.qMask = bitset.Full(len(p.terms))
 
+	// All validation is done: check out pooled scratch. Everything past this
+	// point must keep the plan closeable.
+	p.sc = s.getScratch()
+	p.nodeMask = p.sc.nodeMask
+
 	// Coverage masks via the inverted file.
-	p.nodeMask = make([]bitset.Mask, s.g.NumNodes())
+	p.postings = make([][]graph.NodeID, len(p.terms))
 	type termFreq struct {
 		bit int
 		df  int
@@ -95,6 +146,7 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 	freqs := make([]termFreq, len(p.terms))
 	for bit, t := range p.terms {
 		post := s.index.Postings(t)
+		p.postings[bit] = post
 		freqs[bit] = termFreq{bit: bit, df: len(post)}
 		for _, v := range post {
 			p.nodeMask[v] = p.nodeMask[v].With(bit)
@@ -109,22 +161,36 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 
 	// θ: scale objective values to integers (§3.2). Edge attributes are
 	// validated positive, so θ > 0 whenever the graph has edges.
-	if s.g.NumEdges() == 0 {
-		return nil, fmt.Errorf("%w: graph has no edges", ErrBadQuery)
-	}
 	p.theta = opts.Epsilon * s.g.MinObjective() * s.g.MinBudget() / q.Budget
 
+	p.useBounded = apsp.IsOnDemand(s.oracle)
+	if p.useBounded {
+		p.boundedSig = make(map[graph.NodeID]*apsp.Sweep)
+		p.tauVia = make(map[graph.NodeID]*apsp.Sweep)
+	}
+	p.indexedPaths = apsp.HasIndexedPaths(s.oracle)
+
+	// The dominant shared-oracle lookups all point into the target; pin its
+	// sweeps first so the strategy precomputations below are cheap.
+	apsp.PrefetchTarget(s.oracle, q.Target)
+
 	// Strategy 1 candidates: uncovered-keyword nodes, rarest keyword first,
-	// capped; each costs one reverse sweep on a lazy oracle.
+	// capped. The σ tail into the target is resolved once per candidate here
+	// — it used to be an oracle round-trip per candidate per label — and
+	// candidates that cannot reach the target within Δ are dropped outright.
 	if !opts.DisableStrategy1 {
 		taken := make(map[graph.NodeID]bool)
 		for _, tf := range freqs {
-			for _, v := range s.index.Postings(p.terms[tf.bit]) {
+			for _, v := range p.postings[tf.bit] {
 				if taken[v] || len(p.jumpNodes) >= opts.Strategy1Candidates {
 					continue
 				}
 				taken[v] = true
-				p.jumpNodes = append(p.jumpNodes, jumpNode{node: v, mask: p.nodeMask[v]})
+				tailBS, ok := p.sigBudgetTo(v)
+				if !ok || tailBS > q.Budget {
+					continue
+				}
+				p.jumpNodes = append(p.jumpNodes, jumpNode{node: v, mask: p.nodeMask[v], tailBS: tailBS})
 			}
 			if len(p.jumpNodes) >= opts.Strategy1Candidates {
 				break
@@ -132,7 +198,10 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 		}
 	}
 
-	// Strategy 2: pick the least frequent keyword if it is rare enough.
+	// Strategy 2: pick the least frequent keyword if it is rare enough, and
+	// precompute each of its nodes' completions into the target. Nodes that
+	// cannot reach the target, or only past Δ, can never keep a label alive
+	// and are dropped here.
 	if !opts.DisableStrategy2 && len(freqs) > 0 {
 		rarest := freqs[0]
 		threshold := int(opts.InfrequentFraction * float64(s.g.NumNodes()))
@@ -141,21 +210,171 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 		}
 		if rarest.df > 0 && rarest.df <= threshold {
 			p.infreqBit = rarest.bit
-			p.infreqNodes = append(p.infreqNodes, s.index.Postings(p.terms[rarest.bit])...)
+			for _, v := range p.postings[rarest.bit] {
+				osLT, _, okT := p.tauTo(v)
+				bsLT, okS := p.sigBudgetTo(v)
+				if !okT || !okS || bsLT > q.Budget {
+					continue
+				}
+				p.infreq = append(p.infreq, viaNode{node: v, osLT: osLT, bsLT: bsLT})
+			}
+			if len(p.infreq) == 0 {
+				p.infreqBit = -1 // every keyword node is unreachable within Δ
+			}
 		}
 	}
 
-	// Prefetch hints for lazy oracles: the dominant lookups are into the
-	// target, into strategy-1 jump nodes (σ(i, j)) and into strategy-2
-	// keyword nodes (τ/σ(i, l)).
-	apsp.PrefetchTarget(s.oracle, q.Target)
-	for _, jn := range p.jumpNodes {
-		apsp.PrefetchTarget(s.oracle, jn.node)
-	}
-	for _, v := range p.infreqNodes {
-		apsp.PrefetchTarget(s.oracle, v)
+	// On dense oracles the candidate lookups are O(1) table reads; hint the
+	// historical prefetches for lazy-style oracles that did not opt into
+	// plan-owned bounded sweeps.
+	if !p.useBounded {
+		for _, jn := range p.jumpNodes {
+			apsp.PrefetchTarget(s.oracle, jn.node)
+		}
+		for _, via := range p.infreq {
+			apsp.PrefetchTarget(s.oracle, via.node)
+		}
 	}
 	return p, nil
+}
+
+// close returns the plan's pooled scratch. Idempotent; the plan is unusable
+// afterwards. Every search entry point defers it.
+func (p *plan) close() {
+	if p.sc == nil {
+		return
+	}
+	sc := p.sc
+	p.sc = nil
+	p.nodeMask = nil
+	p.s.putScratch(sc, p.postings)
+}
+
+// tailEntryFor returns v's tail memo slot, resetting it lazily when it still
+// carries another query's generation.
+func (p *plan) tailEntryFor(v graph.NodeID) *tailEntry {
+	sc := p.sc
+	if sc.tailGen[v] != sc.gen {
+		sc.tailGen[v] = sc.gen
+		sc.tail[v] = tailEntry{}
+	}
+	return &sc.tail[v]
+}
+
+// sigBudgetTo returns the budget score of σ(v, target), memoized per plan.
+func (p *plan) sigBudgetTo(v graph.NodeID) (float64, bool) {
+	e := p.tailEntryFor(v)
+	if e.flags&tailSigmaDone == 0 {
+		_, bs, ok := p.s.oracle.MinBudget(v, p.q.Target)
+		e.flags |= tailSigmaDone
+		if ok {
+			e.flags |= tailSigmaOK
+			e.sbs = bs
+		}
+	}
+	if e.flags&tailSigmaOK == 0 {
+		return 0, false
+	}
+	return e.sbs, true
+}
+
+// tauTo returns the scores of τ(v, target), memoized per plan.
+func (p *plan) tauTo(v graph.NodeID) (float64, float64, bool) {
+	e := p.tailEntryFor(v)
+	if e.flags&tailTauDone == 0 {
+		tos, tbs, ok := p.s.oracle.MinObjective(v, p.q.Target)
+		e.flags |= tailTauDone
+		if ok {
+			e.flags |= tailTauOK
+			e.tos, e.tbs = tos, tbs
+		}
+	}
+	if e.flags&tailTauOK == 0 {
+		return 0, 0, false
+	}
+	return e.tos, e.tbs, true
+}
+
+// boundedSigSweep returns (creating on first use) the plan's Δ-bounded
+// reverse σ sweep into candidate node to — the single source for both score
+// lookups and path reconstruction, so the two can never disagree on bound
+// or metric.
+func (p *plan) boundedSigSweep(to graph.NodeID) *apsp.Sweep {
+	sw := p.boundedSig[to]
+	if sw == nil {
+		sw = apsp.ReverseBoundedSweep(p.s.g, to, apsp.ByBudget, p.q.Budget)
+		p.boundedSig[to] = sw
+		p.metrics.PlanSweeps++
+	}
+	return sw
+}
+
+// sigInto returns the scores of σ(from, to) for a candidate node to. On a
+// sweep-backed oracle it is answered from a plan-owned reverse sweep
+// truncated at Δ: ok=false then means "no path within the query budget",
+// which every caller treats identically to unreachable.
+func (p *plan) sigInto(from, to graph.NodeID) (os, bs float64, ok bool) {
+	if !p.useBounded {
+		return p.s.oracle.MinBudget(from, to)
+	}
+	return p.boundedSigSweep(to).Scores(from)
+}
+
+// tailPath materializes τ(from, target). Indexed oracles walk their parent
+// tables, sweep-backed oracles walk their cached reverse sweep into the
+// target, and anything else gets one plan-owned reverse sweep that serves
+// every reconstruction of this query.
+func (p *plan) tailPath(from graph.NodeID) ([]graph.NodeID, bool) {
+	if p.indexedPaths || p.useBounded {
+		return p.s.oracle.MinObjectivePath(from, p.q.Target)
+	}
+	if p.tailPathSweep == nil {
+		p.tailPathSweep = apsp.ReverseBoundedSweep(p.s.g, p.q.Target, apsp.ByObjective, math.Inf(1))
+		p.metrics.PlanSweeps++
+	}
+	return p.tailPathSweep.WalkFrom(from)
+}
+
+// shortcutPath materializes σ(from, to) for a strategy-1 jump node to,
+// walking the oracle's tables (indexed), the plan's Δ-bounded candidate
+// sweep (sweep-backed) or a plan-owned reverse sweep (everything else).
+func (p *plan) shortcutPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	if p.indexedPaths {
+		return p.s.oracle.MinBudgetPath(from, to)
+	}
+	if p.useBounded {
+		return p.boundedSigSweep(to).WalkFrom(from)
+	}
+	if p.pathSweeps == nil {
+		p.pathSweeps = make(map[graph.NodeID]*apsp.Sweep)
+	}
+	sw := p.pathSweeps[to]
+	if sw == nil {
+		sw = apsp.ReverseBoundedSweep(p.s.g, to, apsp.ByBudget, math.Inf(1))
+		p.pathSweeps[to] = sw
+		p.metrics.PlanSweeps++
+	}
+	return sw.WalkFrom(from)
+}
+
+// tauObjInto returns the objective score of τ(from, via.node) for a
+// strategy-2 keyword node. On a sweep-backed oracle the plan-owned sweep is
+// truncated at U−OS(τ(via,t)) as of its first use: U only shrinks, so a
+// node past the truncation can never satisfy the objective condition later
+// either.
+func (p *plan) tauObjInto(from graph.NodeID, via viaNode, u float64) (float64, bool) {
+	if !p.useBounded {
+		os, _, ok := p.s.oracle.MinObjective(from, via.node)
+		return os, ok
+	}
+	sw := p.tauVia[via.node]
+	if sw == nil {
+		sw = apsp.ReverseBoundedSweep(p.s.g, via.node, apsp.ByObjective, u-via.osLT)
+		p.tauVia[via.node] = sw
+		p.metrics.PlanSweeps++
+	}
+	os, _, ok := sw.Scores(from)
+	return os, ok
 }
 
 // ctxCheckEvery is how many checkCtx calls elapse between real ctx polls.
@@ -193,14 +412,15 @@ func (p *plan) scaledObjective(o float64) int64 {
 func (p *plan) newLabel(cur *label, e graph.Edge) *label {
 	p.seq++
 	p.metrics.LabelsCreated++
-	l := &label{
-		node:    e.To,
-		covered: cur.covered.Union(p.nodeMask[e.To]),
-		os:      cur.os + e.Objective,
-		bs:      cur.bs + e.Budget,
-		parent:  cur,
-		seq:     p.seq,
-	}
+	l := p.sc.arena.alloc()
+	l.node = e.To
+	l.covered = cur.covered.Union(p.nodeMask[e.To])
+	l.os = cur.os + e.Objective
+	l.bs = cur.bs + e.Budget
+	l.parent = cur
+	l.hash = extendRouteHash(cur.hash, e.To)
+	l.approx = cur.approx
+	l.seq = p.seq
 	if p.exact {
 		l.scaled = exactScaled(l.os)
 	} else {
@@ -215,15 +435,17 @@ func (p *plan) newShortcutLabel(cur *label, to graph.NodeID, sigOS, sigBS float6
 	p.seq++
 	p.metrics.LabelsCreated++
 	p.metrics.ShortcutLabels++
-	l := &label{
-		node:     to,
-		covered:  cur.covered.Union(p.nodeMask[to]),
-		os:       cur.os + sigOS,
-		bs:       cur.bs + sigBS,
-		parent:   cur,
-		shortcut: true,
-		seq:      p.seq,
-	}
+	l := p.sc.arena.alloc()
+	l.node = to
+	l.covered = cur.covered.Union(p.nodeMask[to])
+	l.os = cur.os + sigOS
+	l.bs = cur.bs + sigBS
+	l.parent = cur
+	l.shortcut = true
+	// The chain's materialized nodes now include σ's interior; the route
+	// signature is recomputed at reconstruction.
+	l.approx = true
+	l.seq = p.seq
 	if p.exact {
 		l.scaled = exactScaled(l.os)
 	} else {
@@ -238,7 +460,12 @@ func (p *plan) newShortcutLabel(cur *label, to graph.NodeID, sigOS, sigBS float6
 // startLabel is the source label L0s = (vs.ψ, 0, 0, 0).
 func (p *plan) startLabel() *label {
 	p.seq++
-	return &label{node: p.q.Source, covered: p.nodeMask[p.q.Source], seq: p.seq}
+	l := p.sc.arena.alloc()
+	l.node = p.q.Source
+	l.covered = p.nodeMask[p.q.Source]
+	l.hash = extendRouteHash(routeHashSeed, p.q.Source)
+	l.seq = p.seq
+	return l
 }
 
 // trace emits a tracer event if a tracer is configured.
@@ -252,27 +479,27 @@ func (p *plan) trace(kind TraceKind, l *label, u float64) {
 // strategy2Prune applies optimization strategy 2: a label not yet covering
 // the infrequent keyword can be discarded when, through every node l that
 // carries it, either the objective bound exceeds U or the budget bound
-// exceeds Δ.
+// exceeds Δ. The budget condition is checked first: it needs only the
+// Δ-bounded σ sweeps, and while U is still +Inf the objective condition is
+// vacuous, so no τ lookup happens at all before the first feasible route.
 func (p *plan) strategy2Prune(l *label, u float64) bool {
 	if p.infreqBit < 0 || l.covered.Has(p.infreqBit) {
 		return false
 	}
-	for _, via := range p.infreqNodes {
-		osIL, _, ok1 := p.s.oracle.MinObjective(l.node, via)
-		if !ok1 {
-			continue // cannot route through this node at all
+	uInf := math.IsInf(u, 1)
+	for _, via := range p.infreq {
+		_, bsIL, ok := p.sigInto(l.node, via.node)
+		if !ok || l.bs+bsIL+via.bsLT > p.q.Budget {
+			continue // cannot route through this node within Δ
 		}
-		osLT, _, ok2 := p.s.oracle.MinObjective(via, p.q.Target)
-		if !ok2 {
+		if uInf {
+			return false // budget fits and the objective bound is vacuous
+		}
+		osIL, ok := p.tauObjInto(l.node, via, u)
+		if !ok || l.os+osIL+via.osLT > u {
 			continue
 		}
-		objOK := l.os+osIL+osLT <= u
-		_, bsIL, _ := p.s.oracle.MinBudget(l.node, via)
-		_, bsLT, ok3 := p.s.oracle.MinBudget(via, p.q.Target)
-		budOK := ok3 && l.bs+bsIL+bsLT <= p.q.Budget
-		if objOK && budOK {
-			return false // this keyword node keeps the label alive
-		}
+		return false // this keyword node keeps the label alive
 	}
 	p.metrics.PrunedStrategy2++
 	p.trace(TracePrunedStrategy2, l, u)

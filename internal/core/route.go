@@ -61,8 +61,11 @@ func (r Result) Best() Route { return r.Routes[0] }
 // reconstruct materializes the route of a final label: the parent chain
 // (expanding strategy-1 σ-shortcuts), then the τ tail from the label's node
 // to the query target. tailOS/tailBS are τ's scores, already verified
-// feasible by the caller.
-func (p *plan) reconstruct(last *label, tailOS, tailBS float64) (Route, error) {
+// feasible by the caller. The second return value is the route's uint64
+// signature: for shortcut-free chains it starts from the hash the labels
+// carried incrementally and only folds in the τ tail; chains containing a
+// shortcut recompute it over the materialized sequence.
+func (p *plan) reconstruct(last *label, tailOS, tailBS float64) (Route, uint64, error) {
 	// Collect the chain source→last.
 	var chain []*label
 	for l := last; l != nil; l = l.parent {
@@ -75,19 +78,29 @@ func (p *plan) reconstruct(last *label, tailOS, tailBS float64) (Route, error) {
 			nodes = append(nodes, l.node)
 			continue
 		}
-		seg, ok := p.s.oracle.MinBudgetPath(l.parent.node, l.node)
+		seg, ok := p.shortcutPath(l.parent.node, l.node)
 		if !ok {
-			return Route{}, fmt.Errorf("kor: internal: lost σ(%d,%d) during reconstruction", l.parent.node, l.node)
+			return Route{}, 0, fmt.Errorf("kor: internal: lost σ(%d,%d) during reconstruction", l.parent.node, l.node)
 		}
 		nodes = append(nodes, seg[1:]...) // seg[0] == parent, already present
 	}
+	chainLen := len(nodes)
 
 	if last.node != p.q.Target {
-		tail, ok := p.s.oracle.MinObjectivePath(last.node, p.q.Target)
+		tail, ok := p.tailPath(last.node)
 		if !ok {
-			return Route{}, fmt.Errorf("kor: internal: lost τ(%d,%d) during reconstruction", last.node, p.q.Target)
+			return Route{}, 0, fmt.Errorf("kor: internal: lost τ(%d,%d) during reconstruction", last.node, p.q.Target)
 		}
 		nodes = append(nodes, tail[1:]...)
+	}
+
+	sig := last.hash
+	from := chainLen
+	if last.approx {
+		sig, from = routeHashSeed, 0
+	}
+	for _, v := range nodes[from:] {
+		sig = extendRouteHash(sig, v)
 	}
 
 	covered := bitset.Mask(0)
@@ -103,5 +116,5 @@ func (p *plan) reconstruct(last *label, tailOS, tailBS float64) (Route, error) {
 		Covered:   covered,
 		CoversAll: covered.Covers(p.qMask),
 		Feasible:  covered.Covers(p.qMask) && bs <= p.q.Budget,
-	}, nil
+	}, sig, nil
 }

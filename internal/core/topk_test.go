@@ -5,11 +5,27 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"kor/internal/bitset"
 	"kor/internal/graph"
 )
+
+// routeSignature renders a route's node sequence as a comparable string —
+// the test-side stand-in for the engine's uint64 signatures, kept textual so
+// failures read well.
+func routeSignature(r Route) string {
+	var b strings.Builder
+	for i, v := range r.Nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}
 
 // enumerateFeasible lists every feasible route for q by exhaustive walk
 // enumeration (budget-pruned), deduplicated by node sequence and sorted by
@@ -222,7 +238,7 @@ func TestLabelStoreDomination(t *testing.T) {
 	mk := func(node graph.NodeID, covered uint64, scaled int64, bs float64) *label {
 		return &label{node: node, covered: maskOf(covered), scaled: scaled, bs: bs}
 	}
-	st := newLabelStore(4, 1, m, nil)
+	st := newLabelStore(scratchForTest(4), 1, m, nil)
 	a := mk(0, 0b11, 10, 5)
 	if !st.tryInsert(a) {
 		t.Fatal("first insert rejected")
@@ -250,7 +266,7 @@ func TestLabelStoreDomination(t *testing.T) {
 
 	// k=2: one dominator is not enough to reject.
 	m2 := &Metrics{}
-	st2 := newLabelStore(4, 2, m2, nil)
+	st2 := newLabelStore(scratchForTest(4), 2, m2, nil)
 	st2.tryInsert(mk(1, 0b11, 5, 5))
 	if !st2.tryInsert(mk(1, 0b01, 9, 9)) {
 		t.Error("k=2 rejected a once-dominated label")

@@ -1,0 +1,309 @@
+package experiments
+
+// Machine-readable benchmarking: unlike the figure runners, which render the
+// paper's tables for humans, RunBench measures fixed serving workloads and
+// emits a BenchReport meant to be committed as BENCH_<rev>.json. Every PR
+// that touches the hot path records one, so the repository carries a
+// performance trajectory instead of anecdotes. CompareBench is the CI
+// regression gate over two such reports.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"kor/internal/core"
+)
+
+// BenchOptions sizes one benchmark run.
+type BenchOptions struct {
+	// Seed drives the dataset and query generators.
+	Seed int64
+	// Queries per workload cell (0 = 16 full / 8 smoke).
+	Queries int
+	// Iters is how many measured passes run over each query set (0 = 3).
+	Iters int
+	// Smoke shrinks the datasets to CI size: the same workload names, far
+	// smaller graphs, so a smoke report is only comparable to another smoke
+	// report.
+	Smoke bool
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	if o.Queries <= 0 {
+		if o.Smoke {
+			o.Queries = 8
+		} else {
+			o.Queries = 16
+		}
+	}
+	if o.Iters <= 0 {
+		o.Iters = 3
+	}
+	return o
+}
+
+// BenchEntry is one (workload, algorithm) measurement. Per-op quantities are
+// per query.
+type BenchEntry struct {
+	Workload    string  `json:"workload"`
+	Algorithm   string  `json:"algorithm"`
+	Queries     int     `json:"queries"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	LabelsPerOp float64 `json:"labels_per_op"`
+	// SweepsPerOp counts shared-oracle Dijkstra sweeps (lazy oracles);
+	// PlanSweepsPerOp counts query-owned sweeps (Δ-bounded candidate
+	// lookups and path reconstruction).
+	SweepsPerOp     float64 `json:"sweeps_per_op"`
+	PlanSweepsPerOp float64 `json:"plan_sweeps_per_op,omitempty"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	Failures        int     `json:"failures,omitempty"`
+}
+
+// BenchReport is the committed benchmark artifact.
+type BenchReport struct {
+	Schema    int          `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	Smoke     bool         `json:"smoke,omitempty"`
+	Seed      int64        `json:"seed"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// benchWorkload names one dataset+query cell of the bench suite.
+type benchWorkload struct {
+	name    string
+	build   func(o BenchOptions) (*Dataset, error)
+	m       int
+	delta   float64
+	lineup  []Algorithm
+	descrip string
+}
+
+// sweepCounter is the optional oracle capability the sweeps column reads.
+type sweepCounter interface{ SweepCount() int64 }
+
+func benchLineup() []Algorithm {
+	oss := core.DefaultOptions()
+	bb := core.DefaultOptions()
+	g := core.DefaultOptions()
+	return []Algorithm{
+		{Name: "OSScaling", Opts: oss, Kind: KindOSScaling},
+		{Name: "BucketBound", Opts: bb, Kind: KindBucketBound},
+		{Name: "Greedy1", Opts: g, Kind: KindGreedy},
+	}
+}
+
+func benchWorkloads(o BenchOptions) []benchWorkload {
+	flickr := func(bo BenchOptions) (*Dataset, error) {
+		return NewFlickrDataset(Config{Seed: bo.Seed, Queries: bo.Queries, FastFlickr: bo.Smoke})
+	}
+	roadNodes := 5000
+	if o.Smoke {
+		roadNodes = 1500
+	}
+	road := func(bo BenchOptions) (*Dataset, error) {
+		return NewRoadDataset(Config{Seed: bo.Seed, Queries: bo.Queries}, roadNodes), nil
+	}
+	return []benchWorkload{
+		{
+			name:    "flickr-dense",
+			build:   flickr,
+			m:       6,
+			delta:   6,
+			lineup:  benchLineup(),
+			descrip: "Flickr-like city graph, dense (matrix) oracle, m=6 Δ=6",
+		},
+		{
+			name:    "road-lazy",
+			build:   road,
+			m:       6,
+			delta:   9,
+			lineup:  benchLineup(),
+			descrip: "synthetic road network, lazy sweep oracle, m=6 Δ=9",
+		},
+	}
+}
+
+// RunBench measures the serving workloads and returns the report. log, when
+// non-nil, receives progress lines.
+func RunBench(o BenchOptions, log io.Writer) (*BenchReport, error) {
+	o = o.withDefaults()
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format+"\n", args...)
+		}
+	}
+	report := &BenchReport{Schema: 1, GoVersion: runtime.Version(), Smoke: o.Smoke, Seed: o.Seed}
+	for _, w := range benchWorkloads(o) {
+		ds, err := w.build(o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench workload %s: %w", w.name, err)
+		}
+		queries := ds.Queries(Config{Seed: o.Seed, Queries: o.Queries}, w.m, w.delta)
+		logf("bench %s (%s): %d queries", w.name, w.descrip, len(queries))
+		for _, algo := range w.lineup {
+			e, err := measureBench(ds, queries, algo, o.Iters)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bench %s/%s: %w", w.name, algo.Name, err)
+			}
+			e.Workload = w.name
+			report.Entries = append(report.Entries, e)
+			logf("  %-12s %12.0f ns/op  %8.0f labels/op  %6.2f+%.2f sweeps/op  %8.0f allocs/op",
+				algo.Name, e.NsPerOp, e.LabelsPerOp, e.SweepsPerOp, e.PlanSweepsPerOp, e.AllocsPerOp)
+		}
+	}
+	return report, nil
+}
+
+// measureBench times iters passes over the query set, reading allocation and
+// sweep counters around the measured region. One untimed pass warms the
+// oracle caches first, standing in for the paper's offline pre-processing.
+func measureBench(ds *Dataset, queries []core.Query, algo Algorithm, iters int) (BenchEntry, error) {
+	e := BenchEntry{Algorithm: algo.Name, Queries: len(queries), Iters: iters}
+	if len(queries) == 0 {
+		return e, fmt.Errorf("no queries generated")
+	}
+	for _, q := range queries { // warm pass, also counts failures
+		res, err := algo.invoke(ds.Searcher, q)
+		if err != nil || len(res.Routes) == 0 || !res.Routes[0].Feasible {
+			e.Failures++
+		}
+	}
+
+	var counter sweepCounter
+	if sc, ok := ds.Searcher.Oracle().(sweepCounter); ok {
+		counter = sc
+	}
+	sweeps0 := int64(0)
+	if counter != nil {
+		sweeps0 = counter.SweepCount()
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	labels, planSweeps := 0, 0
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for _, q := range queries {
+			res, _ := algo.invoke(ds.Searcher, q)
+			labels += res.Metrics.LabelsCreated
+			planSweeps += res.Metrics.PlanSweeps
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	ops := float64(iters * len(queries))
+	e.NsPerOp = float64(elapsed.Nanoseconds()) / ops
+	e.LabelsPerOp = float64(labels) / ops
+	e.PlanSweepsPerOp = float64(planSweeps) / ops
+	e.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / ops
+	e.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / ops
+	if counter != nil {
+		e.SweepsPerOp = float64(counter.SweepCount()-sweeps0) / ops
+	}
+	return e, nil
+}
+
+// WriteBenchReport writes the report as indented JSON to path ("-" = stdout).
+func WriteBenchReport(r *BenchReport, path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadBenchReport loads a report written by WriteBenchReport.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one (workload, algorithm) cell whose ns/op grew past the
+// allowed ratio between two reports.
+type Regression struct {
+	Workload  string
+	Algorithm string
+	BaseNs    float64
+	CurNs     float64
+	Ratio     float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s: %.0f ns/op -> %.0f ns/op (%.2fx)",
+		r.Workload, r.Algorithm, r.BaseNs, r.CurNs, r.Ratio)
+}
+
+// gateFloorNs is the minimum baseline measured-region wall time (ns/op ×
+// queries × iters) for a cell to participate in regression gating. Cells
+// below it complete in microseconds, where scheduler noise alone can exceed
+// the regression ratio.
+const gateFloorNs = 5e6
+
+// CompareBench reports every cell present in both reports whose current
+// ns/op exceeds maxRatio times the base. Cells present in only one report
+// are ignored (workload sets may evolve between revisions), as are cells
+// whose baseline measured region is under gateFloorNs — too noisy to gate.
+// Callers must compare like with like: a smoke report is only comparable
+// to another smoke report (BenchReport.Smoke).
+func CompareBench(base, cur *BenchReport, maxRatio float64) []Regression {
+	index := make(map[string]BenchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		index[e.Workload+"/"+e.Algorithm] = e
+	}
+	var out []Regression
+	for _, e := range cur.Entries {
+		b, ok := index[e.Workload+"/"+e.Algorithm]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if b.NsPerOp*float64(b.Queries*b.Iters) < gateFloorNs {
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		if ratio > maxRatio {
+			out = append(out, Regression{
+				Workload: e.Workload, Algorithm: e.Algorithm,
+				BaseNs: b.NsPerOp, CurNs: e.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}
+
+// BenchMarkdown renders the report as the Markdown table README embeds.
+func BenchMarkdown(r *BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| Workload | Algorithm | ms/query | Labels/query | Sweeps/query | Plan sweeps/query | Allocs/query |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---:|\n")
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %.0f | %.2f | %.2f | %.0f |\n",
+			e.Workload, e.Algorithm, e.NsPerOp/1e6, e.LabelsPerOp, e.SweepsPerOp, e.PlanSweepsPerOp, e.AllocsPerOp)
+	}
+	return b.String()
+}

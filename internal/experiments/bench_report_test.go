@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *BenchReport {
+	return &BenchReport{
+		Schema:    1,
+		GoVersion: "go1.24",
+		Seed:      2012,
+		Entries: []BenchEntry{
+			{Workload: "flickr-dense", Algorithm: "OSScaling", Queries: 16, Iters: 3,
+				NsPerOp: 2e6, LabelsPerOp: 6800, AllocsPerOp: 7000},
+			{Workload: "road-lazy", Algorithm: "BucketBound", Queries: 16, Iters: 3,
+				NsPerOp: 5e7, LabelsPerOp: 2000, SweepsPerOp: 120, AllocsPerOp: 3300},
+		},
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBenchReport(r, path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(back.Entries) != len(r.Entries) || back.Seed != r.Seed || back.Schema != r.Schema {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Entries[1].SweepsPerOp != 120 {
+		t.Fatalf("entry fields lost: %+v", back.Entries[1])
+	}
+}
+
+func TestCompareBenchFlagsRegressions(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Entries[0].NsPerOp = base.Entries[0].NsPerOp * 3 // 3x regression
+	cur.Entries[1].NsPerOp = base.Entries[1].NsPerOp * 1.5
+	// An entry only the current report has must be ignored.
+	cur.Entries = append(cur.Entries, BenchEntry{Workload: "new", Algorithm: "Greedy1", NsPerOp: 1})
+
+	regs := CompareBench(base, cur, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Workload != "flickr-dense" || regs[0].Ratio < 2.9 || regs[0].Ratio > 3.1 {
+		t.Fatalf("wrong regression reported: %+v", regs[0])
+	}
+
+	if regs := CompareBench(base, base, 2.0); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+}
+
+// Cells whose baseline measured region is microseconds are below the gate
+// floor: too noisy for a ratio check, never flagged.
+func TestCompareBenchIgnoresNoiseFloorCells(t *testing.T) {
+	base := sampleReport()
+	base.Entries = append(base.Entries, BenchEntry{
+		Workload: "flickr-dense", Algorithm: "Greedy1", Queries: 8, Iters: 3, NsPerOp: 30_000,
+	})
+	cur := sampleReport()
+	cur.Entries = append(cur.Entries, BenchEntry{
+		Workload: "flickr-dense", Algorithm: "Greedy1", Queries: 8, Iters: 3, NsPerOp: 300_000, // 10x, but ~0.7ms region
+	})
+	if regs := CompareBench(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("sub-floor cell was gated: %v", regs)
+	}
+}
+
+func TestBenchMarkdown(t *testing.T) {
+	md := BenchMarkdown(sampleReport())
+	for _, want := range []string{"| Workload |", "flickr-dense", "OSScaling", "road-lazy"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if lines := strings.Count(md, "\n"); lines != 4 { // header + separator + 2 rows
+		t.Fatalf("unexpected table shape (%d lines):\n%s", lines, md)
+	}
+}

@@ -13,7 +13,12 @@
 // route-search algorithms depend on for their τ/σ pruning bounds.
 package graph
 
-import "kor/internal/geo"
+import (
+	"math"
+	"sync/atomic"
+
+	"kor/internal/geo"
+)
 
 // NodeID identifies a node. IDs are dense, starting at 0, in insertion order.
 type NodeID int32
@@ -55,6 +60,9 @@ type Graph struct {
 	minBudget    float64
 	maxObjective float64
 	maxBudget    float64
+
+	// fp caches Fingerprint's digest; 0 means not yet computed.
+	fp atomic.Uint64
 }
 
 // NumNodes returns |V|.
@@ -141,3 +149,38 @@ func (g *Graph) MaxObjective() float64 { return g.maxObjective }
 
 // MaxBudget returns the largest edge budget value.
 func (g *Graph) MaxBudget() float64 { return g.maxBudget }
+
+// Fingerprint returns a deterministic 64-bit digest of the graph's
+// structure, attributes and keyword assignment. Two graphs with the same
+// fingerprint answer every KOR query identically for caching purposes. The
+// digest is computed once on first call (the graph is immutable) and is
+// never zero.
+func (g *Graph) Fingerprint() uint64 {
+	if fp := g.fp.Load(); fp != 0 {
+		return fp
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	mix(uint64(g.NumNodes()))
+	mix(uint64(g.NumEdges()))
+	for v := 0; v < g.NumNodes(); v++ {
+		mix(uint64(g.outHead[v+1]))
+		for _, e := range g.Out(NodeID(v)) {
+			mix(uint64(uint32(e.To)))
+			mix(math.Float64bits(e.Objective))
+			mix(math.Float64bits(e.Budget))
+		}
+		mix(uint64(g.termHead[v+1]))
+		for _, t := range g.Terms(NodeID(v)) {
+			mix(uint64(uint32(t)))
+		}
+	}
+	if h == 0 {
+		h = 1 // keep 0 as the "not yet computed" sentinel
+	}
+	g.fp.Store(h) // idempotent: every computation yields the same digest
+	return h
+}

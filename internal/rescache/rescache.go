@@ -1,0 +1,153 @@
+// Package rescache provides the bounded, sharded LRU cache behind the
+// engine's query-result caching. Keys are opaque canonical strings; sharding
+// by key hash keeps lock contention flat when many goroutines serve
+// overlapping query streams, the workload korserve sees. Values are stored
+// and returned by value — the caller is responsible for handing out copies
+// of any shared internals (the engine clones routes on both store and hit).
+package rescache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the fixed number of independently locked shards. A power of
+// two so the hash folds cheaply.
+const shardCount = 8
+
+// Cache is a sharded LRU cache from string keys to values of type V. The
+// zero value is not usable; call New.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+	// capacity is the total bound, distributed evenly across shards (rounded
+	// up, so the effective bound is capacity rounded up to a multiple of
+	// shardCount).
+	capacity int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache bounded to roughly capacity entries (rounded up to a
+// multiple of the shard count). capacity must be positive.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache[V]{capacity: capacity}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+func (c *Cache[V]) perShard() int {
+	return (c.capacity + shardCount - 1) / shardCount
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val V
+	if ok {
+		s.order.MoveToFront(el)
+		// Copy the value while still holding the lock: Put refreshes
+		// existing entries in place, so reading after Unlock would race.
+		val = el.Value.(*entry[V]).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return val, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores the value for key, evicting the shard's least recently used
+// entry when full. Storing an existing key refreshes its value and recency.
+func (c *Cache[V]) Put(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry[V]).val = v
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if s.order.Len() >= c.perShard() {
+		if back := s.order.Back(); back != nil {
+			s.order.Remove(back)
+			delete(s.items, back.Value.(*entry[V]).key)
+			evicted = true
+		}
+	}
+	s.items[key] = s.order.PushFront(&entry[V]{key: key, val: v})
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Size      int
+	Capacity  int
+}
+
+// Stats snapshots the cache counters. Hits and misses are monotonically
+// increasing across the cache's lifetime.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+		Capacity:  c.capacity,
+	}
+}

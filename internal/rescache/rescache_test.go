@@ -1,0 +1,87 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New[int](shardCount) // one slot per shard
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("got (%v,%v), want (1,true)", v, ok)
+	}
+	c.Put("a", 2) // refresh
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refresh lost: got %v", v)
+	}
+
+	// Overfill one shard: the oldest key of that shard must be evicted.
+	keys := []string{}
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv1a(k)&(shardCount-1) == 0 {
+			keys = append(keys, k)
+			c.Put(k, i)
+		}
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Error("oldest entry of a full shard survived eviction")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("eviction counter not incremented")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New[string](64)
+	c.Put("x", "v")
+	c.Get("x")
+	c.Get("x")
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.Size != 1 {
+		t.Fatalf("size=%d, want 1", st.Size)
+	}
+	if st.Capacity != 64 {
+		t.Fatalf("capacity=%d, want 64", st.Capacity)
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines; run with -race.
+func TestConcurrent(t *testing.T) {
+	c := New[int](128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", i%200)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("corrupt value")
+					return
+				}
+				c.Put(k, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*2000 {
+		t.Fatalf("lookup accounting off: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.Size > 128+shardCount {
+		t.Fatalf("size %d exceeds bound", st.Size)
+	}
+}

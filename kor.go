@@ -59,6 +59,7 @@ import (
 	"kor/internal/core"
 	"kor/internal/gen"
 	"kor/internal/graph"
+	"kor/internal/rescache"
 	"kor/internal/textindex"
 )
 
@@ -139,7 +140,7 @@ const (
 )
 
 // denseOracleLimit is the node count up to which OracleAuto chooses dense
-// tables (4·n²·8 bytes ≈ 1.2 GiB at the limit).
+// tables (5·n²·8 bytes ≈ 1.5 GiB at the limit, score and parent tables).
 const denseOracleLimit = 6000
 
 // EngineConfig customizes engine construction. The zero value is valid.
@@ -153,6 +154,13 @@ type EngineConfig struct {
 	// inverted file at this path instead of the in-memory index — the
 	// paper's B+-tree storage.
 	IndexPath string
+	// CacheSize, when positive, bounds a shard-locked LRU cache of query
+	// responses keyed by the request's canonical form and the graph's
+	// fingerprint. Repeated identical requests — the hot fraction of any
+	// live query stream — are answered from the cache without a search;
+	// hits are flagged on the Response and counted in CacheStats. 0
+	// disables caching.
+	CacheSize int
 }
 
 // Engine answers KOR queries over one graph. Construction runs the
@@ -170,6 +178,11 @@ type Engine struct {
 	searcher  *core.Searcher
 	index     io.Closer // non-nil when a disk index is open
 	diskIndex *textindex.GraphIndex
+
+	// cache is the optional response cache (EngineConfig.CacheSize > 0);
+	// fingerprint is the graph digest folded into every cache key.
+	cache       *rescache.Cache[Response]
+	fingerprint uint64
 }
 
 // Suggestion pairs a keyword with the number of nodes carrying it.
@@ -249,6 +262,10 @@ func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
 	}
 
 	eng := &Engine{g: g}
+	if cfg.CacheSize > 0 {
+		eng.cache = rescache.New[Response](cfg.CacheSize)
+		eng.fingerprint = g.Fingerprint()
+	}
 	var index graph.PostingSource
 	if cfg.IndexPath != "" {
 		gi, err := openOrBuildIndex(cfg.IndexPath, g)
@@ -278,6 +295,35 @@ func openOrBuildIndex(path string, g *Graph) (*textindex.GraphIndex, error) {
 		return nil, fmt.Errorf("kor: building inverted file: %w", err)
 	}
 	return gi, nil
+}
+
+// CacheStats is a point-in-time snapshot of the response cache's counters.
+type CacheStats struct {
+	// Hits and Misses count Run lookups over the engine's lifetime; only
+	// cacheable requests (no tracer) are counted.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Size is the current entry count; Capacity the configured bound.
+	Size     int
+	Capacity int
+}
+
+// CacheStats snapshots the response cache. ok is false when caching is
+// disabled (EngineConfig.CacheSize was 0).
+func (e *Engine) CacheStats() (stats CacheStats, ok bool) {
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	st := e.cache.Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Size:      st.Size,
+		Capacity:  st.Capacity,
+	}, true
 }
 
 // Close releases the disk index, if any.

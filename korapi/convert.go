@@ -101,6 +101,7 @@ func ResponseFromKor(g *kor.Graph, resp kor.Response, withMetrics bool) Response
 		Bound:     resp.Bound,
 		Routes:    make([]Route, len(resp.Routes)),
 		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1e3,
+		Cached:    resp.Cached,
 	}
 	for i, r := range resp.Routes {
 		out.Routes[i] = RouteFromKor(g, r)
@@ -126,6 +127,18 @@ func MetricsFromKor(m kor.Metrics) Metrics {
 		ShortcutLabels:  m.ShortcutLabels,
 		Feasible:        m.Feasible,
 		PeakQueue:       m.PeakQueue,
+		PlanSweeps:      m.PlanSweeps,
+	}
+}
+
+// CacheStatsFromKor copies the engine's cache counters onto the wire.
+func CacheStatsFromKor(st kor.CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Size:      st.Size,
+		Capacity:  st.Capacity,
 	}
 }
 

@@ -99,6 +99,9 @@ type Metrics struct {
 	ShortcutLabels  int `json:"shortcut_labels"`
 	Feasible        int `json:"feasible"`
 	PeakQueue       int `json:"peak_queue"`
+	// PlanSweeps counts the query-owned oracle sweeps: Δ-bounded
+	// candidate-subgraph lookups and route reconstruction.
+	PlanSweeps int `json:"plan_sweeps,omitempty"`
 }
 
 // Response is the wire form of a successful route search.
@@ -114,6 +117,9 @@ type Response struct {
 	Metrics *Metrics `json:"metrics,omitempty"`
 	// ElapsedMS is the server-side search wall time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Cached reports that the response came from the server's result cache
+	// without running a search.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -174,7 +180,8 @@ type KeywordsResponse struct {
 	Keywords []Keyword `json:"keywords"`
 }
 
-// Stats is the body of GET /v1/stats: the graph summary.
+// Stats is the body of GET /v1/stats: the graph summary plus, when the
+// server runs with a result cache, the cache counters.
 type Stats struct {
 	Nodes        int     `json:"nodes"`
 	Edges        int     `json:"edges"`
@@ -187,6 +194,17 @@ type Stats struct {
 	MinBudget    float64 `json:"min_budget"`
 	MaxBudget    float64 `json:"max_budget"`
 	Isolated     int     `json:"isolated"`
+	// Cache is present only when the engine's result cache is enabled.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats is the result-cache block inside Stats.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
 }
 
 // ErrorCode is a machine-readable error class. Clients switch on the code,

@@ -2,6 +2,7 @@ package kor
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"kor/internal/core"
@@ -76,10 +77,15 @@ type Response struct {
 	// algorithms, 1/(1−ε) or β/(1−ε) for the label algorithms, 0 for the
 	// greedy heuristic (no guarantee).
 	Bound float64
-	// Metrics counts the work the search performed.
+	// Metrics counts the work the search performed. For a cached response
+	// they are the counters of the search that originally produced it.
 	Metrics Metrics
-	// Elapsed is the search wall time, measured inside Run.
+	// Elapsed is the search wall time, measured inside Run. For a cached
+	// response it is the (tiny) lookup time, not the original search time.
 	Elapsed time.Duration
+	// Cached reports that the response was served from the engine's result
+	// cache (EngineConfig.CacheSize) without running a search.
+	Cached bool
 }
 
 // Best returns the first (best) route. It panics if the response is empty;
@@ -121,6 +127,22 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 	}
 
 	start := time.Now()
+	key := ""
+	if e.cache != nil && cacheable(opts) {
+		// A dead context must fail exactly as it does on the search path
+		// (newPlan rejects it): a hit must not outrank cancellation.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, fmt.Errorf("kor: search aborted: %w", ctxErr)
+		}
+		key = cacheKey(e.fingerprint, algo, cq, opts)
+		if hit, ok := e.cache.Get(key); ok {
+			resp := cloneResponse(hit)
+			resp.Cached = true
+			resp.Elapsed = time.Since(start)
+			return resp, nil
+		}
+	}
+
 	res, err := e.searcher.Run(ctx, algo, cq, opts)
 	resp := Response{
 		Routes:    res.Routes,
@@ -128,6 +150,10 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 		Bound:     core.BoundFor(algo, opts),
 		Metrics:   res.Metrics,
 		Elapsed:   time.Since(start),
+	}
+	if key != "" && err == nil {
+		// Store a private copy: the caller owns resp and may mutate it.
+		e.cache.Put(key, cloneResponse(resp))
 	}
 	return resp, err
 }

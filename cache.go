@@ -10,18 +10,32 @@ import (
 // Response caching internals. The cache key is the request's canonical
 // form: the resolved core query (terms, not strings, so spelling aliases of
 // the same term sequence share an entry), the canonical algorithm, every
-// option that can influence the result, and the graph fingerprint. Anything
-// that cannot be canonicalized — a Tracer, which observes side effects —
-// makes the request uncacheable.
+// option that can influence the result, and the snapshot's graph
+// fingerprint. Anything that cannot be canonicalized — a Tracer, which
+// observes side effects — makes the request uncacheable.
 //
-// Invalidation: a Graph is immutable and an Engine serves exactly one
-// Graph, so entries never go stale within an engine. The fingerprint guards
-// the remaining hazard — a cache entry surviving its graph via a
-// serialized/restored key space (and it documents the invariant: same
-// fingerprint, same answers).
+// Invalidation: each Graph snapshot is immutable, and the fingerprint in
+// every key ties an entry to the exact graph content that produced it —
+// same fingerprint, same answers — so an entry can never be served for a
+// different graph version even while old and new snapshots briefly coexist
+// during a Swap or Patch. On top of that correctness guarantee the engine
+// clears the cache on every swap (see Engine.installLocked): the old
+// snapshot's entries are unreachable once the fingerprint changes and would
+// otherwise squat LRU capacity until natural eviction.
 
 // cacheable reports whether the request's options allow caching.
 func cacheable(opts Options) bool { return opts.Tracer == nil }
+
+// cachedResponse is one cache entry: the response plus the definitive
+// outcome. err is nil for a found route, an ErrNoRoute-matching error when
+// the search proved no feasible route exists, or ErrBudgetExceeded for a
+// greedy overshoot (routes present) — all exactly as expensive and as
+// deterministic to recompute as a clean answer. Context errors and other
+// non-definitive failures are never stored.
+type cachedResponse struct {
+	resp Response
+	err  error
+}
 
 // cacheKey builds the canonical key. Purely binary — no separators needed
 // because every field has fixed width except the term list, whose length is

@@ -188,6 +188,109 @@ func TestCacheHitRespectsCancelledContext(t *testing.T) {
 	}
 }
 
+// TestCacheNegativeResult: a proven-infeasible query (ErrNoRoute) is as
+// expensive as a found route and just as deterministic, so it must be
+// cached — the second identical run answers from the cache, still carrying
+// ErrNoRoute.
+func TestCacheNegativeResult(t *testing.T) {
+	eng := cachedEngine(t, 64)
+	// Budget 0.1 is below every edge budget: provably no feasible route.
+	req := Request{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 0.1}
+
+	first, err := eng.Run(context.Background(), req)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("first err = %v, want ErrNoRoute", err)
+	}
+	if first.Cached {
+		t.Fatal("first run reported a cache hit")
+	}
+	second, err := eng.Run(context.Background(), req)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("cached err = %v, want ErrNoRoute", err)
+	}
+	if !second.Cached {
+		t.Fatal("repeated infeasible query paid a full search (negative result not cached)")
+	}
+	if len(second.Routes) != 0 {
+		t.Fatalf("negative hit carries routes: %v", second.Routes)
+	}
+	st, _ := eng.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 size=1", st)
+	}
+}
+
+// TestCacheNegativeRespectsCancelledContext: a warm negative entry must not
+// outrank cancellation — the dead-context path behaves exactly as a search
+// would.
+func TestCacheNegativeRespectsCancelledContext(t *testing.T) {
+	eng := cachedEngine(t, 64)
+	req := Request{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 0.1}
+	if _, err := eng.Run(context.Background(), req); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("warm err = %v, want ErrNoRoute", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.Run(ctx, req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrNoRoute) {
+		t.Fatal("cancelled run leaked the cached ErrNoRoute")
+	}
+}
+
+// TestCacheBudgetExceededResult: a greedy overshoot (routes plus
+// ErrBudgetExceeded) is deterministic and is cached like any definitive
+// outcome; the hit replays both the routes and the sentinel.
+func TestCacheBudgetExceededResult(t *testing.T) {
+	eng := cachedEngine(t, 64)
+	// The only jazz route 0→1→2 costs budget 2.0 > 1: greedy overshoots.
+	req := Request{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 1, Algorithm: AlgorithmGreedy}
+
+	first, err := eng.Run(context.Background(), req)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("first err = %v, want ErrBudgetExceeded", err)
+	}
+	if first.Cached || len(first.Routes) == 0 {
+		t.Fatalf("first run = cached %v routes %d", first.Cached, len(first.Routes))
+	}
+	second, err := eng.Run(context.Background(), req)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("cached err = %v, want ErrBudgetExceeded", err)
+	}
+	if !second.Cached {
+		t.Fatal("repeated overshoot query paid a full search")
+	}
+	if len(second.Routes) != len(first.Routes) || second.Best().Budget != first.Best().Budget {
+		t.Fatalf("cached overshoot differs: %+v vs %+v", second.Routes, first.Routes)
+	}
+}
+
+// TestCacheSkipsNonDefinitiveErrors: a search cut short (ErrSearchLimit
+// here, context errors likewise) proved nothing and must not poison the
+// cache with a false negative.
+func TestCacheSkipsNonDefinitiveErrors(t *testing.T) {
+	eng := cachedEngine(t, 64)
+	opts := DefaultOptions()
+	opts.MaxExpansions = 1
+	req := Request{From: 0, To: 2, Keywords: []string{"jazz", "park"}, Budget: 6, Options: &opts}
+	if _, err := eng.Run(context.Background(), req); !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("err = %v, want ErrSearchLimit", err)
+	}
+	resp, err := eng.Run(context.Background(), req)
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("second err = %v, want ErrSearchLimit", err)
+	}
+	if resp.Cached {
+		t.Fatal("non-definitive failure was served from the cache")
+	}
+	st, _ := eng.CacheStats()
+	if st.Size != 0 {
+		t.Fatalf("cache size = %d, want 0 (nothing definitive happened)", st.Size)
+	}
+}
+
 // TestCacheConcurrentConsistency hammers one engine from many goroutines
 // with overlapping identical and distinct requests; run under -race. After
 // the dust settles, hit+miss must equal the number of cacheable lookups and

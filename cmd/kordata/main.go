@@ -1,14 +1,23 @@
 // Command kordata generates the reproduction datasets and writes them to
 // disk in the binary graph format, optionally with the disk-resident
-// inverted file alongside.
+// inverted file alongside and a JSON delta file for exercising the live
+// update path.
 //
 // Usage:
 //
 //	kordata -kind flickr -seed 2012 -out city.korg [-index city.kbpt]
 //	kordata -kind road -nodes 5000 -seed 2012 -out road5k.korg
+//	kordata -kind road -nodes 200 -out g.korg -emit-delta patch.json
+//
+// -emit-delta writes a korapi.Delta valid against the generated graph —
+// attribute drift on an edge, a new keyword, a new edge — ready to POST to
+// korserve's /v1/admin/patch. The delta is validated by applying it locally
+// before writing, and the pre/post fingerprints are printed so a smoke test
+// can assert the patch took effect.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,15 +25,17 @@ import (
 	"kor"
 	"kor/internal/gen"
 	"kor/internal/textindex"
+	"kor/korapi"
 )
 
 func main() {
 	var (
-		kind  = flag.String("kind", "flickr", "dataset kind: flickr | road")
-		nodes = flag.Int("nodes", 5000, "node count for -kind road")
-		seed  = flag.Int64("seed", 2012, "generator seed")
-		out   = flag.String("out", "", "output graph file (required)")
-		index = flag.String("index", "", "optional output path for the disk inverted file")
+		kind      = flag.String("kind", "flickr", "dataset kind: flickr | road")
+		nodes     = flag.Int("nodes", 5000, "node count for -kind road")
+		seed      = flag.Int64("seed", 2012, "generator seed")
+		out       = flag.String("out", "", "output graph file (required)")
+		index     = flag.String("index", "", "optional output path for the disk inverted file")
+		emitDelta = flag.String("emit-delta", "", "optional output path for a JSON live-update delta valid for the generated graph")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -67,6 +78,71 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *index)
 	}
+
+	if *emitDelta != "" {
+		if err := writeDelta(*emitDelta, g); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeDelta emits a small deterministic delta that is valid for g: the
+// first edge's objective drifts by 10%, node 0 gains a keyword new to the
+// vocabulary, and the first absent node pair gains an edge. The delta is
+// applied locally before writing — an emitted file that korserve would
+// reject is a bug here, not there.
+func writeDelta(path string, g *kor.Graph) error {
+	var d korapi.Delta
+	for v := kor.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if out := g.Out(v); len(out) > 0 {
+			d.UpdateEdges = append(d.UpdateEdges, korapi.DeltaEdge{
+				From: int64(v), To: int64(out[0].To),
+				Objective: out[0].Objective * 1.1,
+				Budget:    out[0].Budget,
+			})
+			break
+		}
+	}
+	d.AddKeywords = append(d.AddKeywords, korapi.DeltaKeywords{
+		Node: 0, Keywords: []string{"kordata_patch_marker"},
+	})
+addEdge:
+	for from := kor.NodeID(0); int(from) < g.NumNodes(); from++ {
+		for to := kor.NodeID(g.NumNodes() - 1); to > from; to-- {
+			present := false
+			for _, e := range g.Out(from) {
+				if e.To == to {
+					present = true
+					break
+				}
+			}
+			if !present {
+				d.AddEdges = append(d.AddEdges, korapi.DeltaEdge{
+					From: int64(from), To: int64(to),
+					Objective: g.MaxObjective(), Budget: g.MaxBudget(),
+				})
+				break addEdge
+			}
+		}
+	}
+
+	kd, err := d.KorDelta()
+	if err != nil {
+		return err
+	}
+	patched, err := g.Apply(kd)
+	if err != nil {
+		return fmt.Errorf("emitted delta does not apply: %w", err)
+	}
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (fingerprint %016x → %016x)\n", path, g.Fingerprint(), patched.Fingerprint())
+	return nil
 }
 
 func fatal(err error) {

@@ -16,6 +16,8 @@
 //	GET  /v1/nodes/{id}
 //	GET  /v1/keywords?prefix=caf&limit=10
 //	GET  /v1/stats
+//	POST /v1/admin/patch   korapi.Delta — apply a live graph update
+//	POST /v1/admin/reload  re-read the -graph file and swap it in
 //
 // Every error is the korapi envelope {"error":{"code":...,"message":...}}
 // with a machine-readable code. The pre-/v1 paths (/query, /batch, /node,
@@ -24,7 +26,10 @@
 // One Engine serves every request: the engine is safe for concurrent use,
 // so handlers run in parallel with no per-request rebuild and no global
 // query lock. Each request gets a deadline (-timeout) through its context,
-// and SIGINT/SIGTERM drains in-flight requests before exiting.
+// and SIGINT/SIGTERM drains in-flight requests before exiting. The admin
+// endpoints swap the serving graph atomically: in-flight queries finish on
+// the snapshot they started with. They are unauthenticated — keep them
+// behind your deployment's access controls.
 package main
 
 import (
@@ -63,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}
-	s := newServer(eng, *timeout, *batchPar)
+	s := newServer(eng, *graphPath, *timeout, *batchPar)
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -19,13 +19,14 @@ import (
 // straight to and from the korapi wire types; the engine's Run entrypoint
 // does the dispatching.
 type server struct {
-	eng     *kor.Engine
-	timeout time.Duration // per-request search deadline, 0 = none
-	maxPar  int           // worker-pool cap for /v1/batch
+	eng       *kor.Engine
+	graphPath string        // graph file for /v1/admin/reload, "" = reload disabled
+	timeout   time.Duration // per-request search deadline, 0 = none
+	maxPar    int           // worker-pool cap for /v1/batch
 }
 
-func newServer(eng *kor.Engine, timeout time.Duration, maxPar int) *server {
-	return &server{eng: eng, timeout: timeout, maxPar: maxPar}
+func newServer(eng *kor.Engine, graphPath string, timeout time.Duration, maxPar int) *server {
+	return &server{eng: eng, graphPath: graphPath, timeout: timeout, maxPar: maxPar}
 }
 
 // routes builds the HTTP surface: the versioned /v1 endpoints plus the
@@ -38,6 +39,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
 	mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/admin/patch", s.handleAdminPatch)
+	mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
 
 	// Deprecated pre-/v1 aliases; they answer with the /v1 bodies and a
 	// Deprecation header pointing at the successor.
@@ -210,13 +213,23 @@ func (s *server) serveRoute(w http.ResponseWriter, r *http.Request, req korapi.R
 		writeError(w, apiErr)
 		return
 	}
+	// A greedy budget overshoot is a 200 with the violating routes
+	// (Feasible=false) and a warning — not an error envelope: the caller
+	// asked a heuristic and gets its best effort plus the reason it is
+	// imperfect.
+	warning := korapi.WarningFrom(err)
 
+	// Render against the graph that computed the routes, not the engine's
+	// current one: a concurrent swap may have installed a different (even
+	// smaller) graph, whose names/positions would mislabel — or
+	// out-of-range — the route's node IDs.
+	g := resp.Graph()
 	if format == "geojson" {
-		if !s.eng.Graph().HasPositions() {
+		if !g.HasPositions() {
 			writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "graph carries no coordinates for GeoJSON"})
 			return
 		}
-		buf, err := kor.RouteGeoJSON(s.eng.Graph(), resp.Best())
+		buf, err := kor.RouteGeoJSON(g, resp.Best())
 		if err != nil {
 			writeError(w, &korapi.Error{Code: korapi.CodeInternal, Message: err.Error()})
 			return
@@ -227,7 +240,9 @@ func (s *server) serveRoute(w http.ResponseWriter, r *http.Request, req korapi.R
 		}
 		return
 	}
-	writeJSON(w, korapi.ResponseFromKor(s.eng.Graph(), resp, req.Metrics))
+	out := korapi.ResponseFromKor(g, resp, req.Metrics)
+	out.Warning = warning
+	writeJSON(w, out)
 }
 
 // handleBatch answers many requests in one call via the engine's worker
@@ -282,7 +297,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Results[i] = korapi.BatchResult{Error: apiErr}
 			continue
 		}
-		resp := korapi.ResponseFromKor(s.eng.Graph(), br.Response, wireReqs[i].Metrics)
+		// Same as serveRoute: render each slot against the snapshot graph
+		// that answered it, immune to concurrent swaps.
+		resp := korapi.ResponseFromKor(br.Response.Graph(), br.Response, wireReqs[i].Metrics)
+		resp.Warning = korapi.WarningFrom(br.Err)
 		out.Results[i] = korapi.BatchResult{Response: &resp}
 	}
 	writeJSON(w, out)
@@ -311,8 +329,72 @@ func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleAdminPatch applies a JSON delta to the serving graph: in-flight
+// queries finish on the old snapshot, subsequent queries see the patched
+// graph, and the result cache is flushed (stale entries were already
+// unreachable through the fingerprint in every cache key).
+func (s *server) handleAdminPatch(w http.ResponseWriter, r *http.Request) {
+	var wire korapi.Delta
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&wire); err != nil {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "bad delta body: " + err.Error()})
+		return
+	}
+	if wire.Empty() {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "delta contains no changes"})
+		return
+	}
+	d, err := wire.KorDelta()
+	if err != nil {
+		writeError(w, korapi.ErrorFrom(err))
+		return
+	}
+	if _, err := s.eng.Patch(d); err != nil {
+		writeError(w, korapi.ErrorFrom(err))
+		return
+	}
+	s.writeAdmin(w)
+}
+
+// handleAdminReload re-reads the graph file the server was started from and
+// swaps it in, the full-refresh counterpart of the incremental patch.
+func (s *server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if s.graphPath == "" {
+		writeError(w, &korapi.Error{Code: korapi.CodeBadRequest, Message: "server has no graph file to reload"})
+		return
+	}
+	g, err := kor.LoadGraph(s.graphPath)
+	if err != nil {
+		writeError(w, &korapi.Error{Code: korapi.CodeInternal, Message: "reloading graph: " + err.Error()})
+		return
+	}
+	info, err := s.eng.Swap(g)
+	if err != nil {
+		writeError(w, korapi.ErrorFrom(err))
+		return
+	}
+	log.Printf("korserve: reloaded %s: generation %d, fingerprint %016x", s.graphPath, info.Generation, info.Fingerprint)
+	s.writeAdmin(w)
+}
+
+// writeAdmin reports the snapshot now serving queries. Engine.Stats reads
+// the summary and the identity from one snapshot load, so the fingerprint,
+// generation and node/edge counts are always mutually consistent — if
+// another admin call raced in between, the response reflects that newer
+// snapshot rather than mixing two versions.
+func (s *server) writeAdmin(w http.ResponseWriter) {
+	st, info := s.eng.Stats()
+	writeJSON(w, korapi.AdminResponse{
+		Snapshot: korapi.SnapshotFromKor(info),
+		Nodes:    st.Nodes,
+		Edges:    st.Edges,
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.eng.Graph().ComputeStats()
+	// Engine.Stats serves the scan memoized per snapshot — a stats poller
+	// costs one O(V+E) scan per graph version, not per request.
+	st, info := s.eng.Stats()
 	out := korapi.Stats{
 		Nodes:        st.Nodes,
 		Edges:        st.Edges,
@@ -330,6 +412,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		wire := korapi.CacheStatsFromKor(cs)
 		out.Cache = &wire
 	}
+	snap := korapi.SnapshotFromKor(info)
+	out.Snapshot = &snap
 	writeJSON(w, out)
 }
 
@@ -365,11 +449,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // writeError emits the korapi error envelope with the code's HTTP status.
-// A canceled search means the client already went away: nothing is written.
+// CodeCanceled gets its 499 like any other code: the original client has
+// usually gone, but returning without writing would make net/http emit an
+// implicit 200 with an empty body — and a proxy-initiated cancel, or a
+// canceled batch sub-context, leaves a very-much-alive reader that must not
+// mistake an aborted search for an empty success.
 func writeError(w http.ResponseWriter, apiErr *korapi.Error) {
-	if apiErr.Code == korapi.CodeCanceled {
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(apiErr.Code.HTTPStatus())
 	if err := json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: *apiErr}); err != nil {

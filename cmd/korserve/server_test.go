@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -49,14 +50,21 @@ func testGraph(t *testing.T) *kor.Graph {
 }
 
 func testServer(t *testing.T, timeout time.Duration) *httptest.Server {
+	ts, _ := testServerEngine(t, timeout)
+	return ts
+}
+
+// testServerEngine also hands back the engine, for tests that drive swaps
+// or inspect snapshots directly.
+func testServerEngine(t *testing.T, timeout time.Duration) (*httptest.Server, *kor.Engine) {
 	t.Helper()
 	eng, err := kor.NewEngine(testGraph(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, timeout, 0).routes())
+	ts := httptest.NewServer(newServer(eng, "", timeout, 0).routes())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, eng
 }
 
 // get fetches a path and decodes the JSON body into out (unless nil).
@@ -385,6 +393,212 @@ func TestServeLegacyAliases(t *testing.T) {
 	if len(batchOut.Results) != 1 || batchOut.Results[0].Response == nil {
 		t.Errorf("legacy batch results = %+v", batchOut.Results)
 	}
+}
+
+// TestServeBudgetOvershootWarning: a greedy route that covers the keywords
+// but overshoots Δ is a 200 carrying the violating routes (Feasible=false)
+// plus an explicit budget_exceeded warning — not a bare success the client
+// cannot distinguish from a feasible answer, and not an error envelope that
+// discards the routes. Both the GET and batch paths are covered.
+func TestServeBudgetOvershootWarning(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+
+	// Keyword mode greedy: the only jazz route 0→1→2 costs budget 2.0 > 1.
+	var out korapi.Response
+	resp := get(t, ts, "/v1/route?from=0&to=2&keywords=jazz&budget=1&algorithm=greedy", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with routes and warning", resp.StatusCode)
+	}
+	if len(out.Routes) == 0 {
+		t.Fatal("overshoot routes were dropped")
+	}
+	if out.Routes[0].Feasible {
+		t.Errorf("overshoot route flagged feasible: %+v", out.Routes[0])
+	}
+	if out.Warning == nil || out.Warning.Code != korapi.CodeBudgetExceeded {
+		t.Fatalf("warning = %+v, want code %q", out.Warning, korapi.CodeBudgetExceeded)
+	}
+	if out.Warning.Message == "" {
+		t.Error("warning carries no message")
+	}
+
+	// A feasible answer carries no warning.
+	var ok korapi.Response
+	get(t, ts, "/v1/route?from=0&to=2&keywords=jazz&budget=6&algorithm=greedy", &ok)
+	if ok.Warning != nil {
+		t.Errorf("feasible response carries warning %+v", ok.Warning)
+	}
+
+	// Batch path: the overshoot slot is a response with a warning, not an
+	// inline error.
+	batch := korapi.BatchRequest{Requests: []korapi.Request{
+		{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 1, Algorithm: "greedy"},
+		{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 6},
+	}}
+	var bout korapi.BatchResponse
+	bresp := post(t, ts, "/v1/batch", batch, &bout)
+	if bresp.StatusCode != http.StatusOK || len(bout.Results) != 2 {
+		t.Fatalf("batch status=%d results=%+v", bresp.StatusCode, bout.Results)
+	}
+	slot := bout.Results[0]
+	if slot.Error != nil {
+		t.Fatalf("overshoot batch slot became error %+v, routes discarded", slot.Error)
+	}
+	if slot.Response == nil || len(slot.Response.Routes) == 0 {
+		t.Fatalf("overshoot batch slot = %+v, want routes", slot)
+	}
+	if slot.Response.Warning == nil || slot.Response.Warning.Code != korapi.CodeBudgetExceeded {
+		t.Fatalf("overshoot batch slot warning = %+v", slot.Response.Warning)
+	}
+	if bout.Results[1].Response == nil || bout.Results[1].Response.Warning != nil {
+		t.Errorf("clean batch slot = %+v, want response without warning", bout.Results[1])
+	}
+}
+
+// TestWriteErrorCanceled: a canceled search must write its 499 envelope.
+// The old code returned without writing anything, which made net/http emit
+// an implicit 200 OK with an empty body to any still-connected reader.
+func TestWriteErrorCanceled(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, &korapi.Error{Code: korapi.CodeCanceled, Message: "search canceled"})
+	if rec.Code != 499 {
+		t.Fatalf("status = %d, want 499 (implicit 200 masks the cancellation)", rec.Code)
+	}
+	var env korapi.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("body %q is not an error envelope: %v", rec.Body.Bytes(), err)
+	}
+	if env.Error.Code != korapi.CodeCanceled {
+		t.Errorf("envelope code = %q, want canceled", env.Error.Code)
+	}
+}
+
+// TestServeV1StatsSnapshot: /v1/stats carries the serving snapshot's
+// identity so operators can verify a patch or reload actually took.
+func TestServeV1StatsSnapshot(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var st korapi.Stats
+	get(t, ts, "/v1/stats", &st)
+	if st.Snapshot == nil {
+		t.Fatal("stats carry no snapshot block")
+	}
+	if len(st.Snapshot.Fingerprint) != 16 {
+		t.Errorf("fingerprint = %q, want 16 hex digits", st.Snapshot.Fingerprint)
+	}
+	if st.Snapshot.Generation != 1 {
+		t.Errorf("generation = %d, want 1 on a fresh server", st.Snapshot.Generation)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, st.Snapshot.LoadedAt); err != nil {
+		t.Errorf("loaded_at %q: %v", st.Snapshot.LoadedAt, err)
+	}
+}
+
+// TestServeAdminPatch drives a live update end to end over HTTP: the delta
+// changes the serving graph, the fingerprint and generation advance in
+// /v1/stats, and route answers reflect the new attributes.
+func TestServeAdminPatch(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+
+	var before korapi.Stats
+	get(t, ts, "/v1/stats", &before)
+	var routeBefore korapi.Response
+	get(t, ts, "/v1/route?from=0&to=2&keywords=jazz&budget=6", &routeBefore)
+	if got := routeBefore.Routes[0].Objective; got != 1.0 {
+		t.Fatalf("pre-patch objective = %v, want 1.0", got)
+	}
+
+	delta := korapi.Delta{UpdateEdges: []korapi.DeltaEdge{{From: 0, To: 1, Objective: 0.1, Budget: 1.2}}}
+	var admin korapi.AdminResponse
+	resp := post(t, ts, "/v1/admin/patch", delta, &admin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch status = %d", resp.StatusCode)
+	}
+	if admin.Snapshot.Generation != 2 {
+		t.Errorf("generation = %d, want 2", admin.Snapshot.Generation)
+	}
+	if admin.Snapshot.Fingerprint == before.Snapshot.Fingerprint {
+		t.Error("fingerprint unchanged by patch")
+	}
+	if admin.Nodes != 4 || admin.Edges != 7 {
+		t.Errorf("admin size = %d/%d, want 4/7", admin.Nodes, admin.Edges)
+	}
+
+	var after korapi.Stats
+	get(t, ts, "/v1/stats", &after)
+	if after.Snapshot.Fingerprint != admin.Snapshot.Fingerprint || after.Snapshot.Generation != 2 {
+		t.Errorf("stats snapshot = %+v, want the patched one %+v", after.Snapshot, admin.Snapshot)
+	}
+	var routeAfter korapi.Response
+	get(t, ts, "/v1/route?from=0&to=2&keywords=jazz&budget=6", &routeAfter)
+	if got := routeAfter.Routes[0].Objective; got != 0.4 {
+		t.Errorf("post-patch objective = %v, want 0.4 (0.1 + 0.3)", got)
+	}
+
+	// Malformed deltas are hard 400s and leave the snapshot alone.
+	cases := []struct {
+		name string
+		d    korapi.Delta
+	}{
+		{"empty", korapi.Delta{}},
+		{"missing edge", korapi.Delta{RemoveEdges: []korapi.DeltaEdge{{From: 1, To: 0}}}},
+		{"bad attribute", korapi.Delta{UpdateEdges: []korapi.DeltaEdge{{From: 0, To: 1, Objective: -1, Budget: 1}}}},
+		{"unknown node", korapi.Delta{AddKeywords: []korapi.DeltaKeywords{{Node: 99, Keywords: []string{"x"}}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var env korapi.ErrorEnvelope
+			resp := post(t, ts, "/v1/admin/patch", c.d, &env)
+			wantEnvelope(t, resp, env, http.StatusBadRequest, korapi.CodeBadRequest)
+		})
+	}
+	var final korapi.Stats
+	get(t, ts, "/v1/stats", &final)
+	if final.Snapshot.Generation != 2 {
+		t.Errorf("failed patches moved the generation to %d", final.Snapshot.Generation)
+	}
+}
+
+// TestServeAdminReload: reload re-reads the graph file, restoring the
+// on-disk dataset after patches drifted the in-memory one.
+func TestServeAdminReload(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "city.korg")
+	if err := kor.SaveGraph(graphPath, testGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := kor.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kor.NewEngine(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, graphPath, 5*time.Second, 0).routes())
+	t.Cleanup(ts.Close)
+
+	var before korapi.Stats
+	get(t, ts, "/v1/stats", &before)
+	delta := korapi.Delta{UpdateEdges: []korapi.DeltaEdge{{From: 0, To: 1, Objective: 0.1, Budget: 1.2}}}
+	post(t, ts, "/v1/admin/patch", delta, nil)
+
+	var admin korapi.AdminResponse
+	resp := post(t, ts, "/v1/admin/reload", nil, &admin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d", resp.StatusCode)
+	}
+	if admin.Snapshot.Generation != 3 {
+		t.Errorf("generation = %d, want 3 (boot, patch, reload)", admin.Snapshot.Generation)
+	}
+	if admin.Snapshot.Fingerprint != before.Snapshot.Fingerprint {
+		t.Errorf("reload fingerprint = %s, want the on-disk %s", admin.Snapshot.Fingerprint, before.Snapshot.Fingerprint)
+	}
+
+	// A server without a graph file refuses to reload.
+	noFile := testServer(t, 5*time.Second)
+	var env korapi.ErrorEnvelope
+	resp = post(t, noFile, "/v1/admin/reload", nil, &env)
+	wantEnvelope(t, resp, env, http.StatusBadRequest, korapi.CodeBadRequest)
 }
 
 // TestServeConcurrentRoutes hammers one server from several goroutines as a

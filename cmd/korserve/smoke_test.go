@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"syscall"
@@ -65,6 +67,110 @@ func TestServeBinarySmoke(t *testing.T) {
 	getInto(t, base+"/v1/stats", http.StatusOK, &st)
 	if st.Nodes != 4 {
 		t.Errorf("binary /v1/stats nodes = %d, want 4", st.Nodes)
+	}
+}
+
+// TestServeBinaryAdminSmoke drives the live-update path through the real
+// binaries, the way the CI smoke job does: kordata generates a graph AND a
+// delta file, korserve starts on the graph, and the test patches it mid-run
+// over HTTP — asserting the fingerprint in /v1/stats changes, queries keep
+// answering, and a reload restores the on-disk dataset.
+func TestServeBinaryAdminSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test in -short mode")
+	}
+	dir := t.TempDir()
+
+	korserveBin := filepath.Join(dir, "korserve")
+	if out, err := exec.Command("go", "build", "-o", korserveBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building korserve: %v\n%s", err, out)
+	}
+	kordataBin := filepath.Join(dir, "kordata")
+	if out, err := exec.Command("go", "build", "-o", kordataBin, "../kordata").CombinedOutput(); err != nil {
+		t.Fatalf("building kordata: %v\n%s", err, out)
+	}
+
+	graphPath := filepath.Join(dir, "road.korg")
+	deltaPath := filepath.Join(dir, "patch.json")
+	gen := exec.Command(kordataBin, "-kind", "road", "-nodes", "80", "-seed", "7",
+		"-out", graphPath, "-emit-delta", deltaPath)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("kordata: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	srv := exec.Command(korserveBin, "-graph", graphPath, "-addr", addr, "-timeout", "5s")
+	srv.Stderr = io.Discard
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+
+	base := "http://" + addr
+	waitReady(t, base+"/v1/stats")
+
+	var before korapi.Stats
+	getInto(t, base+"/v1/stats", http.StatusOK, &before)
+	if before.Snapshot == nil || before.Snapshot.Generation != 1 {
+		t.Fatalf("boot snapshot = %+v, want generation 1", before.Snapshot)
+	}
+
+	delta, err := os.ReadFile(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admin korapi.AdminResponse
+	postInto(t, base+"/v1/admin/patch", delta, http.StatusOK, &admin)
+	if admin.Snapshot.Generation != 2 {
+		t.Errorf("patched generation = %d, want 2", admin.Snapshot.Generation)
+	}
+	if admin.Snapshot.Fingerprint == before.Snapshot.Fingerprint {
+		t.Error("fingerprint did not change after the patch")
+	}
+
+	var after korapi.Stats
+	getInto(t, base+"/v1/stats", http.StatusOK, &after)
+	if after.Snapshot.Fingerprint != admin.Snapshot.Fingerprint {
+		t.Errorf("stats fingerprint = %s, want patched %s", after.Snapshot.Fingerprint, admin.Snapshot.Fingerprint)
+	}
+	// The delta adds a marker keyword to node 0: the patched vocabulary is
+	// live on the query path.
+	var kws korapi.KeywordsResponse
+	getInto(t, base+"/v1/keywords?prefix=kordata_patch_marker", http.StatusOK, &kws)
+	if len(kws.Keywords) != 1 || kws.Keywords[0].Nodes != 1 {
+		t.Errorf("patched keyword lookup = %+v", kws.Keywords)
+	}
+
+	// Reload restores the on-disk graph: fingerprint back to boot.
+	var reloaded korapi.AdminResponse
+	postInto(t, base+"/v1/admin/reload", nil, http.StatusOK, &reloaded)
+	if reloaded.Snapshot.Generation != 3 {
+		t.Errorf("reloaded generation = %d, want 3", reloaded.Snapshot.Generation)
+	}
+	if reloaded.Snapshot.Fingerprint != before.Snapshot.Fingerprint {
+		t.Errorf("reloaded fingerprint = %s, want the on-disk %s", reloaded.Snapshot.Fingerprint, before.Snapshot.Fingerprint)
+	}
+}
+
+func postInto(t *testing.T, url string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s: status %d, want %d (body %s)", url, resp.StatusCode, wantStatus, respBody)
+	}
+	if err := json.Unmarshal(respBody, out); err != nil {
+		t.Fatalf("decoding %s body %q: %v", url, respBody, err)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"kor/internal/graph"
 )
 
 // Cross-algorithm equivalence harness: property tests over seeded random
@@ -31,6 +33,13 @@ const bruteForceCap = 600_000
 func equivalenceTrial(t *testing.T, trial int, dense bool, rng *rand.Rand) bool {
 	t.Helper()
 	g := randomKeywordGraph(rng, 8+rng.Intn(7), 4)
+	return equivalenceTrialOn(t, trial, g, dense, rng)
+}
+
+// equivalenceTrialOn runs the cross-algorithm relations over a prebuilt
+// graph — the entry point the post-Apply harness shares.
+func equivalenceTrialOn(t *testing.T, trial int, g *graph.Graph, dense bool, rng *rand.Rand) bool {
+	t.Helper()
 	s := searcherFor(t, g, dense)
 	q := randomQuery(rng, g, 1+rng.Intn(2))
 	q.Budget = 1 + rng.Float64()*2.5
@@ -135,6 +144,100 @@ func TestEquivalenceLazyOracle(t *testing.T) {
 		}
 	}
 	if informative < 10 {
+		t.Fatalf("only %d informative trials; generator drifted", informative)
+	}
+}
+
+// randomDelta perturbs g the way a live feed would: attribute drift on a
+// few existing edges, a keyword added (sometimes a brand-new vocabulary
+// entry), a keyword removed, and with some luck a new edge. The delta is
+// never empty — at least one attribute update is always present.
+func randomDelta(t *testing.T, rng *rand.Rand, g *graph.Graph) graph.Delta {
+	t.Helper()
+	n := g.NumNodes()
+	var d graph.Delta
+
+	// Drift attributes on up to three random edges.
+	for k := 0; k < 1+rng.Intn(3); k++ {
+		v := graph.NodeID(rng.Intn(n))
+		out := g.Out(v)
+		if len(out) == 0 {
+			continue
+		}
+		e := out[rng.Intn(len(out))]
+		d.UpdateEdges = append(d.UpdateEdges, graph.EdgePatch{
+			From: v, To: e.To,
+			Objective: 0.1 + rng.Float64(),
+			Budget:    0.1 + rng.Float64(),
+		})
+	}
+	if len(d.UpdateEdges) == 0 {
+		t.Fatal("random graph has an edgeless node 0 neighborhood; generator drifted")
+	}
+
+	// Keyword churn: one add (occasionally a brand-new word) and one remove,
+	// both drawn from the graph's actual vocabulary.
+	if names := g.Vocab().Names(); len(names) > 0 {
+		kw := names[rng.Intn(len(names))]
+		if rng.Intn(3) == 0 {
+			kw = "fresh"
+		}
+		d.AddKeywords = append(d.AddKeywords, graph.KeywordPatch{
+			Node: graph.NodeID(rng.Intn(n)), Keywords: []string{kw},
+		})
+		d.RemoveKeywords = append(d.RemoveKeywords, graph.KeywordPatch{
+			Node: graph.NodeID(rng.Intn(n)), Keywords: []string{names[rng.Intn(len(names))]},
+		})
+	}
+
+	// A new edge, when a missing pair turns up quickly.
+	for attempt := 0; attempt < 8; attempt++ {
+		from, to := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if from == to {
+			continue
+		}
+		exists := false
+		for _, e := range g.Out(from) {
+			if e.To == to {
+				exists = true
+				break
+			}
+		}
+		if !exists {
+			d.AddEdges = append(d.AddEdges, graph.EdgePatch{
+				From: from, To: to,
+				Objective: 0.1 + rng.Float64(), Budget: 0.1 + rng.Float64(),
+			})
+			break
+		}
+	}
+	return d
+}
+
+// TestEquivalenceAfterApply runs the full cross-algorithm harness over
+// graphs produced by Graph.Apply rather than a Builder: the live-update
+// path must yield graphs on which every algorithm relation — Exact equals
+// BruteForce, the label algorithms stay inside their proven bounds, TopK
+// stays sorted and deduplicated — holds exactly as it does on built graphs.
+// Both oracle flavours run, so the shared-storage CSRs feed the dense
+// tables and the lazy bounded sweeps alike.
+func TestEquivalenceAfterApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	informative := 0
+	for trial := 0; trial < 24; trial++ {
+		g := randomKeywordGraph(rng, 8+rng.Intn(7), 4)
+		patched, err := g.Apply(randomDelta(t, rng, g))
+		if err != nil {
+			t.Fatalf("trial %d: Apply: %v", trial, err)
+		}
+		if patched.Fingerprint() == g.Fingerprint() {
+			t.Fatalf("trial %d: delta did not change the fingerprint", trial)
+		}
+		if equivalenceTrialOn(t, trial, patched, trial%2 == 0, rng) {
+			informative++
+		}
+	}
+	if informative < 8 {
 		t.Fatalf("only %d informative trials; generator drifted", informative)
 	}
 }

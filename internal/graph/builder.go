@@ -146,41 +146,7 @@ func (b *Builder) Build() (*Graph, error) {
 		g.terms = append(g.terms, ts...)
 	}
 
-	// Forward CSR: stable counting sort by source.
-	outDeg := make([]int32, n+1)
-	for _, e := range b.edges {
-		outDeg[e.from+1]++
-	}
-	g.outHead = outDeg
-	for i := 1; i <= n; i++ {
-		g.outHead[i] += g.outHead[i-1]
-	}
-	g.outEdges = make([]Edge, len(b.edges))
-	cursor := make([]int32, n)
-	for _, e := range b.edges {
-		i := g.outHead[e.from] + cursor[e.from]
-		g.outEdges[i] = Edge{To: e.to, Objective: e.objective, Budget: e.budget}
-		cursor[e.from]++
-	}
-
-	// Reverse CSR.
-	inDeg := make([]int32, n+1)
-	for _, e := range b.edges {
-		inDeg[e.to+1]++
-	}
-	g.inHead = inDeg
-	for i := 1; i <= n; i++ {
-		g.inHead[i] += g.inHead[i-1]
-	}
-	g.inEdges = make([]Edge, len(b.edges))
-	for i := range cursor {
-		cursor[i] = 0
-	}
-	for _, e := range b.edges {
-		i := g.inHead[e.to] + cursor[e.to]
-		g.inEdges[i] = Edge{To: e.from, Objective: e.objective, Budget: e.budget}
-		cursor[e.to]++
-	}
+	g.outHead, g.outEdges, g.inHead, g.inEdges = buildCSR(b.edges, n)
 
 	// Attribute extrema.
 	g.minObjective, g.minBudget = math.Inf(1), math.Inf(1)
@@ -201,6 +167,47 @@ func (b *Builder) Build() (*Graph, error) {
 		g.names = append([]string(nil), b.names...)
 	}
 	return g, nil
+}
+
+// buildCSR assembles the forward and reverse CSR arrays from an edge list
+// with a stable counting sort: edges keep their relative order within each
+// source (forward) and each target (reverse). Shared by Builder.Build and
+// Graph.Apply — the two must stay byte-identical for equal inputs, or
+// fingerprints of built and patched graphs with the same content would
+// diverge.
+func buildCSR(edges []builderEdge, n int) (outHead []int32, outEdges []Edge, inHead []int32, inEdges []Edge) {
+	outHead = make([]int32, n+1)
+	for _, e := range edges {
+		outHead[e.from+1]++
+	}
+	for i := 1; i <= n; i++ {
+		outHead[i] += outHead[i-1]
+	}
+	outEdges = make([]Edge, len(edges))
+	cursor := make([]int32, n)
+	for _, e := range edges {
+		i := outHead[e.from] + cursor[e.from]
+		outEdges[i] = Edge{To: e.to, Objective: e.objective, Budget: e.budget}
+		cursor[e.from]++
+	}
+
+	inHead = make([]int32, n+1)
+	for _, e := range edges {
+		inHead[e.to+1]++
+	}
+	for i := 1; i <= n; i++ {
+		inHead[i] += inHead[i-1]
+	}
+	inEdges = make([]Edge, len(edges))
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	for _, e := range edges {
+		i := inHead[e.to] + cursor[e.to]
+		inEdges[i] = Edge{To: e.from, Objective: e.objective, Budget: e.budget}
+		cursor[e.to]++
+	}
+	return outHead, outEdges, inHead, inEdges
 }
 
 // MustBuild is Build for fixtures and generators whose input is known good.

@@ -28,6 +28,20 @@ func (v *Vocabulary) Intern(name string) Term {
 	return t
 }
 
+// clone returns an independent copy, preserving Term numbering. Apply uses
+// it for copy-on-write: a live-updated graph must not intern into a
+// vocabulary that in-flight queries are reading.
+func (v *Vocabulary) clone() *Vocabulary {
+	out := &Vocabulary{
+		byName: make(map[string]Term, len(v.byName)),
+		names:  append([]string(nil), v.names...),
+	}
+	for name, t := range v.byName {
+		out.byName[name] = t
+	}
+	return out
+}
+
 // Lookup returns the term for name without interning.
 func (v *Vocabulary) Lookup(name string) (Term, bool) {
 	t, ok := v.byName[name]

@@ -119,6 +119,22 @@ func (c *Cache[V]) Put(key string, v V) {
 	}
 }
 
+// Clear drops every entry. The engine calls it on a snapshot swap: the old
+// graph's entries can never be hit again (the fingerprint in every key
+// changed), so keeping them would only squat LRU capacity until natural
+// eviction. The drops are deliberately NOT counted as evictions — that
+// counter measures capacity pressure, the signal operators size the cache
+// by, and a flush says nothing about capacity.
+func (c *Cache[V]) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element)
+		s.order = list.New()
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[V]) Len() int {
 	n := 0

@@ -58,6 +58,58 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+func TestClear(t *testing.T) {
+	c := New[int](64)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	before := c.Stats()
+	if before.Size != 10 {
+		t.Fatalf("size=%d before clear, want 10", before.Size)
+	}
+	c.Clear()
+	st := c.Stats()
+	if st.Size != 0 {
+		t.Fatalf("size=%d after clear, want 0", st.Size)
+	}
+	if st.Evictions != before.Evictions {
+		t.Fatalf("evictions=%d, want %d unchanged (a flush is not capacity pressure)", st.Evictions, before.Evictions)
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Fatal("cleared entry still served")
+	}
+	// The cache stays usable after a clear.
+	c.Put("fresh", 1)
+	if v, ok := c.Get("fresh"); !ok || v != 1 {
+		t.Fatalf("post-clear put/get = (%v,%v)", v, ok)
+	}
+}
+
+// TestClearConcurrent interleaves Clear with readers and writers; run with
+// -race. Entries may or may not survive, but values must never corrupt.
+func TestClearConcurrent(t *testing.T) {
+	c := New[int](128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("k%d", i%50)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("corrupt value")
+					return
+				}
+				c.Put(k, i)
+				if i%100 == 0 {
+					c.Clear()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // TestConcurrent hammers the cache from many goroutines; run with -race.
 func TestConcurrent(t *testing.T) {
 	c := New[int](128)

@@ -54,6 +54,8 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"kor/internal/apsp"
 	"kor/internal/core"
@@ -82,6 +84,18 @@ type (
 	Options = core.Options
 	// Metrics counts the work a search performed.
 	Metrics = core.Metrics
+	// Delta describes an incremental graph change for Engine.Patch and
+	// Graph.Apply: keyword churn, edge-attribute drift, edges appearing and
+	// disappearing.
+	Delta = graph.Delta
+	// KeywordPatch names a node and keywords to add or remove in a Delta.
+	KeywordPatch = graph.KeywordPatch
+	// EdgePatch addresses an edge and its new attributes in a Delta.
+	EdgePatch = graph.EdgePatch
+	// EdgeRef addresses an edge for removal in a Delta.
+	EdgeRef = graph.EdgeRef
+	// GraphStats is the graph summary ComputeStats and Engine.Stats return.
+	GraphStats = graph.Stats
 )
 
 // Errors surfaced by the engine, re-exported from the core package.
@@ -163,7 +177,7 @@ type EngineConfig struct {
 	CacheSize int
 }
 
-// Engine answers KOR queries over one graph. Construction runs the
+// Engine answers KOR queries over a graph. Construction runs the
 // pre-processing; queries are then independent.
 //
 // An Engine is safe for concurrent use: the shared substrates (graph,
@@ -173,16 +187,31 @@ type EngineConfig struct {
 // concurrent queries, with duplicate sweeps single-flighted. Run answers
 // one Request with per-request deadlines and cancellation through its
 // context; SearchBatch runs a whole Request set on a worker pool.
+//
+// The graph is not fixed for the engine's lifetime: Swap installs a new
+// graph and Patch applies an incremental Delta, both atomically — in-flight
+// queries finish on the snapshot they started with, later queries see the
+// new graph (see snapshot.go).
 type Engine struct {
-	g         *Graph
-	searcher  *core.Searcher
+	// snap is the current graph snapshot: the graph plus everything derived
+	// from it. Queries load it once at entry and never look again.
+	snap atomic.Pointer[snapshot]
+	// cfg is retained so Swap and Patch rebuild oracles with the same
+	// configuration the engine was constructed with.
+	cfg EngineConfig
+
 	index     io.Closer // non-nil when a disk index is open
 	diskIndex *textindex.GraphIndex
 
 	// cache is the optional response cache (EngineConfig.CacheSize > 0);
-	// fingerprint is the graph digest folded into every cache key.
-	cache       *rescache.Cache[Response]
-	fingerprint uint64
+	// keys fold in the current snapshot's fingerprint, and the whole cache
+	// is cleared on swap.
+	cache *rescache.Cache[cachedResponse]
+
+	// swapMu serializes Swap and Patch so concurrent patches compose;
+	// generation is guarded by it.
+	swapMu     sync.Mutex
+	generation uint64
 }
 
 // Suggestion pairs a keyword with the number of nodes carrying it.
@@ -211,8 +240,9 @@ func (e *Engine) Suggest(prefix string, limit int) ([]Suggestion, error) {
 		return out, nil
 	}
 	var out []Suggestion
-	idx := e.searcher.Index()
-	names := e.g.Vocab().Names()
+	sn := e.snap.Load()
+	idx := sn.searcher.Index()
+	names := sn.g.Vocab().Names()
 	// Names are in interning order; collect matches then sort by name to
 	// match the disk index's ordering.
 	for term, name := range names {
@@ -236,8 +266,32 @@ func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
 	if cfg == nil {
 		cfg = &EngineConfig{}
 	}
+	eng := &Engine{cfg: *cfg}
+	if cfg.CacheSize > 0 {
+		eng.cache = rescache.New[cachedResponse](cfg.CacheSize)
+	}
+	if cfg.IndexPath != "" {
+		gi, err := openOrBuildIndex(cfg.IndexPath, g)
+		if err != nil {
+			return nil, err
+		}
+		eng.index = gi
+		eng.diskIndex = gi
+	}
+	sn, err := eng.newSnapshot(g, 1)
+	if err != nil {
+		if eng.index != nil {
+			eng.index.Close()
+		}
+		return nil, err
+	}
+	eng.generation = 1
+	eng.snap.Store(sn)
+	return eng, nil
+}
 
-	var oracle core.RouteOracle
+// buildOracle constructs the τ/σ oracle cfg selects for g.
+func buildOracle(g *Graph, cfg EngineConfig) (core.RouteOracle, error) {
 	kind := cfg.Oracle
 	if kind == OracleAuto {
 		if g.NumNodes() <= denseOracleLimit {
@@ -248,38 +302,18 @@ func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
 	}
 	switch kind {
 	case OracleDense:
-		oracle = apsp.NewMatrixOracle(g)
+		return apsp.NewMatrixOracle(g), nil
 	case OracleLazy:
-		oracle = apsp.NewLazyOracle(g)
+		return apsp.NewLazyOracle(g), nil
 	case OraclePartitioned:
 		cell := cfg.PartitionCellSize
 		if cell <= 0 {
 			cell = apsp.DefaultCellSize
 		}
-		oracle = apsp.NewPartitionedOracle(g, cell)
+		return apsp.NewPartitionedOracle(g, cell), nil
 	default:
 		return nil, fmt.Errorf("kor: unknown oracle kind %d", cfg.Oracle)
 	}
-
-	eng := &Engine{g: g}
-	if cfg.CacheSize > 0 {
-		eng.cache = rescache.New[Response](cfg.CacheSize)
-		eng.fingerprint = g.Fingerprint()
-	}
-	var index graph.PostingSource
-	if cfg.IndexPath != "" {
-		gi, err := openOrBuildIndex(cfg.IndexPath, g)
-		if err != nil {
-			return nil, err
-		}
-		index = gi
-		eng.index = gi
-		eng.diskIndex = gi
-	} else {
-		index = graph.NewMemIndex(g)
-	}
-	eng.searcher = core.NewSearcher(g, oracle, index)
-	return eng, nil
 }
 
 func openOrBuildIndex(path string, g *Graph) (*textindex.GraphIndex, error) {
@@ -334,14 +368,17 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *Graph { return e.g }
+// Graph returns the engine's current graph. After a Swap or Patch it
+// returns the new graph; a Response identifies the exact snapshot its
+// routes were computed on via Response.Snapshot.
+func (e *Engine) Graph() *Graph { return e.snap.Load().g }
 
-// resolve translates a façade query into the core query.
-func (e *Engine) resolve(q Query) (core.Query, error) {
+// resolve translates a façade query into the core query against one
+// snapshot's vocabulary.
+func (sn *snapshot) resolve(q Query) (core.Query, error) {
 	terms := make([]Term, 0, len(q.Keywords))
 	for _, kw := range q.Keywords {
-		t, ok := e.g.Vocab().Lookup(kw)
+		t, ok := sn.g.Vocab().Lookup(kw)
 		if !ok {
 			return core.Query{}, fmt.Errorf("%w: %q", ErrUnknownKeyword, kw)
 		}
@@ -449,14 +486,23 @@ func (e *Engine) ExactCtx(ctx context.Context, q Query, opts Options) (Result, e
 	return e.runLegacy(ctx, AlgorithmExact, q, opts)
 }
 
-// Describe renders a route using node names where available.
+// Describe renders a route using node names where available, resolved
+// against the current snapshot's graph. Node IDs the current graph does
+// not know (a route computed before a Swap shrank the graph — prefer
+// Response.Graph for rendering in that case) fall back to their numeric
+// form rather than faulting.
 func (e *Engine) Describe(r Route) string {
+	g := e.snap.Load().g
 	out := ""
 	for i, v := range r.Nodes {
 		if i > 0 {
 			out += " → "
 		}
-		if name := e.g.Name(v); name != "" {
+		name := ""
+		if g.Valid(v) {
+			name = g.Name(v)
+		}
+		if name != "" {
 			out += name
 		} else {
 			out += fmt.Sprintf("#%d", v)

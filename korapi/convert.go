@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"kor"
 )
@@ -142,10 +143,90 @@ func CacheStatsFromKor(st kor.CacheStats) CacheStats {
 	}
 }
 
+// KorDelta lowers the wire delta onto the engine's Delta, range-checking
+// node IDs the same way KorRequest does.
+func (d Delta) KorDelta() (kor.Delta, error) {
+	node := func(what string, id int64) (kor.NodeID, error) {
+		if id < math.MinInt32 || id > math.MaxInt32 {
+			return 0, fmt.Errorf("%w: %s node id %d out of range", kor.ErrBadDelta, what, id)
+		}
+		return kor.NodeID(id), nil
+	}
+	var out kor.Delta
+	for _, kp := range d.AddKeywords {
+		v, err := node("add_keywords", kp.Node)
+		if err != nil {
+			return kor.Delta{}, err
+		}
+		out.AddKeywords = append(out.AddKeywords, kor.KeywordPatch{Node: v, Keywords: kp.Keywords})
+	}
+	for _, kp := range d.RemoveKeywords {
+		v, err := node("remove_keywords", kp.Node)
+		if err != nil {
+			return kor.Delta{}, err
+		}
+		out.RemoveKeywords = append(out.RemoveKeywords, kor.KeywordPatch{Node: v, Keywords: kp.Keywords})
+	}
+	edge := func(what string, de DeltaEdge) (kor.EdgePatch, error) {
+		from, err := node(what, de.From)
+		if err != nil {
+			return kor.EdgePatch{}, err
+		}
+		to, err := node(what, de.To)
+		if err != nil {
+			return kor.EdgePatch{}, err
+		}
+		return kor.EdgePatch{From: from, To: to, Objective: de.Objective, Budget: de.Budget}, nil
+	}
+	for _, de := range d.UpdateEdges {
+		ep, err := edge("update_edges", de)
+		if err != nil {
+			return kor.Delta{}, err
+		}
+		out.UpdateEdges = append(out.UpdateEdges, ep)
+	}
+	for _, de := range d.AddEdges {
+		ep, err := edge("add_edges", de)
+		if err != nil {
+			return kor.Delta{}, err
+		}
+		out.AddEdges = append(out.AddEdges, ep)
+	}
+	for _, de := range d.RemoveEdges {
+		ep, err := edge("remove_edges", de)
+		if err != nil {
+			return kor.Delta{}, err
+		}
+		out.RemoveEdges = append(out.RemoveEdges, kor.EdgeRef{From: ep.From, To: ep.To})
+	}
+	return out, nil
+}
+
+// SnapshotFromKor lifts a snapshot identity onto the wire: hex fingerprint,
+// RFC 3339 UTC timestamp.
+func SnapshotFromKor(info kor.SnapshotInfo) Snapshot {
+	return Snapshot{
+		Fingerprint: fmt.Sprintf("%016x", info.Fingerprint),
+		Generation:  info.Generation,
+		LoadedAt:    info.LoadedAt.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// WarningFrom classifies a non-fatal engine error into the warning attached
+// to an otherwise successful response. It returns non-nil exactly when
+// ErrorFrom returns nil for a non-nil error: today that is the greedy
+// budget overshoot, whose routes are returned with Feasible=false.
+func WarningFrom(err error) *Error {
+	if err != nil && errors.Is(err, kor.ErrBudgetExceeded) {
+		return &Error{Code: CodeBudgetExceeded, Message: err.Error()}
+	}
+	return nil
+}
+
 // ErrorFrom classifies an engine error into its wire Error. It returns nil
 // for outcomes that still carry a usable response: a nil error, and the
 // greedy budget-overshoot (the violating routes are returned for
-// inspection, matching the engine's behaviour).
+// inspection with a Warning attached, matching the engine's behaviour).
 func ErrorFrom(err error) *Error {
 	switch {
 	case err == nil, errors.Is(err, kor.ErrBudgetExceeded):
@@ -162,7 +243,7 @@ func ErrorFrom(err error) *Error {
 		return &Error{Code: CodeSearchLimit, Message: err.Error()}
 	case errors.Is(err, kor.ErrUnknownAlgorithm):
 		return &Error{Code: CodeUnknownAlgorithm, Message: err.Error()}
-	case errors.Is(err, kor.ErrBadQuery):
+	case errors.Is(err, kor.ErrBadQuery), errors.Is(err, kor.ErrBadDelta), errors.Is(err, kor.ErrStaticIndex):
 		return &Error{Code: CodeBadRequest, Message: err.Error()}
 	default:
 		return &Error{Code: CodeInternal, Message: err.Error()}

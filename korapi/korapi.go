@@ -120,6 +120,12 @@ type Response struct {
 	// Cached reports that the response came from the server's result cache
 	// without running a search.
 	Cached bool `json:"cached,omitempty"`
+	// Warning reports a non-fatal condition on an otherwise successful
+	// response: the routes are present and usable, but the caller should
+	// inspect the code. Currently emitted for budget_exceeded — a greedy
+	// route that covers the keywords but overshoots Δ (its Feasible flag is
+	// false).
+	Warning *Error `json:"warning,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -196,6 +202,73 @@ type Stats struct {
 	Isolated     int     `json:"isolated"`
 	// Cache is present only when the engine's result cache is enabled.
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Snapshot identifies the graph snapshot currently serving queries; it
+	// changes on every /v1/admin/patch or /v1/admin/reload.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// Snapshot is the wire form of one graph snapshot's identity, served inside
+// /v1/stats and by the /v1/admin endpoints.
+type Snapshot struct {
+	// Fingerprint is the graph content digest as 16 lowercase hex digits.
+	// Two snapshots with the same fingerprint answer queries identically.
+	Fingerprint string `json:"fingerprint"`
+	// Generation counts installed snapshots, starting at 1 for the graph
+	// the server booted with.
+	Generation uint64 `json:"generation"`
+	// LoadedAt is when the snapshot was installed, RFC 3339 with
+	// nanoseconds, UTC.
+	LoadedAt string `json:"loaded_at"`
+}
+
+// Delta is the body of POST /v1/admin/patch: one batch of live graph
+// updates, applied atomically. Phases apply in order: keyword patches, edge
+// updates, edge removals, edge additions (so remove+add of the same pair
+// replaces the edge). Keyword patches are idempotent set operations; edge
+// updates and removals must address existing edges, and additions must not
+// duplicate surviving ones.
+type Delta struct {
+	// AddKeywords unions keywords into node keyword sets; new keywords
+	// extend the vocabulary.
+	AddKeywords []DeltaKeywords `json:"add_keywords,omitempty"`
+	// RemoveKeywords subtracts keywords from node keyword sets.
+	RemoveKeywords []DeltaKeywords `json:"remove_keywords,omitempty"`
+	// UpdateEdges sets the objective/budget attributes of existing edges.
+	UpdateEdges []DeltaEdge `json:"update_edges,omitempty"`
+	// AddEdges inserts new edges (positive finite attributes, no
+	// self-loops).
+	AddEdges []DeltaEdge `json:"add_edges,omitempty"`
+	// RemoveEdges deletes edges; objective/budget are ignored.
+	RemoveEdges []DeltaEdge `json:"remove_edges,omitempty"`
+}
+
+// Empty reports whether the delta contains no changes.
+func (d Delta) Empty() bool {
+	return len(d.AddKeywords) == 0 && len(d.RemoveKeywords) == 0 &&
+		len(d.UpdateEdges) == 0 && len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0
+}
+
+// DeltaKeywords names a node and the keywords to add or remove.
+type DeltaKeywords struct {
+	Node     int64    `json:"node"`
+	Keywords []string `json:"keywords"`
+}
+
+// DeltaEdge addresses the directed edge From→To; Objective and Budget carry
+// the new attributes for updates and additions.
+type DeltaEdge struct {
+	From      int64   `json:"from"`
+	To        int64   `json:"to"`
+	Objective float64 `json:"objective,omitempty"`
+	Budget    float64 `json:"budget,omitempty"`
+}
+
+// AdminResponse answers the /v1/admin endpoints: the snapshot that is now
+// serving queries and its graph size.
+type AdminResponse struct {
+	Snapshot Snapshot `json:"snapshot"`
+	Nodes    int      `json:"nodes"`
+	Edges    int      `json:"edges"`
 }
 
 // CacheStats is the result-cache block inside Stats.
@@ -236,6 +309,10 @@ const (
 	CodeSearchLimit ErrorCode = "search_limit"
 	// CodeInternal — an unexpected server-side failure. HTTP 500.
 	CodeInternal ErrorCode = "internal"
+	// CodeBudgetExceeded — a greedy route covers the keywords but
+	// overshoots Δ. Appears only as Response.Warning on a 200, never as an
+	// error envelope: the routes are still returned.
+	CodeBudgetExceeded ErrorCode = "budget_exceeded"
 )
 
 // HTTPStatus maps the code onto its HTTP status.

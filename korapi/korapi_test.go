@@ -170,6 +170,8 @@ func TestErrorFromMapping(t *testing.T) {
 		{fmt.Errorf("kor: search aborted: %w", context.Canceled), CodeCanceled},
 		{fmt.Errorf("wrap: %w", kor.ErrSearchLimit), CodeSearchLimit},
 		{fmt.Errorf("%w: %w %q", kor.ErrBadQuery, kor.ErrUnknownAlgorithm, "warp"), CodeUnknownAlgorithm},
+		{fmt.Errorf("%w: update edge 9→9: no such edge", kor.ErrBadDelta), CodeBadRequest},
+		{kor.ErrStaticIndex, CodeBadRequest},
 		{errors.New("disk on fire"), CodeInternal},
 	}
 	for _, c := range cases {
@@ -203,6 +205,100 @@ func TestHTTPStatus(t *testing.T) {
 		if got := code.HTTPStatus(); got != want {
 			t.Errorf("%s.HTTPStatus() = %d, want %d", code, got, want)
 		}
+	}
+}
+
+// TestDeltaMarshalStability pins the live-update delta wire form: the body
+// of POST /v1/admin/patch is part of the /v1 contract.
+func TestDeltaMarshalStability(t *testing.T) {
+	d := Delta{
+		AddKeywords:    []DeltaKeywords{{Node: 3, Keywords: []string{"rooftop"}}},
+		RemoveKeywords: []DeltaKeywords{{Node: 4, Keywords: []string{"closed"}}},
+		UpdateEdges:    []DeltaEdge{{From: 0, To: 1, Objective: 0.5, Budget: 1.5}},
+		AddEdges:       []DeltaEdge{{From: 2, To: 3, Objective: 0.2, Budget: 0.3}},
+		RemoveEdges:    []DeltaEdge{{From: 1, To: 0}},
+	}
+	got, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"add_keywords":[{"node":3,"keywords":["rooftop"]}],` +
+		`"remove_keywords":[{"node":4,"keywords":["closed"]}],` +
+		`"update_edges":[{"from":0,"to":1,"objective":0.5,"budget":1.5}],` +
+		`"add_edges":[{"from":2,"to":3,"objective":0.2,"budget":0.3}],` +
+		`"remove_edges":[{"from":1,"to":0}]}`
+	if string(got) != want {
+		t.Errorf("delta wire form drifted:\n got %s\nwant %s", got, want)
+	}
+	var back Delta
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Errorf("delta round trip changed the value:\n got %+v\nwant %+v", back, d)
+	}
+	if !(Delta{}).Empty() || d.Empty() {
+		t.Error("Empty() misreports")
+	}
+}
+
+// TestSnapshotAndAdminMarshalStability pins the snapshot metadata block
+// (inside /v1/stats and the admin responses).
+func TestSnapshotAndAdminMarshalStability(t *testing.T) {
+	admin := AdminResponse{
+		Snapshot: Snapshot{Fingerprint: "00ff00ff00ff00ff", Generation: 2, LoadedAt: "2026-07-29T12:00:00Z"},
+		Nodes:    4, Edges: 7,
+	}
+	got, err := json.Marshal(admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"snapshot":{"fingerprint":"00ff00ff00ff00ff","generation":2,"loaded_at":"2026-07-29T12:00:00Z"},` +
+		`"nodes":4,"edges":7}`
+	if string(got) != want {
+		t.Errorf("admin wire form drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestDeltaConversion: wire deltas lower onto the engine type, with the
+// same int32 range check as requests.
+func TestDeltaConversion(t *testing.T) {
+	wire := Delta{
+		AddKeywords: []DeltaKeywords{{Node: 1, Keywords: []string{"a", "b"}}},
+		UpdateEdges: []DeltaEdge{{From: 0, To: 1, Objective: 2, Budget: 3}},
+		RemoveEdges: []DeltaEdge{{From: 1, To: 0, Objective: 99, Budget: 99}}, // attrs ignored
+	}
+	d, err := wire.KorDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.AddKeywords) != 1 || d.AddKeywords[0].Node != 1 || len(d.AddKeywords[0].Keywords) != 2 {
+		t.Errorf("AddKeywords = %+v", d.AddKeywords)
+	}
+	if len(d.UpdateEdges) != 1 || d.UpdateEdges[0] != (kor.EdgePatch{From: 0, To: 1, Objective: 2, Budget: 3}) {
+		t.Errorf("UpdateEdges = %+v", d.UpdateEdges)
+	}
+	if len(d.RemoveEdges) != 1 || d.RemoveEdges[0] != (kor.EdgeRef{From: 1, To: 0}) {
+		t.Errorf("RemoveEdges = %+v", d.RemoveEdges)
+	}
+
+	bad := Delta{AddEdges: []DeltaEdge{{From: 1 << 40, To: 0, Objective: 1, Budget: 1}}}
+	if _, err := bad.KorDelta(); !errors.Is(err, kor.ErrBadDelta) {
+		t.Errorf("KorDelta out-of-range err = %v, want ErrBadDelta wrap", err)
+	}
+}
+
+// TestWarningFrom: the budget overshoot is a warning on a usable response,
+// never an error envelope; everything else is not a warning.
+func TestWarningFrom(t *testing.T) {
+	if w := WarningFrom(fmt.Errorf("wrap: %w", kor.ErrBudgetExceeded)); w == nil || w.Code != CodeBudgetExceeded {
+		t.Errorf("WarningFrom(ErrBudgetExceeded) = %+v, want code budget_exceeded", w)
+	}
+	if w := WarningFrom(nil); w != nil {
+		t.Errorf("WarningFrom(nil) = %+v", w)
+	}
+	if w := WarningFrom(kor.ErrNoRoute); w != nil {
+		t.Errorf("WarningFrom(ErrNoRoute) = %+v, want nil (that is an error)", w)
 	}
 }
 

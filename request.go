@@ -2,6 +2,7 @@ package kor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -86,7 +87,25 @@ type Response struct {
 	// Cached reports that the response was served from the engine's result
 	// cache (EngineConfig.CacheSize) without running a search.
 	Cached bool
+	// Snapshot identifies the graph snapshot the response was computed
+	// against. Under live updates (Engine.Swap, Engine.Patch) this is how a
+	// caller — or a test — ties an answer to the exact graph version that
+	// produced it.
+	Snapshot SnapshotInfo
+
+	// graph pins the snapshot's graph so Graph() can resolve the route's
+	// node IDs even after the engine swapped to a different (possibly
+	// smaller) graph.
+	graph *Graph
 }
+
+// Graph returns the graph the response was computed against — the right
+// graph for resolving the routes' node IDs, names and positions. Under live
+// updates Engine.Graph() may already point at a different (even smaller)
+// graph than the one that produced an in-flight response; rendering with
+// that one would mislabel or out-of-range the route nodes. Nil on a zero
+// Response.
+func (r Response) Graph() *Graph { return r.graph }
 
 // Best returns the first (best) route. It panics if the response is empty;
 // call only after a nil-error Run.
@@ -107,6 +126,11 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// One snapshot load up front: the whole request — vocabulary lookups,
+	// cache key, search, response annotation — runs against this snapshot,
+	// so a concurrent Swap or Patch never mixes two graph versions inside
+	// one query.
+	sn := e.snap.Load()
 	algo, err := core.ParseAlgorithm(string(req.Algorithm))
 	if err != nil {
 		return Response{}, err
@@ -121,7 +145,7 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 	if err := opts.Validate(); err != nil {
 		return Response{}, err
 	}
-	cq, err := e.resolve(Query{From: req.From, To: req.To, Keywords: req.Keywords, Budget: req.Budget})
+	cq, err := sn.resolve(Query{From: req.From, To: req.To, Keywords: req.Keywords, Budget: req.Budget})
 	if err != nil {
 		return Response{}, err
 	}
@@ -134,26 +158,34 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return Response{}, fmt.Errorf("kor: search aborted: %w", ctxErr)
 		}
-		key = cacheKey(e.fingerprint, algo, cq, opts)
+		key = cacheKey(sn.info.Fingerprint, algo, cq, opts)
 		if hit, ok := e.cache.Get(key); ok {
-			resp := cloneResponse(hit)
+			resp := cloneResponse(hit.resp)
 			resp.Cached = true
 			resp.Elapsed = time.Since(start)
-			return resp, nil
+			return resp, hit.err
 		}
 	}
 
-	res, err := e.searcher.Run(ctx, algo, cq, opts)
+	res, err := sn.searcher.Run(ctx, algo, cq, opts)
 	resp := Response{
 		Routes:    res.Routes,
 		Algorithm: algo,
 		Bound:     core.BoundFor(algo, opts),
 		Metrics:   res.Metrics,
 		Elapsed:   time.Since(start),
+		Snapshot:  sn.info,
+		graph:     sn.g,
 	}
-	if key != "" && err == nil {
+	if key != "" && (err == nil || errors.Is(err, ErrNoRoute) || errors.Is(err, ErrBudgetExceeded)) {
 		// Store a private copy: the caller owns resp and may mutate it.
-		e.cache.Put(key, cloneResponse(resp))
+		// Definitive non-nil outcomes are cached alongside clean answers:
+		// ErrNoRoute (the search proved infeasibility) and the greedy
+		// budget overshoot (deterministic routes plus the sentinel) are
+		// exactly as expensive and as deterministic to recompute. Context
+		// errors and ErrSearchLimit are never cached — an aborted search
+		// proved nothing.
+		e.cache.Put(key, cachedResponse{resp: cloneResponse(resp), err: err})
 	}
 	return resp, err
 }

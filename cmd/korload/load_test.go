@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kor/korapi"
+)
+
+// stubServe builds a canned korserve lookalike: enough of the /v1 surface
+// for the prober and the drivers, with the route handler supplied by the
+// test.
+func stubServe(t *testing.T, route http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(korapi.Stats{Nodes: 20, Edges: 60, MaxBudget: 2})
+	})
+	mux.HandleFunc("GET /v1/keywords", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(korapi.KeywordsResponse{Keywords: []korapi.Keyword{
+			{Keyword: "cafe", Nodes: 5}, {Keyword: "jazz", Nodes: 3}, {Keyword: "park", Nodes: 7},
+		}})
+	})
+	mux.HandleFunc("POST /v1/route", route)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// okRoute answers every request with a minimal successful response.
+func okRoute(w http.ResponseWriter, r *http.Request) {
+	var req korapi.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: korapi.Error{Code: korapi.CodeBadRequest, Message: err.Error()}})
+		return
+	}
+	json.NewEncoder(w).Encode(korapi.Response{
+		Algorithm: req.Algorithm,
+		Routes:    []korapi.Route{{Nodes: []int64{req.From, req.To}, Objective: 1, Budget: 1, Feasible: true}},
+	})
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("bucketbound=0.7, greedy=0.2,topk=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0].algo != "bucketbound" || mix[0].weight != 0.7 {
+		t.Errorf("mix = %+v", mix)
+	}
+	if mix, err := parseMix("greedy"); err != nil || len(mix) != 1 || mix[0].weight != 1 {
+		t.Errorf("bare name mix = %+v, err %v", mix, err)
+	}
+	for _, bad := range []string{"", "a=-1", "a=x", "=2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(s, 0.5); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(s, 0.99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+	if p := percentile(s, 1); p != 10 {
+		t.Errorf("p100 = %v, want 10", p)
+	}
+}
+
+// TestRunSynthesized drives the closed-loop driver against a stub that
+// answers every outcome class and checks the report buckets them.
+func TestRunSynthesized(t *testing.T) {
+	var n atomic.Int64
+	ts := stubServe(t, func(w http.ResponseWriter, r *http.Request) {
+		var req korapi.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		switch n.Add(1) % 5 {
+		case 0: // no feasible route
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: korapi.Error{Code: korapi.CodeNoRoute, Message: "no feasible route"}})
+		case 1: // shed
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: korapi.Error{Code: korapi.CodeOverloaded, Message: "saturated"}})
+		default:
+			json.NewEncoder(w).Encode(korapi.Response{Algorithm: req.Algorithm, Routes: []korapi.Route{{Nodes: []int64{req.From, req.To}}}})
+		}
+	})
+
+	rep, err := run(config{
+		URL:             ts.URL,
+		Duration:        300 * time.Millisecond,
+		Concurrency:     4,
+		Mix:             "bucketbound=0.5,greedy=0.5",
+		KeywordsMin:     1,
+		KeywordsMax:     2,
+		SLOMaxErrorRate: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.ThroughputQPS == 0 {
+		t.Fatalf("report saw no traffic: %+v", rep)
+	}
+	if rep.Outcomes.OK == 0 || rep.Outcomes.NoRoute == 0 || rep.Outcomes.Rejected == 0 {
+		t.Errorf("outcome buckets not all hit: %+v", rep.Outcomes)
+	}
+	if rep.Outcomes.Error != 0 || rep.Outcomes.ClientError != 0 {
+		t.Errorf("unexpected errors: %+v", rep.Outcomes)
+	}
+	if got := rep.Outcomes.OK + rep.Outcomes.NoRoute + rep.Outcomes.Rejected; got != rep.Requests {
+		t.Errorf("requests %d != outcome sum %d", rep.Requests, got)
+	}
+	if rep.Latency.P50MS <= 0 || rep.Latency.P99MS < rep.Latency.P50MS {
+		t.Errorf("implausible latency summary: %+v", rep.Latency)
+	}
+	if !rep.Pass {
+		t.Errorf("violations with every gate off: %v", rep.SLOViolations)
+	}
+}
+
+// TestRunOpenLoop: a fixed arrival rate issues roughly rate×duration
+// requests, far fewer than four unthrottled workers would.
+func TestRunOpenLoop(t *testing.T) {
+	ts := stubServe(t, okRoute)
+	rep, err := run(config{
+		URL:             ts.URL,
+		Duration:        500 * time.Millisecond,
+		QPS:             40,
+		Concurrency:     4,
+		Mix:             "bucketbound",
+		SLOMaxErrorRate: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~20 expected; allow generous scheduling slack in both directions.
+	if rep.Requests < 5 || rep.Requests > 40 {
+		t.Errorf("open loop at 40qps for 500ms made %d requests, want ≈20", rep.Requests)
+	}
+}
+
+// TestRunSLOGates: violations must trip the gates and flip Pass.
+func TestRunSLOGates(t *testing.T) {
+	ts := stubServe(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: korapi.Error{Code: korapi.CodeInternal, Message: "boom"}})
+	})
+	rep, err := run(config{
+		URL:             ts.URL,
+		Duration:        200 * time.Millisecond,
+		Concurrency:     2,
+		Mix:             "bucketbound",
+		SLOMaxErrorRate: 0,
+		Require429:      true,
+		SLOP99:          time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("all-500 run passed its gates")
+	}
+	if rep.ErrorRate != 1 {
+		t.Errorf("error rate = %v, want 1", rep.ErrorRate)
+	}
+	// Three distinct gates tripped: error rate, missing 429s, p99.
+	if len(rep.SLOViolations) < 3 {
+		t.Errorf("violations = %v, want error-rate, require-429 and p99 gates", rep.SLOViolations)
+	}
+}
+
+// TestRunReplay: the driver replays a recorded request file round-robin
+// instead of synthesizing.
+func TestRunReplay(t *testing.T) {
+	var sawTopk atomic.Int64
+	ts := stubServe(t, func(w http.ResponseWriter, r *http.Request) {
+		var req korapi.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.Algorithm == "topk" {
+			sawTopk.Add(1)
+		}
+		json.NewEncoder(w).Encode(korapi.Response{Algorithm: req.Algorithm, Routes: []korapi.Route{{}}})
+	})
+
+	path := filepath.Join(t.TempDir(), "replay.json")
+	reqs := []korapi.Request{
+		{From: 1, To: 2, Keywords: []string{"cafe"}, Budget: 5},
+		{From: 2, To: 3, Keywords: []string{"jazz"}, Budget: 4, Algorithm: "topk", K: 3},
+	}
+	buf, _ := json.Marshal(reqs)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := run(config{
+		URL:             ts.URL,
+		Duration:        200 * time.Millisecond,
+		Concurrency:     2,
+		ReplayPath:      path,
+		SLOMaxErrorRate: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Outcomes.OK != rep.Requests {
+		t.Fatalf("replay report = %+v", rep)
+	}
+	if sawTopk.Load() == 0 {
+		t.Error("replayed topk request never reached the server")
+	}
+}
+
+// TestRunPatchChurn: the churn goroutine posts admin patches while load
+// flows, and the report counts them.
+func TestRunPatchChurn(t *testing.T) {
+	var patched atomic.Int64
+	ts := stubServe(t, okRoute)
+	// stubServe's mux is already built; spin a second stub with the admin
+	// route included.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(korapi.Stats{Nodes: 20, MaxBudget: 2})
+	})
+	mux.HandleFunc("GET /v1/keywords", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(korapi.KeywordsResponse{Keywords: []korapi.Keyword{{Keyword: "cafe", Nodes: 1}}})
+	})
+	mux.HandleFunc("POST /v1/route", okRoute)
+	mux.HandleFunc("POST /v1/admin/patch", func(w http.ResponseWriter, r *http.Request) {
+		var d korapi.Delta
+		if err := json.NewDecoder(r.Body).Decode(&d); err != nil || d.Empty() {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		patched.Add(1)
+		json.NewEncoder(w).Encode(korapi.AdminResponse{})
+	})
+	ts.Close()
+	ts = httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	rep, err := run(config{
+		URL:             ts.URL,
+		Duration:        300 * time.Millisecond,
+		Concurrency:     2,
+		Mix:             "bucketbound",
+		ChurnEvery:      50 * time.Millisecond,
+		SLOMaxErrorRate: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AdminPatches == 0 || int64(rep.AdminPatches) != patched.Load() {
+		t.Errorf("admin patches: report %d, server saw %d", rep.AdminPatches, patched.Load())
+	}
+	if rep.AdminErrors != 0 {
+		t.Errorf("admin errors = %d, want 0", rep.AdminErrors)
+	}
+}
+
+// TestRunSetupErrors: unusable targets fail fast instead of reporting.
+func TestRunSetupErrors(t *testing.T) {
+	if _, err := run(config{URL: "not a url", Duration: time.Second}); err == nil {
+		t.Error("bad URL accepted")
+	}
+	// A reachable server with an empty vocabulary cannot be synthesized
+	// against.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(korapi.Stats{Nodes: 5})
+	})
+	mux.HandleFunc("GET /v1/keywords", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(korapi.KeywordsResponse{})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	if _, err := run(config{URL: ts.URL, Duration: time.Second, Mix: "bucketbound"}); err == nil {
+		t.Error("keyword-less target accepted")
+	}
+}

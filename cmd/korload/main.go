@@ -1,0 +1,90 @@
+// Command korload drives load against a running korserve and gates on SLOs
+// — the soak harness CI runs on every PR, and the tool an operator sizes a
+// deployment with.
+//
+// It replays a recorded request file or synthesizes a query mix against the
+// target's own graph (node count, budget extrema and vocabulary are probed
+// from /v1/stats and /v1/keywords), fires it either closed-loop (every
+// worker immediately issues the next request) or open-loop at a fixed
+// arrival rate (-qps), and prints a JSON report: throughput, latency
+// percentiles, and every response bucketed into ok / no_route / rejected /
+// client_error / error.
+//
+// Usage:
+//
+//	korload -url http://localhost:8080 -duration 30s -concurrency 16
+//	korload -url ... -qps 200 -mix "bucketbound=0.7,greedy=0.2,topk=0.1"
+//	korload -url ... -replay requests.json -slo-p99 250ms -slo-max-error-rate 0
+//	korload -url ... -concurrency 64 -require-429   # oversaturation check
+//
+// Exit status: 0 when every configured SLO holds, 1 on violations (the
+// violations are listed in the report), 2 on setup errors. A 404 no_route
+// is a correct answer and a 429 is deliberate shedding; only the error
+// class (5xx, deadlines, transport failures) counts against
+// -slo-max-error-rate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var cfg config
+	var report string
+	flag.StringVar(&cfg.URL, "url", "", "korserve base URL (required), e.g. http://localhost:8080")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to drive load")
+	flag.Float64Var(&cfg.QPS, "qps", 0, "fixed arrival rate; 0 = closed loop")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "concurrent workers")
+	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request client timeout")
+	flag.Int64Var(&cfg.Seed, "seed", 2012, "workload RNG seed")
+	flag.StringVar(&cfg.Mix, "mix", "bucketbound=0.6,greedy=0.2,osscaling=0.1,topk=0.1", "algorithm blend as name=weight pairs")
+	flag.IntVar(&cfg.KeywordsMin, "keywords-min", 1, "smallest keyword-set size")
+	flag.IntVar(&cfg.KeywordsMax, "keywords-max", 3, "largest keyword-set size")
+	flag.Float64Var(&cfg.BudgetMin, "budget-min", 0, "budget draw lower bound (0 = auto from /v1/stats)")
+	flag.Float64Var(&cfg.BudgetMax, "budget-max", 0, "budget draw upper bound (0 = auto from /v1/stats)")
+	flag.IntVar(&cfg.K, "k", 3, "K for topk requests")
+	flag.BoolVar(&cfg.WithMetrics, "metrics", false, "request search metrics with every query")
+	flag.StringVar(&cfg.ReplayPath, "replay", "", "JSON file (array or lines) of korapi.Requests to replay instead of synthesizing")
+	flag.DurationVar(&cfg.ChurnEvery, "patch-churn", 0, "POST an admin keyword patch at this period (0 = off)")
+	flag.DurationVar(&cfg.SLOP50, "slo-p50", 0, "fail when p50 latency exceeds this (0 = off)")
+	flag.DurationVar(&cfg.SLOP99, "slo-p99", 0, "fail when p99 latency exceeds this (0 = off)")
+	flag.Float64Var(&cfg.SLOMaxErrorRate, "slo-max-error-rate", -1, "fail when the error rate exceeds this fraction (negative = off, 0 = no errors allowed)")
+	flag.Float64Var(&cfg.SLOMinQPS, "slo-min-qps", 0, "fail when throughput falls below this (0 = off)")
+	flag.BoolVar(&cfg.Require429, "require-429", false, "fail unless at least one request was shed with a 429 (for oversaturation checks)")
+	flag.StringVar(&report, "report", "", "also write the JSON report to this file")
+	flag.Parse()
+
+	if cfg.URL == "" {
+		fmt.Fprintln(os.Stderr, "korload: -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "korload:", err)
+		os.Exit(2)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "korload:", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf)
+	if report != "" {
+		if err := os.WriteFile(report, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "korload: writing report:", err)
+			os.Exit(2)
+		}
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "korload: %d SLO violation(s)\n", len(rep.SLOViolations))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Admission control. A korserve query is NP-hard work: accepting every
+// request under a burst means every request gets slower until the process
+// dies of memory or the load balancer times everything out. The limiter
+// bounds the damage with two numbers — how many searches may run at once,
+// and how many more may wait in a short queue — and sheds the rest
+// immediately with a 429 the client can back off on. Rejecting cheaply is
+// the point: a shed request costs microseconds, an admitted one costs a
+// search.
+
+// errSaturated reports that the limiter could not admit the request: the
+// in-flight limit is reached and the queue is full, or the queued wait
+// timed out.
+var errSaturated = errors.New("korserve: saturated: in-flight limit and queue are full")
+
+// limiter is a two-stage admission gate: a semaphore bounding concurrent
+// work plus a bounded, time-limited wait queue in front of it.
+//
+// Admission order among queued waiters is whatever the runtime's channel
+// wakeup order is — fairness is not guaranteed, boundedness is.
+type limiter struct {
+	sem   chan struct{} // slot per admitted request
+	queue chan struct{} // slot per waiting request
+	wait  time.Duration // longest a request may queue
+}
+
+// newLimiter builds a limiter admitting maxInFlight concurrent requests
+// with up to maxQueue waiters, each waiting at most wait. maxInFlight must
+// be positive; maxQueue may be 0 (reject the moment the limit is reached).
+func newLimiter(maxInFlight, maxQueue int, wait time.Duration) *limiter {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		sem:   make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+		wait:  wait,
+	}
+}
+
+// acquire admits the request or rejects it. It returns nil when a slot was
+// taken (the caller must release), errSaturated when the queue is full or
+// the wait expired, or the context's error when the client went away while
+// queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	// Fast path: a free slot, no queuing.
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// Slow path: take a queue slot or shed immediately.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return errSaturated
+	}
+	defer func() { <-l.queue }()
+	timer := time.NewTimer(l.wait)
+	defer timer.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errSaturated
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees an admitted request's slot.
+func (l *limiter) release() { <-l.sem }
+
+// tryAcquireExtra grabs up to n additional slots without blocking and
+// returns how many it got. A batch request fans out into a worker pool:
+// counting it as one admission would let B concurrent batches run B×par
+// searches, defeating the in-flight bound. Instead the batch keeps its one
+// admitted slot (so it always makes progress) and widens its pool only by
+// the slots that are actually free right now. Non-blocking acquisition is
+// what makes this deadlock-free: no batch ever holds slots while waiting
+// for more.
+func (l *limiter) tryAcquireExtra(n int) int {
+	got := 0
+	for ; got < n; got++ {
+		select {
+		case l.sem <- struct{}{}:
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// releaseExtra returns n slots taken by tryAcquireExtra.
+func (l *limiter) releaseExtra(n int) {
+	for i := 0; i < n; i++ {
+		<-l.sem
+	}
+}
+
+// inFlight reports how many admitted requests are currently running.
+func (l *limiter) inFlight() int { return len(l.sem) }
+
+// queued reports how many requests are currently waiting for admission.
+func (l *limiter) queued() int { return len(l.queue) }
+
+// retryAfterSeconds is the Retry-After hint sent with a 429: at least one
+// second (the header is integer-valued), stretched to the queue wait when
+// that is longer — if a request could not get a slot after waiting that
+// long, retrying sooner is pointless.
+func (l *limiter) retryAfterSeconds() int {
+	s := int(l.wait / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	korserve -graph city.korg [-addr :8080] [-timeout 10s] [-cache 1024]
+//	         [-max-inflight 0] [-queue 0] [-queue-wait 100ms]
 //
 // Endpoints (see the korapi package for the wire types):
 //
@@ -16,6 +17,7 @@
 //	GET  /v1/nodes/{id}
 //	GET  /v1/keywords?prefix=caf&limit=10
 //	GET  /v1/stats
+//	GET  /metrics          Prometheus text exposition
 //	POST /v1/admin/patch   korapi.Delta — apply a live graph update
 //	POST /v1/admin/reload  re-read the -graph file and swap it in
 //
@@ -30,6 +32,15 @@
 // endpoints swap the serving graph atomically: in-flight queries finish on
 // the snapshot they started with. They are unauthenticated — keep them
 // behind your deployment's access controls.
+//
+// Admission control: at most -max-inflight query requests (route + batch)
+// run concurrently; up to -queue more wait at most -queue-wait for a slot,
+// and everything beyond that is shed immediately with a 429 "overloaded"
+// envelope and a Retry-After header. Searches are NP-hard — bounding
+// concurrency keeps latency flat and memory bounded under bursts, and a
+// shed request costs the server microseconds instead of a search. Cheap
+// endpoints (stats, nodes, keywords, metrics, admin) bypass the gate so
+// operators can observe a saturated server.
 package main
 
 import (
@@ -40,19 +51,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"kor"
+	"kor/internal/metrics"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file written by kordata (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request search deadline (0 disables)")
-		batchPar  = flag.Int("batch-parallelism", 0, "worker pool size for /v1/batch (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 1024, "result cache capacity in responses (0 disables)")
+		graphPath   = flag.String("graph", "", "graph file written by kordata (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request search deadline (0 disables)")
+		batchPar    = flag.Int("batch-parallelism", 0, "worker pool size for /v1/batch (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 1024, "result cache capacity in responses (0 disables)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrent query requests (0 = 4×GOMAXPROCS, negative disables admission control)")
+		maxQueue    = flag.Int("queue", -1, "max requests waiting for admission (-1 = 2×max-inflight, 0 = shed immediately at the limit)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "longest a request may wait for admission before a 429")
+		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -60,15 +77,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	inFlight := *maxInFlight
+	if inFlight == 0 {
+		inFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	queue := *maxQueue
+	if queue < 0 {
+		queue = 2 * inFlight
+	}
 	g, err := kor.LoadGraph(*graphPath)
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}
-	eng, err := kor.NewEngine(g, &kor.EngineConfig{CacheSize: *cacheSize})
+	reg := metrics.NewRegistry()
+	eng, err := kor.NewEngine(g, &kor.EngineConfig{CacheSize: *cacheSize, Metrics: reg})
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
 	}
-	s := newServer(eng, *graphPath, *timeout, *batchPar)
+	s := newServer(eng, serverConfig{
+		graphPath:   *graphPath,
+		timeout:     *timeout,
+		maxPar:      *batchPar,
+		maxInFlight: inFlight,
+		maxQueue:    queue,
+		queueWait:   *queueWait,
+		registry:    reg,
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -81,8 +115,13 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("korserve: %d nodes, %d edges, listening on %s",
-			g.NumNodes(), g.NumEdges(), *addr)
+		if s.lim != nil {
+			log.Printf("korserve: %d nodes, %d edges, listening on %s (max-inflight %d, queue %d, queue-wait %s)",
+				g.NumNodes(), g.NumEdges(), *addr, inFlight, queue, *queueWait)
+		} else {
+			log.Printf("korserve: %d nodes, %d edges, listening on %s (admission control disabled)",
+				g.NumNodes(), g.NumEdges(), *addr)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -91,8 +130,11 @@ func main() {
 		log.Fatalf("korserve: %v", err)
 	case <-ctx.Done():
 	}
+	// Graceful drain: stop accepting, let admitted and queued requests
+	// finish within the grace period, then exit. Requests still running when
+	// the period lapses are abandoned by Shutdown returning.
 	log.Print("korserve: shutting down, draining in-flight requests")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("korserve: shutdown: %v", err)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kor"
+	"kor/internal/metrics"
 	"kor/korapi"
 )
 
@@ -23,33 +24,176 @@ type server struct {
 	graphPath string        // graph file for /v1/admin/reload, "" = reload disabled
 	timeout   time.Duration // per-request search deadline, 0 = none
 	maxPar    int           // worker-pool cap for /v1/batch
+
+	lim *limiter          // admission gate for query endpoints, nil = unlimited
+	reg *metrics.Registry // exposed at GET /metrics, nil = endpoint disabled
+	met *serverMetrics    // nil exactly when reg is nil
 }
 
-func newServer(eng *kor.Engine, graphPath string, timeout time.Duration, maxPar int) *server {
-	return &server{eng: eng, graphPath: graphPath, timeout: timeout, maxPar: maxPar}
+// serverConfig is the request policy newServer wires into the handler set.
+type serverConfig struct {
+	graphPath string        // graph file for /v1/admin/reload, "" = reload disabled
+	timeout   time.Duration // per-request search deadline, 0 = none
+	maxPar    int           // worker-pool cap for /v1/batch, 0 = GOMAXPROCS
+
+	// maxInFlight bounds concurrently running query requests (/v1/route,
+	// /v1/batch); 0 disables admission control.
+	maxInFlight int
+	// maxQueue bounds requests waiting for admission once the in-flight
+	// limit is reached; beyond it requests are shed immediately.
+	maxQueue int
+	// queueWait bounds how long a queued request waits before it is shed.
+	queueWait time.Duration
+
+	// registry, when non-nil, is served at GET /metrics; the server
+	// registers its own korserve_ metrics there (the caller typically also
+	// passed it to the engine for the kor_engine_ set).
+	registry *metrics.Registry
+}
+
+// serverMetrics are the HTTP- and admission-level instruments.
+type serverMetrics struct {
+	requests  *metrics.CounterVec   // korserve_http_requests_total{endpoint,code}
+	latency   *metrics.HistogramVec // korserve_http_request_seconds{endpoint}
+	admission *metrics.CounterVec   // korserve_admission_total{outcome}
+}
+
+func newServer(eng *kor.Engine, cfg serverConfig) *server {
+	s := &server{
+		eng:       eng,
+		graphPath: cfg.graphPath,
+		timeout:   cfg.timeout,
+		maxPar:    cfg.maxPar,
+		reg:       cfg.registry,
+	}
+	if cfg.maxInFlight > 0 {
+		s.lim = newLimiter(cfg.maxInFlight, cfg.maxQueue, cfg.queueWait)
+	}
+	if s.reg != nil {
+		s.met = &serverMetrics{
+			requests: s.reg.CounterVec("korserve_http_requests_total",
+				"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+			latency: s.reg.HistogramVec("korserve_http_request_seconds",
+				"HTTP request wall time in seconds, by endpoint.", nil, "endpoint"),
+			admission: s.reg.CounterVec("korserve_admission_total",
+				"Admission decisions on query endpoints (admitted, rejected, canceled).", "outcome"),
+		}
+		if s.lim != nil {
+			s.reg.GaugeFunc("korserve_inflight_requests",
+				"Query requests currently admitted and running.",
+				func() float64 { return float64(s.lim.inFlight()) })
+			s.reg.GaugeFunc("korserve_queue_depth",
+				"Query requests currently waiting for admission.",
+				func() float64 { return float64(s.lim.queued()) })
+		}
+	}
+	return s
 }
 
 // routes builds the HTTP surface: the versioned /v1 endpoints plus the
-// pre-/v1 spellings as deprecated aliases onto the same handlers.
+// pre-/v1 spellings as deprecated aliases onto the same handlers. Query
+// endpoints (route, batch) pass the admission gate; cheap reads and admin
+// calls do not — an operator must be able to see /v1/stats and /metrics on
+// a saturated server, that being exactly when they are needed.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/route", s.handleRouteGet)
-	mux.HandleFunc("POST /v1/route", s.handleRoutePost)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
-	mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/admin/patch", s.handleAdminPatch)
-	mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
+	route := s.limited(s.handleRouteGet)
+	routePost := s.limited(s.handleRoutePost)
+	batch := s.limited(s.handleBatch)
+	mux.HandleFunc("GET /v1/route", s.instrument("route", route))
+	mux.HandleFunc("POST /v1/route", s.instrument("route", routePost))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", batch))
+	mux.HandleFunc("GET /v1/nodes/{id}", s.instrument("nodes", s.handleNode))
+	mux.HandleFunc("GET /v1/keywords", s.instrument("keywords", s.handleKeywords))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("POST /v1/admin/patch", s.instrument("admin", s.handleAdminPatch))
+	mux.HandleFunc("POST /v1/admin/reload", s.instrument("admin", s.handleAdminReload))
+	if s.reg != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 
 	// Deprecated pre-/v1 aliases; they answer with the /v1 bodies and a
 	// Deprecation header pointing at the successor.
-	mux.HandleFunc("GET /query", deprecated("/v1/route", s.handleRouteGet))
-	mux.HandleFunc("POST /batch", deprecated("/v1/batch", s.handleBatch))
-	mux.HandleFunc("GET /node/{id}", deprecated("/v1/nodes/{id}", s.handleNode))
-	mux.HandleFunc("GET /keywords", deprecated("/v1/keywords", s.handleKeywords))
-	mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /query", deprecated("/v1/route", s.instrument("route", route)))
+	mux.HandleFunc("POST /batch", deprecated("/v1/batch", s.instrument("batch", batch)))
+	mux.HandleFunc("GET /node/{id}", deprecated("/v1/nodes/{id}", s.instrument("nodes", s.handleNode)))
+	mux.HandleFunc("GET /keywords", deprecated("/v1/keywords", s.instrument("keywords", s.handleKeywords)))
+	mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.instrument("stats", s.handleStats)))
 	return mux
+}
+
+// limited wraps a query handler behind the admission gate. A shed request
+// is answered with the 429 overloaded envelope and a Retry-After hint; a
+// client that disconnected while queued gets the 499 envelope (never read,
+// but it keeps the access log honest).
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	if s.lim == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.lim.acquire(r.Context()); err != nil {
+			if err == errSaturated {
+				s.countAdmission("rejected")
+				w.Header().Set("Retry-After", strconv.Itoa(s.lim.retryAfterSeconds()))
+				writeError(w, &korapi.Error{
+					Code:    korapi.CodeOverloaded,
+					Message: "server is at its in-flight limit; retry after backoff",
+				})
+				return
+			}
+			s.countAdmission("canceled")
+			writeError(w, &korapi.Error{Code: korapi.CodeCanceled, Message: "client went away while queued"})
+			return
+		}
+		defer s.lim.release()
+		s.countAdmission("admitted")
+		h(w, r)
+	}
+}
+
+func (s *server) countAdmission(outcome string) {
+	if s.met != nil {
+		s.met.admission.With(outcome).Inc()
+	}
+}
+
+// statusWriter captures the status code a handler wrote, for the request
+// counter's code label.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument counts and times requests per endpoint. The endpoint label is
+// the coarse handler name, never the raw path — paths carry user input and
+// would blow up the label cardinality. The endpoint is fixed per wrapped
+// handler, so its histogram child is resolved once here; the request
+// counter's code label varies and is looked up per request.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if s.met == nil {
+		return h
+	}
+	latency := s.met.latency.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.met.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
+		latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		log.Printf("korserve: writing metrics: %v", err)
+	}
 }
 
 // deprecated marks a legacy path while serving the modern handler.
@@ -272,6 +416,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	par := batch.Parallelism
 	if par < 1 || par > maxPar {
 		par = maxPar
+	}
+	if par > len(wireReqs) {
+		// SearchBatch never runs more workers than requests; taking slots
+		// for workers that would not exist would starve /v1/route for
+		// nothing.
+		par = len(wireReqs)
+	}
+	// Under admission control a batch is worth its worker count, not one
+	// slot: widen the pool only by slots that are free right now, so the
+	// total number of concurrent searches (single routes + all batch
+	// workers) never exceeds the in-flight limit. The slot this request was
+	// admitted on guarantees par ≥ 1.
+	if s.lim != nil {
+		extra := s.lim.tryAcquireExtra(par - 1)
+		defer s.lim.releaseExtra(extra)
+		par = 1 + extra
 	}
 	requests := make([]kor.Request, len(wireReqs))
 	for i, wr := range wireReqs {

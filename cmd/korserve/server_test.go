@@ -62,7 +62,7 @@ func testServerEngine(t *testing.T, timeout time.Duration) (*httptest.Server, *k
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, "", timeout, 0).routes())
+	ts := httptest.NewServer(newServer(eng, serverConfig{timeout: timeout}).routes())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -574,7 +574,7 @@ func TestServeAdminReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, graphPath, 5*time.Second, 0).routes())
+	ts := httptest.NewServer(newServer(eng, serverConfig{graphPath: graphPath, timeout: 5 * time.Second}).routes())
 	t.Cleanup(ts.Close)
 
 	var before korapi.Stats

@@ -1,0 +1,421 @@
+// Package metrics is a dependency-free instrumentation kernel: counters,
+// gauges and histograms backed by atomic cells, grouped in a Registry that
+// renders the Prometheus text exposition format (version 0.0.4). It exists
+// so korserve can answer GET /metrics — and the engine can count its work —
+// without pulling the Prometheus client library into the module.
+//
+// The design is deliberately small:
+//
+//   - Counter / Gauge are single atomic cells; CounterVec / GaugeVec /
+//     HistogramVec key children by their label values — a With lookup takes
+//     a shared (read) lock plus one small key allocation, and creation of a
+//     new label combination takes the write lock once. Callers on very hot
+//     paths with fixed labels can cache the child returned by With.
+//   - Histogram observations touch two atomic adds and one CAS loop for the
+//     float sum — cheap enough to sit on a query hot path.
+//   - CounterFunc / GaugeFunc sample a callback at exposition time, for
+//     values something else already maintains (cache counters, snapshot
+//     generation, channel depths).
+//
+// Registration order is exposition order, so /metrics output is stable and
+// diffable. Registering the same name twice panics: metric names are code,
+// not data.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets for request latencies in
+// seconds, following the Prometheus client convention: half a millisecond up
+// to ten seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only go up; negative deltas are a Gauge's job.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations. Bucket
+// semantics match Prometheus: counts are exposed cumulatively with
+// less-than-or-equal upper bounds plus a +Inf overflow bucket, alongside the
+// total sum and count.
+type Histogram struct {
+	upper  []float64       // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(upper)+1, last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	// Drop a trailing +Inf if the caller supplied one; the overflow bucket is
+	// implicit.
+	for len(upper) > 0 && math.IsInf(upper[len(upper)-1], 1) {
+		upper = upper[:len(upper)-1]
+	}
+	if len(upper) == 0 {
+		panic("metrics: histogram needs at least one finite bucket")
+	}
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v: the le= semantics.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns an estimate of quantile q in [0,1], interpolated within
+// the owning bucket (the upper bound for the overflow bucket). It exists for
+// tests and in-process consumers; scrape-side systems compute quantiles from
+// the exposed buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if seen+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			if i == len(h.upper) {
+				return lo // overflow bucket: the last finite bound is the floor
+			}
+			hi := h.upper[i]
+			if n == 0 {
+				return hi
+			}
+			frac := float64(rank-seen) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		seen += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// observer is anything a vec family can hold as a child.
+type observer interface{ unexported() }
+
+func (*Counter) unexported()   {}
+func (*Gauge) unexported()     {}
+func (*Histogram) unexported() {}
+
+// family is one named metric: a single cell, a labeled set of children, or a
+// sampling callback.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+
+	single observer       // label-less families
+	fn     func() float64 // CounterFunc / GaugeFunc
+
+	mu       sync.RWMutex
+	children map[string]observer
+	order    []string // child keys in first-use order
+
+	buckets []float64 // histogram families
+}
+
+// child returns the observer for the given label values, creating it on
+// first use.
+func (f *family) child(values []string) observer {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	// Fast path: the label combination already exists — shared lock only.
+	f.mu.RLock()
+	o, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return o
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o, ok := f.children[key]; ok {
+		return o
+	}
+	switch f.typ {
+	case "counter":
+		o = &Counter{}
+	case "gauge":
+		o = &Gauge{}
+	case "histogram":
+		o = newHistogram(f.buckets)
+	}
+	f.children[key] = o
+	f.order = append(f.order, key)
+	return o
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds a set of metric families and renders them in the
+// Prometheus text format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []*family
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("metrics: duplicate metric name " + f.name)
+	}
+	r.names[f.name] = true
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", single: c})
+	return c
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := &family{name: name, help: help, typ: "counter", labels: labels, children: make(map[string]observer)}
+	r.register(f)
+	return &CounterVec{f}
+}
+
+// Gauge registers and returns a label-less gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", single: g})
+	return g
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := &family{name: name, help: help, typ: "gauge", labels: labels, children: make(map[string]observer)}
+	r.register(f)
+	return &GaugeVec{f}
+}
+
+// GaugeFunc registers a gauge sampled from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// CounterFunc registers a counter sampled from fn at exposition time; fn
+// must be monotonically non-decreasing (it reports a count something else
+// maintains).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// Histogram registers and returns a label-less histogram with the given
+// bucket upper bounds (nil uses DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, typ: "histogram", single: h, buckets: buckets})
+	return h
+}
+
+// HistogramVec registers a histogram family with the given buckets (nil uses
+// DefBuckets) and label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := &family{name: name, help: help, typ: "histogram", labels: labels, children: make(map[string]observer), buckets: buckets}
+	r.register(f)
+	return &HistogramVec{f}
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.fn != nil:
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.fn()))
+		case f.single != nil:
+			writeSample(bw, f, nil, f.single)
+		default:
+			f.mu.RLock()
+			keys := make([]string, len(f.order))
+			copy(keys, f.order)
+			children := make([]observer, len(keys))
+			for i, k := range keys {
+				children[i] = f.children[k]
+			}
+			f.mu.RUnlock()
+			for i, key := range keys {
+				writeSample(bw, f, strings.Split(key, "\x00"), children[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample renders one child's sample lines.
+func writeSample(bw *bufio.Writer, f *family, values []string, o observer) {
+	switch m := o.(type) {
+	case *Counter:
+		fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), m.Value())
+	case *Gauge:
+		fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), m.Value())
+	case *Histogram:
+		cum := uint64(0)
+		for i := range m.counts {
+			cum += m.counts[i].Load()
+			le := "+Inf"
+			if i < len(m.upper) {
+				le = formatFloat(m.upper[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", le), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(m.Sum()))
+		fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), m.Count())
+	}
+}
+
+// labelString renders {k1="v1",k2="v2"} with an optional extra pair (the
+// histogram le label); empty when there are no pairs at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip form, infinities spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	g := r.Gauge("test_depth", "Current depth.")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Dec()
+
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP test_events_total Events seen.",
+		"# TYPE test_events_total counter",
+		"test_events_total 5",
+		"# TYPE test_depth gauge",
+		"test_depth 6",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is exposition order.
+	if strings.Index(out, "test_events_total") > strings.Index(out, "test_depth") {
+		t.Error("families not in registration order")
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "Requests.", "algorithm", "outcome")
+	v.With("greedy", "ok").Add(3)
+	v.With("exact", "no_route").Inc()
+	v.With("greedy", "ok").Inc() // same child again
+
+	out := expose(t, r)
+	if !strings.Contains(out, `test_requests_total{algorithm="greedy",outcome="ok"} 4`+"\n") {
+		t.Errorf("missing greedy/ok sample:\n%s", out)
+	}
+	if !strings.Contains(out, `test_requests_total{algorithm="exact",outcome="no_route"} 1`+"\n") {
+		t.Errorf("missing exact/no_route sample:\n%s", out)
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "t.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("test_dup", "second")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 102.65; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+
+	out := expose(t, r)
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 2`, // 0.05 and the le-inclusive 0.1
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_sum 102.65`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Quantiles interpolate within buckets; the overflow bucket clamps to the
+	// last finite bound.
+	if q := h.Quantile(0.5); q < 0.1 || q > 1 {
+		t.Errorf("p50 = %v, want within (0.1, 1]", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("p100 = %v, want clamped to 10", q)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_lat_seconds", "Latency.", []float64{1}, "algorithm")
+	v.With("greedy").Observe(0.5)
+	v.With("greedy").Observe(2)
+
+	out := expose(t, r)
+	for _, want := range []string{
+		`test_lat_seconds_bucket{algorithm="greedy",le="1"} 1`,
+		`test_lat_seconds_bucket{algorithm="greedy",le="+Inf"} 2`,
+		`test_lat_seconds_count{algorithm="greedy"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("test_fn_gauge", "Sampled.", func() float64 { n++; return n })
+	r.CounterFunc("test_fn_total", "Sampled count.", func() float64 { return 9 })
+
+	out := expose(t, r)
+	if !strings.Contains(out, "test_fn_gauge 42\n") {
+		t.Errorf("gauge func not sampled:\n%s", out)
+	}
+	if !strings.Contains(out, "test_fn_total 9\n") {
+		t.Errorf("counter func not sampled:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_esc_total", "t.", "path")
+	v.With(`a"b\c` + "\n").Inc()
+	out := expose(t, r)
+	if !strings.Contains(out, `test_esc_total{path="a\"b\\c\n"} 1`+"\n") {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+// TestConcurrentObserve hammers every metric kind from many goroutines; run
+// with -race this pins the atomic cells and the child map lock.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "c")
+	g := r.Gauge("test_g", "g")
+	h := r.Histogram("test_h_seconds", "h", nil)
+	v := r.CounterVec("test_v_total", "v", "w")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%3))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+				v.With(lbl).Inc()
+			}
+		}(w)
+	}
+	// Concurrent exposition must not race with writers.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %d, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	sum := uint64(0)
+	for _, lbl := range []string{"a", "b", "c"} {
+		sum += v.With(lbl).Value()
+	}
+	if sum != 8000 {
+		t.Errorf("vec total = %d, want 8000", sum)
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"kor/internal/core"
 	"kor/internal/gen"
 	"kor/internal/graph"
+	"kor/internal/metrics"
 	"kor/internal/rescache"
 	"kor/internal/textindex"
 )
@@ -175,6 +176,12 @@ type EngineConfig struct {
 	// hits are flagged on the Response and counted in CacheStats. 0
 	// disables caching.
 	CacheSize int
+	// Metrics, when non-nil, receives the engine's operational metrics
+	// (request totals by algorithm/outcome, latency histograms, cache
+	// hit/miss, snapshot generation, oracle sweeps; see metrics.go). The
+	// registry must not already hold metrics with the kor_engine_ names —
+	// in particular, do not share one registry between two engines.
+	Metrics *metrics.Registry
 }
 
 // Engine answers KOR queries over a graph. Construction runs the
@@ -212,6 +219,10 @@ type Engine struct {
 	// generation is guarded by it.
 	swapMu     sync.Mutex
 	generation uint64
+
+	// met holds the engine's instruments when EngineConfig.Metrics was set;
+	// nil otherwise (every update site nil-checks).
+	met *engineMetrics
 }
 
 // Suggestion pairs a keyword with the number of nodes carrying it.
@@ -269,6 +280,12 @@ func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
 	eng := &Engine{cfg: *cfg}
 	if cfg.CacheSize > 0 {
 		eng.cache = rescache.New[cachedResponse](cfg.CacheSize)
+	}
+	if cfg.Metrics != nil {
+		// After the cache so the cache instruments register too; before the
+		// first snapshot store is fine — the callback metrics only run at
+		// exposition time, when the snapshot pointer is set.
+		eng.registerMetrics(cfg.Metrics)
 	}
 	if cfg.IndexPath != "" {
 		gi, err := openOrBuildIndex(cfg.IndexPath, g)

@@ -307,6 +307,10 @@ const (
 	// CodeSearchLimit — the expansion cap fired before the search
 	// concluded. HTTP 422.
 	CodeSearchLimit ErrorCode = "search_limit"
+	// CodeOverloaded — the server's admission controller rejected the
+	// request because the in-flight limit and its wait queue are full. The
+	// response carries a Retry-After header; back off and retry. HTTP 429.
+	CodeOverloaded ErrorCode = "overloaded"
 	// CodeInternal — an unexpected server-side failure. HTTP 500.
 	CodeInternal ErrorCode = "internal"
 	// CodeBudgetExceeded — a greedy route covers the keywords but
@@ -324,6 +328,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return 404
 	case CodeSearchLimit:
 		return 422
+	case CodeOverloaded:
+		return 429
 	case CodeCanceled:
 		return 499
 	case CodeInternal:

@@ -196,6 +196,7 @@ func TestHTTPStatus(t *testing.T) {
 		CodeNotFound:         404,
 		CodeNoRoute:          404,
 		CodeSearchLimit:      422,
+		CodeOverloaded:       429,
 		CodeCanceled:         499,
 		CodeInternal:         500,
 		CodeDeadline:         504,

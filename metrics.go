@@ -1,0 +1,123 @@
+package kor
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"kor/internal/metrics"
+)
+
+// Engine telemetry. When EngineConfig.Metrics carries a registry, the engine
+// registers its operational metrics there and updates them on every Run:
+//
+//	kor_engine_requests_total{algorithm,outcome}  counter
+//	kor_engine_request_seconds{algorithm}         histogram
+//	kor_engine_cache_requests_total{result}       counter (cache enabled)
+//	kor_engine_cache_size                         gauge   (cache enabled)
+//	kor_engine_cache_evictions_total              counter (cache enabled)
+//	kor_engine_plan_sweeps_total                  counter
+//	kor_engine_oracle_sweeps                      gauge
+//	kor_engine_snapshot_generation                gauge
+//
+// Outcome labels are a closed set (see outcomeLabel); algorithm labels come
+// from the algorithm registry plus "invalid" for requests that failed before
+// an algorithm was resolved, so cardinality is bounded by construction.
+// Updating a metric is a couple of atomic adds — cheap enough that there is
+// no switch to turn instrumentation off beyond not passing a registry.
+
+// engineMetrics bundles the per-engine instruments.
+type engineMetrics struct {
+	requests   *metrics.CounterVec
+	latency    *metrics.HistogramVec
+	cacheReq   *metrics.CounterVec
+	planSweeps *metrics.Counter
+}
+
+// registerMetrics creates the engine's instruments on reg. Called once from
+// NewEngine; the callback metrics read through the engine's atomic snapshot
+// pointer, so they keep reporting the current graph across Swap and Patch.
+func (e *Engine) registerMetrics(reg *metrics.Registry) {
+	m := &engineMetrics{
+		requests: reg.CounterVec("kor_engine_requests_total",
+			"Engine.Run calls by algorithm and outcome.", "algorithm", "outcome"),
+		latency: reg.HistogramVec("kor_engine_request_seconds",
+			"Engine.Run wall time in seconds by algorithm.", nil, "algorithm"),
+		planSweeps: reg.Counter("kor_engine_plan_sweeps_total",
+			"Query-owned oracle sweeps (Δ-bounded candidate lookups and route reconstruction)."),
+	}
+	reg.GaugeFunc("kor_engine_snapshot_generation",
+		"Generation of the graph snapshot currently serving queries.",
+		func() float64 { return float64(e.Snapshot().Generation) })
+	reg.GaugeFunc("kor_engine_oracle_sweeps",
+		"Dijkstra sweeps run by the current snapshot's oracle (0 for precomputed oracles; resets on swap).",
+		func() float64 {
+			if sc, ok := e.snap.Load().searcher.Oracle().(interface{ SweepCount() int64 }); ok {
+				return float64(sc.SweepCount())
+			}
+			return 0
+		})
+	if e.cache != nil {
+		m.cacheReq = reg.CounterVec("kor_engine_cache_requests_total",
+			"Result-cache lookups by result (hit or miss).", "result")
+		reg.GaugeFunc("kor_engine_cache_size",
+			"Entries currently held in the result cache.",
+			func() float64 { return float64(e.cache.Len()) })
+		reg.CounterFunc("kor_engine_cache_evictions_total",
+			"Result-cache entries dropped by the LRU bound.",
+			func() float64 { return float64(e.cache.Stats().Evictions) })
+	}
+	e.met = m
+}
+
+// observe records one Run outcome. algorithm falls back to "invalid" when
+// the request failed before the algorithm was resolved.
+func (m *engineMetrics) observe(resp Response, err error, elapsed time.Duration) {
+	algo := string(resp.Algorithm)
+	if algo == "" {
+		algo = "invalid"
+	}
+	m.requests.With(algo, outcomeLabel(err)).Inc()
+	m.latency.With(algo).Observe(elapsed.Seconds())
+	if n := resp.Metrics.PlanSweeps; n > 0 && !resp.Cached {
+		m.planSweeps.Add(uint64(n))
+	}
+}
+
+// cacheLookup records a result-cache hit or miss.
+func (m *engineMetrics) cacheLookup(hit bool) {
+	if m == nil || m.cacheReq == nil {
+		return
+	}
+	if hit {
+		m.cacheReq.With("hit").Inc()
+	} else {
+		m.cacheReq.With("miss").Inc()
+	}
+}
+
+// outcomeLabel maps a Run error onto its closed outcome label set. The
+// ordering mirrors korapi.ErrorFrom so the engine's counters and the HTTP
+// status classes line up.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget_exceeded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, ErrNoRoute):
+		return "no_route"
+	case errors.Is(err, ErrUnknownKeyword):
+		return "unknown_keyword"
+	case errors.Is(err, ErrSearchLimit):
+		return "search_limit"
+	case errors.Is(err, ErrBadQuery):
+		return "bad_query"
+	default:
+		return "error"
+	}
+}

@@ -1,0 +1,128 @@
+package kor
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"kor/internal/metrics"
+)
+
+// metricsTestEngine builds the façade test city engine with a registry and a
+// small cache attached.
+func metricsTestEngine(t *testing.T) (*Engine, *metrics.Registry) {
+	t.Helper()
+	b := NewBuilder()
+	hotel := b.AddNode("hotel")
+	cafe := b.AddNode("cafe", "jazz")
+	park := b.AddNode("park")
+	if err := b.AddEdge(hotel, cafe, 0.7, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(cafe, park, 0.3, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(park, hotel, 0.5, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	eng, err := NewEngine(b.MustBuild(), &EngineConfig{CacheSize: 16, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, reg
+}
+
+func exposition(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestEngineMetrics drives Run through its outcome classes and checks the
+// registry reflects each: per-algorithm/outcome totals, latency histogram
+// counts, cache hit/miss, and the snapshot-generation gauge following Patch.
+func TestEngineMetrics(t *testing.T) {
+	eng, reg := metricsTestEngine(t)
+	ctx := context.Background()
+
+	ok := Request{From: 0, To: 0, Keywords: []string{"jazz"}, Budget: 4}
+	if _, err := eng.Run(ctx, ok); err != nil {
+		t.Fatal(err)
+	}
+	// Identical request again: a cache hit, still counted as an ok request.
+	if resp, err := eng.Run(ctx, ok); err != nil || !resp.Cached {
+		t.Fatalf("second run cached=%v err=%v, want cached hit", resp.Cached, err)
+	}
+	// Infeasible budget → no_route.
+	if _, err := eng.Run(ctx, Request{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 0.01}); err == nil {
+		t.Fatal("expected no_route error")
+	}
+	// Unknown keyword fails before the search but after algorithm resolution.
+	if _, err := eng.Run(ctx, Request{From: 0, To: 2, Keywords: []string{"spa"}, Budget: 4}); err == nil {
+		t.Fatal("expected unknown keyword error")
+	}
+	// Unknown algorithm fails before anything is resolved.
+	if _, err := eng.Run(ctx, Request{From: 0, To: 2, Keywords: []string{"jazz"}, Budget: 4, Algorithm: "warp"}); err == nil {
+		t.Fatal("expected unknown algorithm error")
+	}
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		`kor_engine_requests_total{algorithm="bucketbound",outcome="ok"} 2`,
+		`kor_engine_requests_total{algorithm="bucketbound",outcome="no_route"} 1`,
+		`kor_engine_requests_total{algorithm="bucketbound",outcome="unknown_keyword"} 1`,
+		`kor_engine_requests_total{algorithm="invalid",outcome="bad_query"} 1`,
+		`kor_engine_cache_requests_total{result="hit"} 1`,
+		`kor_engine_cache_requests_total{result="miss"} 2`,
+		`kor_engine_cache_size 2`,
+		`kor_engine_snapshot_generation 1`,
+		`kor_engine_request_seconds_count{algorithm="bucketbound"} 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+
+	// A patch advances the generation gauge and empties the cache gauge.
+	if _, err := eng.Patch(Delta{AddKeywords: []KeywordPatch{{Node: 2, Keywords: []string{"view"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	out = exposition(t, reg)
+	if !strings.Contains(out, "kor_engine_snapshot_generation 2\n") {
+		t.Errorf("generation gauge did not follow the patch:\n%s", out)
+	}
+	if !strings.Contains(out, "kor_engine_cache_size 0\n") {
+		t.Errorf("cache size gauge did not reflect the swap flush:\n%s", out)
+	}
+}
+
+// TestEngineMetricsDisabled: an engine without a registry must not touch any
+// instrument (e.met stays nil on every path, including cache hits).
+func TestEngineMetricsDisabled(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("a", "x")
+	c := b.AddNode("c")
+	if err := b.AddEdge(a, c, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(c, a, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(b.MustBuild(), &EngineConfig{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{From: 0, To: 1, Keywords: []string{"x"}, Budget: 5}
+	for i := 0; i < 2; i++ { // second run exercises the cache-hit path
+		if _, err := eng.Run(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -123,6 +123,18 @@ func (r Response) Best() Route { return r.Routes[0] }
 // greedy method it replaces, a Greedy run that covers the keywords but
 // overshoots Δ returns both the routes and ErrBudgetExceeded.
 func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
+	start := time.Now()
+	resp, err := e.run(ctx, req)
+	if e.met != nil {
+		e.met.observe(resp, err, time.Since(start))
+	}
+	return resp, err
+}
+
+// run is Run without the instrumentation wrapper. Early-error returns carry
+// the resolved Algorithm whenever one was resolved, so the metrics wrapper
+// can attribute the failure.
+func (e *Engine) run(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -143,11 +155,11 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 		opts.K = req.K
 	}
 	if err := opts.Validate(); err != nil {
-		return Response{}, err
+		return Response{Algorithm: algo}, err
 	}
 	cq, err := sn.resolve(Query{From: req.From, To: req.To, Keywords: req.Keywords, Budget: req.Budget})
 	if err != nil {
-		return Response{}, err
+		return Response{Algorithm: algo}, err
 	}
 
 	start := time.Now()
@@ -156,15 +168,17 @@ func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
 		// A dead context must fail exactly as it does on the search path
 		// (newPlan rejects it): a hit must not outrank cancellation.
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Response{}, fmt.Errorf("kor: search aborted: %w", ctxErr)
+			return Response{Algorithm: algo}, fmt.Errorf("kor: search aborted: %w", ctxErr)
 		}
 		key = cacheKey(sn.info.Fingerprint, algo, cq, opts)
 		if hit, ok := e.cache.Get(key); ok {
+			e.met.cacheLookup(true)
 			resp := cloneResponse(hit.resp)
 			resp.Cached = true
 			resp.Elapsed = time.Since(start)
 			return resp, hit.err
 		}
+		e.met.cacheLookup(false)
 	}
 
 	res, err := sn.searcher.Run(ctx, algo, cq, opts)

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# coverage_gate.sh <coverage-profile> — fail when total statement coverage
+# drops below the checked-in floor (scripts/COVERAGE_FLOOR).
+#
+# The floor is a ratchet against regressions, not a target: it sits a couple
+# of points under the measured tree-wide figure so timing-dependent paths
+# (drain windows, queue waits) cannot flake the gate, and it should be
+# raised when coverage grows. CI runs this over the -race profile so the
+# figure reflects the code that actually executes under the race detector.
+set -euo pipefail
+
+profile=${1:?usage: coverage_gate.sh <coverage-profile>}
+floor_file="$(dirname "$0")/COVERAGE_FLOOR"
+floor=$(<"$floor_file")
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "coverage_gate: could not read total coverage from $profile" >&2
+    exit 2
+fi
+
+awk -v t="$total" -v f="$floor" 'BEGIN {
+    if (t + 0 < f + 0) {
+        printf "coverage %.1f%% is below the floor %.1f%%\n", t, f
+        exit 1
+    }
+    printf "coverage %.1f%% >= floor %.1f%%\n", t, f
+}'

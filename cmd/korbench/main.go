@@ -18,7 +18,10 @@
 //	korbench -table BENCH_dev.json    # render a report as Markdown
 //
 // With -baseline the run exits non-zero when any shared (workload,
-// algorithm) cell regressed past 2x ns/op — the CI guard.
+// algorithm) cell regressed past 2x ns/op, or when a cell's query
+// failure count grew — failures are deterministic, so any increase is a
+// behavior change, not noise, and the report records the first failure's
+// reason alongside the count. This is the CI guard.
 //
 // See EXPERIMENTS.md for the paper-versus-measured discussion.
 package main

@@ -8,6 +8,12 @@
 //	kordata -kind flickr -seed 2012 -out city.korg [-index city.kbpt]
 //	kordata -kind road -nodes 5000 -seed 2012 -out road5k.korg
 //	kordata -kind road -nodes 200 -out g.korg -emit-delta patch.json
+//	kordata -kind road -nodes 5000 -out road5k.korg -build-index road5k.kori
+//
+// -build-index runs the partitioned τ/σ pre-processing offline and persists
+// it, so korserve -dist-index starts serving precomputed distances without
+// paying the build at boot. The file is bound to the graph's fingerprint
+// (printed here); korserve refuses it against any other graph.
 //
 // -emit-delta writes a korapi.Delta valid against the generated graph —
 // attribute drift on an edge, a new keyword, a new edge — ready to POST to
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kor"
 	"kor/internal/gen"
@@ -36,6 +43,8 @@ func main() {
 		out       = flag.String("out", "", "output graph file (required)")
 		index     = flag.String("index", "", "optional output path for the disk inverted file")
 		emitDelta = flag.String("emit-delta", "", "optional output path for a JSON live-update delta valid for the generated graph")
+		distIndex = flag.String("build-index", "", "optional output path for the persistent distance index (partitioned τ/σ tables)")
+		cellSize  = flag.Int("cell-size", 0, "partition region-size cap for -build-index (0 = default)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -79,11 +88,35 @@ func main() {
 		fmt.Printf("wrote %s\n", *index)
 	}
 
+	if *distIndex != "" {
+		start := time.Now()
+		info, err := kor.WriteDistIndex(*distIndex, g, *cellSize)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (fingerprint %016x, %d regions, %d borders, %s, built in %v)\n",
+			*distIndex, info.Fingerprint, info.Regions, info.Borders,
+			formatBytes(info.Bytes), time.Since(start).Round(time.Millisecond))
+	}
+
 	if *emitDelta != "" {
 		if err := writeDelta(*emitDelta, g); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // writeDelta emits a small deterministic delta that is valid for g: the

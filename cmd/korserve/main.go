@@ -5,6 +5,16 @@
 //
 //	korserve -graph city.korg [-addr :8080] [-timeout 10s] [-cache 1024]
 //	         [-max-inflight 0] [-queue 0] [-queue-wait 100ms]
+//	         [-dist-index city.kori]
+//
+// -dist-index loads a persistent distance oracle built offline by
+// kordata -build-index, skipping the τ/σ pre-processing at boot: the server
+// mmaps the precomputed partition tables and serves from them immediately.
+// The index is bound to the graph's fingerprint — starting with a
+// non-matching file fails rather than serving wrong distances. If a later
+// /v1/admin/patch or /v1/admin/reload changes the graph, the server logs the
+// divergence and falls back to a lazy oracle (visible as degraded in
+// /v1/stats and /metrics) instead of serving stale distances.
 //
 // Endpoints (see the korapi package for the wire types):
 //
@@ -70,6 +80,7 @@ func main() {
 		maxQueue    = flag.Int("queue", -1, "max requests waiting for admission (-1 = 2×max-inflight, 0 = shed immediately at the limit)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "longest a request may wait for admission before a 429")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+		distIndex   = flag.String("dist-index", "", "persistent distance index built by kordata -build-index (must match -graph)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -90,9 +101,18 @@ func main() {
 		log.Fatalf("korserve: %v", err)
 	}
 	reg := metrics.NewRegistry()
-	eng, err := kor.NewEngine(g, &kor.EngineConfig{CacheSize: *cacheSize, Metrics: reg})
+	eng, err := kor.NewEngine(g, &kor.EngineConfig{
+		CacheSize:     *cacheSize,
+		Metrics:       reg,
+		DistIndexPath: *distIndex,
+	})
 	if err != nil {
 		log.Fatalf("korserve: %v", err)
+	}
+	if *distIndex != "" {
+		ost := eng.OracleStatus()
+		log.Printf("korserve: distance index %s: fingerprint %016x, %d bytes, mapped=%v, loaded in %v",
+			*distIndex, ost.IndexFingerprint, ost.IndexBytes, ost.Mapped, ost.LoadTime.Round(time.Microsecond))
 	}
 	s := newServer(eng, serverConfig{
 		graphPath:   *graphPath,

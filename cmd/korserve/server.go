@@ -513,7 +513,19 @@ func (s *server) handleAdminPatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, korapi.ErrorFrom(err))
 		return
 	}
+	s.warnIfDegraded()
 	s.writeAdmin(w)
+}
+
+// warnIfDegraded logs when an admin update left the serving graph out of
+// step with the configured persistent distance index. The condition is also
+// visible in /v1/stats and the kor_engine_oracle_degraded metric; the log
+// line is for the operator tailing the server during the update.
+func (s *server) warnIfDegraded() {
+	if ost := s.eng.OracleStatus(); ost.Degraded {
+		log.Printf("korserve: graph no longer matches the persistent distance index (built for %016x); serving from a lazy oracle until a matching graph is installed",
+			ost.IndexFingerprint)
+	}
 }
 
 // handleAdminReload re-reads the graph file the server was started from and
@@ -534,6 +546,7 @@ func (s *server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	log.Printf("korserve: reloaded %s: generation %d, fingerprint %016x", s.graphPath, info.Generation, info.Fingerprint)
+	s.warnIfDegraded()
 	s.writeAdmin(w)
 }
 
@@ -574,6 +587,18 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	snap := korapi.SnapshotFromKor(info)
 	out.Snapshot = &snap
+	ost := s.eng.OracleStatus()
+	oi := korapi.OracleInfo{
+		Kind:       ost.Kind,
+		Degraded:   ost.Degraded,
+		IndexBytes: ost.IndexBytes,
+		Mapped:     ost.Mapped,
+		LoadMillis: float64(ost.LoadTime) / float64(time.Millisecond),
+	}
+	if ost.IndexFingerprint != 0 {
+		oi.IndexFingerprint = fmt.Sprintf("%016x", ost.IndexFingerprint)
+	}
+	out.Oracle = &oi
 	writeJSON(w, out)
 }
 

@@ -628,3 +628,54 @@ func TestServeConcurrentRoutes(t *testing.T) {
 		}
 	}
 }
+
+// TestServeStatsOracle covers the /v1/stats oracle block end to end: a
+// server started with a persistent distance index reports partitioned-disk
+// serving, and an admin patch that diverges the graph flips it to a
+// degraded lazy oracle instead of serving stale distances.
+func TestServeStatsOracle(t *testing.T) {
+	g := testGraph(t)
+	distPath := filepath.Join(t.TempDir(), "dist.kori")
+	if _, err := kor.WriteDistIndex(distPath, g, 3); err != nil {
+		t.Fatalf("WriteDistIndex: %v", err)
+	}
+	eng, err := kor.NewEngine(g, &kor.EngineConfig{DistIndexPath: distPath})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(newServer(eng, serverConfig{timeout: 5 * time.Second}).routes())
+	t.Cleanup(ts.Close)
+
+	var st korapi.Stats
+	get(t, ts, "/v1/stats", &st)
+	if st.Oracle == nil {
+		t.Fatal("stats carry no oracle block")
+	}
+	if st.Oracle.Kind != "partitioned-disk" || st.Oracle.Degraded {
+		t.Fatalf("oracle = %+v, want healthy partitioned-disk", st.Oracle)
+	}
+	if len(st.Oracle.IndexFingerprint) != 16 || st.Oracle.IndexBytes <= 0 {
+		t.Errorf("oracle index identity = %+v", st.Oracle)
+	}
+
+	delta := korapi.Delta{UpdateEdges: []korapi.DeltaEdge{{From: 0, To: 1, Objective: 0.9, Budget: 1.2}}}
+	if resp := post(t, ts, "/v1/admin/patch", delta, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch status = %d", resp.StatusCode)
+	}
+	get(t, ts, "/v1/stats", &st)
+	if st.Oracle == nil || st.Oracle.Kind != "lazy" || !st.Oracle.Degraded {
+		t.Fatalf("post-patch oracle = %+v, want degraded lazy", st.Oracle)
+	}
+}
+
+// TestServeStatsOracleDefault: without a distance index the oracle block
+// still names the serving implementation.
+func TestServeStatsOracleDefault(t *testing.T) {
+	ts := testServer(t, 5*time.Second)
+	var st korapi.Stats
+	get(t, ts, "/v1/stats", &st)
+	if st.Oracle == nil || st.Oracle.Kind != "matrix" || st.Oracle.Degraded {
+		t.Fatalf("oracle = %+v, want matrix", st.Oracle)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package apsp
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping is private to the
+// process and backed by the page cache, so repeated serving starts against
+// the same index file share one resident copy.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping from mmapFile.
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

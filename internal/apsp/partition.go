@@ -2,7 +2,9 @@ package apsp
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"kor/internal/graph"
 )
@@ -24,10 +26,17 @@ import (
 // reported secondary score is that of the assembled decomposition, which can
 // differ from the Dijkstra oracles' tie-break on exactly tied paths.
 //
-// All tables are immutable once NewPartitionedOracle returns, so a
-// PartitionedOracle is safe for concurrent use.
+// Beyond the scores, the tables carry parent pointers (per-cell and on the
+// overlay), so paths materialize as table walks (IndexedPaths), and the
+// whole index serializes to a versioned on-disk format (persist.go) keyed to
+// the graph fingerprint, for offline builds and mmap warm starts.
+//
+// All tables are immutable once built; the per-target slice cache (slice.go)
+// is internally synchronized, so a PartitionedOracle is safe for concurrent
+// use.
 type PartitionedOracle struct {
-	g *graph.Graph
+	g        *graph.Graph
+	cellSize int
 
 	region []int32 // node → region index
 	local  []int32 // node → index within its region's node list
@@ -36,18 +45,47 @@ type PartitionedOracle struct {
 	borders   []graph.NodeID // overlay index → node
 	borderIdx []int32        // node → overlay index, -1 for interior nodes
 
-	// Overlay score tables, row-major [from*b+to].
-	ovTauP, ovTauS []float64
-	ovSigP, ovSigS []float64
+	// Overlay score and parent tables, row-major [from*b+to]. Parents are
+	// overlay indices (noParent at from == to or unreachable).
+	ovTauP, ovTauS     []float64
+	ovSigP, ovSigS     []float64
+	ovTauPar, ovSigPar []int32
+
+	// slices is the bounded per-target slice cache (slice.go).
+	slices sliceCache
+
+	// Disk-load state (persist.go): the mapping backing the aliased tables,
+	// if any, and the source file size.
+	mapped    []byte
+	fileBytes int64
+	fromDisk  bool
 }
 
 // cellTables holds one region's restricted all-pairs tables. Paths counted
-// here stay inside the region; excursions are the overlay's job.
+// here stay inside the region; excursions are the overlay's job. Parent
+// entries are local indices within the region.
 type cellTables struct {
-	nodes      []graph.NodeID
-	borderLoc  []int32 // local indices of this region's border nodes
-	tauP, tauS []float64
-	sigP, sigS []float64
+	nodes          []graph.NodeID
+	borderLoc      []int32 // local indices of this region's border nodes
+	tauP, tauS     []float64
+	sigP, sigS     []float64
+	tauPar, sigPar []int32
+}
+
+// scoreTables returns the cell's (primary, secondary, parent) tables for m.
+func (c *cellTables) scoreTables(m Metric) ([]float64, []float64, []int32) {
+	if m == ByObjective {
+		return c.tauP, c.tauS, c.tauPar
+	}
+	return c.sigP, c.sigS, c.sigPar
+}
+
+// overlayTables returns the overlay (primary, secondary, parent) tables.
+func (o *PartitionedOracle) overlayTables(m Metric) ([]float64, []float64, []int32) {
+	if m == ByObjective {
+		return o.ovTauP, o.ovTauS, o.ovTauPar
+	}
+	return o.ovSigP, o.ovSigS, o.ovSigPar
 }
 
 // DefaultCellSize is the region-size cap used when partitioning.
@@ -55,13 +93,14 @@ const DefaultCellSize = 128
 
 // NewPartitionedOracle partitions g into regions of at most cellSize nodes
 // (breadth-first region growing over the undirected skeleton) and
-// pre-computes the intra-region and border-overlay tables.
+// pre-computes the intra-region and border-overlay tables, parallelizing the
+// per-cell and per-border-row work across CPUs.
 func NewPartitionedOracle(g *graph.Graph, cellSize int) *PartitionedOracle {
 	if cellSize < 2 {
 		cellSize = 2
 	}
 	n := g.NumNodes()
-	o := &PartitionedOracle{g: g, region: make([]int32, n), local: make([]int32, n)}
+	o := &PartitionedOracle{g: g, cellSize: cellSize, region: make([]int32, n), local: make([]int32, n)}
 	for i := range o.region {
 		o.region[i] = -1
 	}
@@ -138,28 +177,59 @@ func NewPartitionedOracle(g *graph.Graph, cellSize int) *PartitionedOracle {
 
 	o.buildCellTables()
 	o.buildOverlay()
+	o.slices.init(n)
 	return o
 }
 
-// buildCellTables runs restricted two-criteria Dijkstra inside every region.
-func (o *PartitionedOracle) buildCellTables() {
-	for ci := range o.cells {
-		cell := &o.cells[ci]
-		k := len(cell.nodes)
-		cell.tauP = newInfSlice(k * k)
-		cell.tauS = newInfSlice(k * k)
-		cell.sigP = newInfSlice(k * k)
-		cell.sigS = newInfSlice(k * k)
-		for li := 0; li < k; li++ {
-			o.restrictedSweep(cell, li, ByObjective, cell.tauP, cell.tauS)
-			o.restrictedSweep(cell, li, ByBudget, cell.sigP, cell.sigS)
-		}
+// workerCount sizes a build worker pool for jobs items.
+func workerCount(jobs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > jobs {
+		w = jobs
 	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildCellTables runs restricted two-criteria Dijkstra inside every region,
+// cells distributed over a worker pool (each cell's tables are written only
+// by its worker, so no synchronization beyond the WaitGroup is needed).
+func (o *PartitionedOracle) buildCellTables() {
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workerCount(len(o.cells)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				cell := &o.cells[ci]
+				k := len(cell.nodes)
+				cell.tauP = newInfSlice(k * k)
+				cell.tauS = newInfSlice(k * k)
+				cell.sigP = newInfSlice(k * k)
+				cell.sigS = newInfSlice(k * k)
+				cell.tauPar = newNoParentSlice(k * k)
+				cell.sigPar = newNoParentSlice(k * k)
+				for li := 0; li < k; li++ {
+					o.restrictedSweep(cell, li, ByObjective, cell.tauP, cell.tauS, cell.tauPar)
+					o.restrictedSweep(cell, li, ByBudget, cell.sigP, cell.sigS, cell.sigPar)
+				}
+			}
+		}()
+	}
+	for ci := range o.cells {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // restrictedSweep is Dijkstra from cell.nodes[src], never leaving the
-// region, writing row src of the (primary, secondary) tables.
-func (o *PartitionedOracle) restrictedSweep(cell *cellTables, src int, m Metric, prim, sec []float64) {
+// region, writing row src of the (primary, secondary, parent) tables.
+// Parents are local indices within the cell.
+func (o *PartitionedOracle) restrictedSweep(cell *cellTables, src int, m Metric, prim, sec []float64, par []int32) {
 	k := len(cell.nodes)
 	row := src * k
 	prim[row+src] = 0
@@ -197,37 +267,51 @@ func (o *PartitionedOracle) restrictedSweep(cell *cellTables, src int, m Metric,
 			if p < prim[row+li] || (p == prim[row+li] && s < sec[row+li]) {
 				prim[row+li] = p
 				sec[row+li] = s
+				par[row+li] = int32(best)
 			}
 		}
 	}
 }
 
 // buildOverlay assembles the border graph per metric and computes all-pairs
-// scores over it with the package Dijkstra.
+// scores and parents over it with the package Dijkstra, rows distributed
+// over a worker pool.
 func (o *PartitionedOracle) buildOverlay() {
 	b := len(o.borders)
 	o.ovTauP = newInfSlice(b * b)
 	o.ovTauS = newInfSlice(b * b)
 	o.ovSigP = newInfSlice(b * b)
 	o.ovSigS = newInfSlice(b * b)
+	o.ovTauPar = newNoParentSlice(b * b)
+	o.ovSigPar = newNoParentSlice(b * b)
 	if b == 0 {
 		return
 	}
 	for _, m := range []Metric{ByObjective, ByBudget} {
 		overlay := o.overlayGraph(m)
-		var prim, sec []float64
-		if m == ByObjective {
-			prim, sec = o.ovTauP, o.ovTauS
-		} else {
-			prim, sec = o.ovSigP, o.ovSigS
+		prim, sec, par := o.overlayTables(m)
+		var wg sync.WaitGroup
+		rows := make(chan int)
+		for w := 0; w < workerCount(b); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for from := range rows {
+					// The overlay graph stores the sweep's primary metric in
+					// the Objective slot regardless of m, so sweep with
+					// ByObjective.
+					s := dijkstra(overlay, graph.NodeID(from), ByObjective, false)
+					copy(prim[from*b:(from+1)*b], s.primary)
+					copy(sec[from*b:(from+1)*b], s.secondary)
+					copy(par[from*b:(from+1)*b], s.parent)
+				}
+			}()
 		}
 		for from := 0; from < b; from++ {
-			// The overlay graph stores the sweep's primary metric in the
-			// Objective slot regardless of m, so sweep with ByObjective.
-			s := dijkstra(overlay, graph.NodeID(from), ByObjective, false)
-			copy(prim[from*b:(from+1)*b], s.primary)
-			copy(sec[from*b:(from+1)*b], s.secondary)
+			rows <- from
 		}
+		close(rows)
+		wg.Wait()
 	}
 }
 
@@ -242,12 +326,7 @@ func (o *PartitionedOracle) overlayGraph(m Metric) *graph.Graph {
 	for ci := range o.cells {
 		cell := &o.cells[ci]
 		k := len(cell.nodes)
-		var prim, sec []float64
-		if m == ByObjective {
-			prim, sec = cell.tauP, cell.tauS
-		} else {
-			prim, sec = cell.sigP, cell.sigS
-		}
+		prim, sec, _ := cell.scoreTables(m)
 		for _, fromLoc := range cell.borderLoc {
 			for _, toLoc := range cell.borderLoc {
 				if fromLoc == toLoc {
@@ -295,7 +374,17 @@ func newInfSlice(n int) []float64 {
 	return s
 }
 
-// query assembles the pair score under metric m.
+func newNoParentSlice(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = noParent
+	}
+	return s
+}
+
+// query assembles the pair score under metric m. The primary sum is
+// associated as head + (mid + tail) — the same ordering the per-target
+// slices (slice.go) use — so both lookup paths produce bit-identical scores.
 func (o *PartitionedOracle) query(from, to graph.NodeID, m Metric) (float64, float64, bool) {
 	if from == to {
 		return 0, 0, true
@@ -305,12 +394,9 @@ func (o *PartitionedOracle) query(from, to graph.NodeID, m Metric) (float64, flo
 	ki, kj := len(ci.nodes), len(cj.nodes)
 	li, lj := int(o.local[from]), int(o.local[to])
 
-	var iPrim, iSec, jPrim, jSec, ovP, ovS []float64
-	if m == ByObjective {
-		iPrim, iSec, jPrim, jSec, ovP, ovS = ci.tauP, ci.tauS, cj.tauP, cj.tauS, o.ovTauP, o.ovTauS
-	} else {
-		iPrim, iSec, jPrim, jSec, ovP, ovS = ci.sigP, ci.sigS, cj.sigP, cj.sigS, o.ovSigP, o.ovSigS
-	}
+	iPrim, iSec, _ := ci.scoreTables(m)
+	jPrim, jSec, _ := cj.scoreTables(m)
+	ovP, ovS, _ := o.overlayTables(m)
 
 	bestP, bestS := math.Inf(1), math.Inf(1)
 	if ri == rj {
@@ -334,8 +420,8 @@ func (o *PartitionedOracle) query(from, to graph.NodeID, m Metric) (float64, flo
 			if math.IsInf(mid, 1) {
 				continue
 			}
-			p := head + mid + tail
-			s := iSec[li*ki+int(b1loc)] + ovS[b1*b+b2] + jSec[int(b2loc)*kj+lj]
+			p := head + (mid + tail)
+			s := iSec[li*ki+int(b1loc)] + (ovS[b1*b+b2] + jSec[int(b2loc)*kj+lj])
 			if p < bestP || (p == bestP && s < bestS) {
 				bestP, bestS = p, s
 			}
@@ -359,19 +445,161 @@ func (o *PartitionedOracle) MinBudget(from, to graph.NodeID) (float64, float64, 
 	return s, p, ok // primary is budget, secondary is objective
 }
 
-// MinObjectivePath materializes τ(from,to) with a fresh sweep on the base
-// graph; partition tables hold scores only.
-func (o *PartitionedOracle) MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool) {
-	return dijkstra(o.g, from, ByObjective, false).walkForward(from, to)
+// path materializes the metric-optimal path from→to as table walks: it
+// re-runs query's assembly tracking the winning decomposition, then splices
+// the head cell walk, the expanded overlay chain and the tail cell walk.
+func (o *PartitionedOracle) path(from, to graph.NodeID, m Metric) ([]graph.NodeID, bool) {
+	if from == to {
+		return []graph.NodeID{from}, true
+	}
+	ri, rj := o.region[from], o.region[to]
+	ci, cj := &o.cells[ri], &o.cells[rj]
+	ki, kj := len(ci.nodes), len(cj.nodes)
+	li, lj := int(o.local[from]), int(o.local[to])
+
+	iPrim, iSec, _ := ci.scoreTables(m)
+	jPrim, jSec, _ := cj.scoreTables(m)
+	ovP, ovS, _ := o.overlayTables(m)
+
+	bestP, bestS := math.Inf(1), math.Inf(1)
+	direct := false
+	b1best, b2best := -1, -1 // winning border local indices
+	if ri == rj {
+		bestP = iPrim[li*ki+lj]
+		bestS = iSec[li*ki+lj]
+		direct = !math.IsInf(bestP, 1)
+	}
+	b := len(o.borders)
+	for _, b1loc := range ci.borderLoc {
+		head := iPrim[li*ki+int(b1loc)]
+		if math.IsInf(head, 1) {
+			continue
+		}
+		b1 := int(o.borderIdx[ci.nodes[b1loc]])
+		for _, b2loc := range cj.borderLoc {
+			tail := jPrim[int(b2loc)*kj+lj]
+			if math.IsInf(tail, 1) {
+				continue
+			}
+			b2 := int(o.borderIdx[cj.nodes[b2loc]])
+			mid := ovP[b1*b+b2]
+			if math.IsInf(mid, 1) {
+				continue
+			}
+			p := head + (mid + tail)
+			s := iSec[li*ki+int(b1loc)] + (ovS[b1*b+b2] + jSec[int(b2loc)*kj+lj])
+			if p < bestP || (p == bestP && s < bestS) {
+				bestP, bestS = p, s
+				direct = false
+				b1best, b2best = int(b1loc), int(b2loc)
+			}
+		}
+	}
+	if math.IsInf(bestP, 1) {
+		return nil, false
+	}
+	if direct {
+		return o.cellPath(ci, li, lj, m, nil)
+	}
+	path, ok := o.cellPath(ci, li, b1best, m, nil)
+	if !ok {
+		return nil, false
+	}
+	b1 := int(o.borderIdx[ci.nodes[b1best]])
+	b2 := int(o.borderIdx[cj.nodes[b2best]])
+	chain, ok := o.overlayChain(b1, b2, m)
+	if !ok {
+		return nil, false
+	}
+	for h := 1; h < len(chain); h++ {
+		vx, vy := o.borders[chain[h-1]], o.borders[chain[h]]
+		if o.region[vx] == o.region[vy] {
+			// The overlay edge was an intra-region shortcut: expand it to the
+			// region-optimal walk it stands for.
+			c := &o.cells[o.region[vx]]
+			seg, ok := o.cellPath(c, int(o.local[vx]), int(o.local[vy]), m, nil)
+			if !ok {
+				return nil, false
+			}
+			path = append(path, seg[1:]...)
+		} else {
+			// An original cross-region edge: vy is adjacent.
+			path = append(path, vy)
+		}
+	}
+	tail, ok := o.cellPath(cj, b2best, lj, m, nil)
+	if !ok {
+		return nil, false
+	}
+	return append(path, tail[1:]...), true
 }
 
-// MinBudgetPath materializes σ(from,to).
-func (o *PartitionedOracle) MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
-	return dijkstra(o.g, from, ByBudget, false).walkForward(from, to)
+// cellPath walks the cell's parent row src back from dst, appending the
+// region-restricted metric-optimal walk src→dst (inclusive) to buf.
+func (o *PartitionedOracle) cellPath(cell *cellTables, src, dst int, m Metric, buf []graph.NodeID) ([]graph.NodeID, bool) {
+	_, _, par := cell.scoreTables(m)
+	k := len(cell.nodes)
+	row := par[src*k : (src+1)*k]
+	var rev []int32
+	for v := int32(dst); ; {
+		rev = append(rev, v)
+		if int(v) == src {
+			break
+		}
+		p := row[v]
+		if p == noParent {
+			return nil, false
+		}
+		v = p
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		buf = append(buf, cell.nodes[rev[i]])
+	}
+	return buf, true
 }
+
+// overlayChain walks the overlay parent row b1 back from b2, returning the
+// overlay-index sequence b1..b2 inclusive.
+func (o *PartitionedOracle) overlayChain(b1, b2 int, m Metric) ([]int32, bool) {
+	_, _, par := o.overlayTables(m)
+	b := len(o.borders)
+	row := par[b1*b : (b1+1)*b]
+	var rev []int32
+	for v := int32(b2); ; {
+		rev = append(rev, v)
+		if int(v) == b1 {
+			break
+		}
+		p := row[v]
+		if p == noParent {
+			return nil, false
+		}
+		v = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// MinObjectivePath materializes τ(from,to) as a table walk.
+func (o *PartitionedOracle) MinObjectivePath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return o.path(from, to, ByObjective)
+}
+
+// MinBudgetPath materializes σ(from,to) as a table walk.
+func (o *PartitionedOracle) MinBudgetPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
+	return o.path(from, to, ByBudget)
+}
+
+// IndexedPaths marks the path methods as table walks (see apsp.Indexed).
+func (o *PartitionedOracle) IndexedPaths() bool { return true }
 
 // NumRegions reports how many regions the partition produced.
 func (o *PartitionedOracle) NumRegions() int { return len(o.cells) }
 
 // NumBorders reports the size of the border overlay.
 func (o *PartitionedOracle) NumBorders() int { return len(o.borders) }
+
+// CellSize reports the region-size cap the partition was built with.
+func (o *PartitionedOracle) CellSize() int { return o.cellSize }

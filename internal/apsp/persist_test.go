@@ -1,0 +1,306 @@
+package apsp
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"kor/internal/graph"
+)
+
+// writeTestIndex builds a partitioned oracle over g and round-trips it
+// through a temp file, returning both ends.
+func writeTestIndex(t *testing.T, g *graph.Graph, cellSize int) (*PartitionedOracle, *PartitionedOracle, string) {
+	t.Helper()
+	mem := NewPartitionedOracle(g, cellSize)
+	path := filepath.Join(t.TempDir(), "dist.kori")
+	if err := mem.WriteIndexFile(path); err != nil {
+		t.Fatalf("WriteIndexFile: %v", err)
+	}
+	disk, err := OpenIndex(path, g)
+	if err != nil {
+		t.Fatalf("OpenIndex: %v", err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	return mem, disk, path
+}
+
+// TestIndexRoundTrip is the durability property test: a disk-loaded index
+// answers every pair query, slice lookup and path materialization exactly
+// like the in-memory oracle it was written from, and agrees with the lazy
+// oracle on the primary scores (the partitioned tie-break contract) on both
+// metrics.
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 6; trial++ {
+		n := 10 + rng.Intn(30)
+		g := randomTestGraph(rng, n, trial%2 == 0)
+		mem, disk, _ := writeTestIndex(t, g, 4+rng.Intn(8))
+		lazy := NewLazyOracle(g)
+
+		info := disk.IndexInfo()
+		if info.Fingerprint != g.Fingerprint() || !info.FromDisk || info.Bytes <= 0 {
+			t.Fatalf("trial %d: IndexInfo = %+v", trial, info)
+		}
+		if info.Regions != mem.NumRegions() || info.Borders != mem.NumBorders() {
+			t.Fatalf("trial %d: disk shape %d/%d, memory %d/%d",
+				trial, info.Regions, info.Borders, mem.NumRegions(), mem.NumBorders())
+		}
+		if !HasIndexedPaths(disk) {
+			t.Fatal("disk oracle does not report indexed paths")
+		}
+
+		for i := graph.NodeID(0); int(i) < n; i++ {
+			tauSliceM := mem.TargetSlice(i, ByObjective)
+			tauSliceD := disk.TargetSlice(i, ByObjective)
+			sigSliceM := mem.TargetSlice(i, ByBudget)
+			sigSliceD := disk.TargetSlice(i, ByBudget)
+			for j := graph.NodeID(0); int(j) < n; j++ {
+				// Disk answers must be bit-identical to the in-memory build.
+				mOS, mBS, mOK := mem.MinObjective(j, i)
+				dOS, dBS, dOK := disk.MinObjective(j, i)
+				if mOS != dOS || mBS != dBS || mOK != dOK {
+					t.Fatalf("trial %d: τ(%d,%d) disk (%v,%v,%v) != memory (%v,%v,%v)",
+						trial, j, i, dOS, dBS, dOK, mOS, mBS, mOK)
+				}
+				// Slice lookups must reproduce the pair queries, both ends.
+				if mOK {
+					if tauSliceM.Prim[j] != mOS || tauSliceD.Prim[j] != mOS {
+						t.Fatalf("trial %d: τ slice primary (%v,%v) != query %v",
+							trial, tauSliceM.Prim[j], tauSliceD.Prim[j], mOS)
+					}
+				} else if !math.IsInf(tauSliceD.Prim[j], 1) {
+					t.Fatalf("trial %d: τ slice reaches unreachable pair (%d,%d)", trial, j, i)
+				}
+				// Lazy agreement: exact primary, secondary no worse.
+				lOS, lBS, lOK := lazy.MinObjective(j, i)
+				if mOK != lOK || (mOK && !feq(mOS, lOS)) {
+					t.Fatalf("trial %d: τ(%d,%d) indexed (%v,%v) vs lazy (%v,%v)",
+						trial, j, i, mOS, mOK, lOS, lOK)
+				}
+				if mOK && mBS < lBS-1e-9 {
+					t.Fatalf("trial %d: τ(%d,%d) secondary %v below lazy optimum %v", trial, j, i, mBS, lBS)
+				}
+
+				mOS, mBS, mOK = mem.MinBudget(j, i)
+				dOS, dBS, dOK = disk.MinBudget(j, i)
+				if mOS != dOS || mBS != dBS || mOK != dOK {
+					t.Fatalf("trial %d: σ(%d,%d) disk (%v,%v,%v) != memory (%v,%v,%v)",
+						trial, j, i, dOS, dBS, dOK, mOS, mBS, mOK)
+				}
+				if mOK && (sigSliceM.Prim[j] != mBS || sigSliceD.Prim[j] != mBS) {
+					t.Fatalf("trial %d: σ slice primary (%v,%v) != query %v",
+						trial, sigSliceM.Prim[j], sigSliceD.Prim[j], mBS)
+				}
+				lOS, lBS, lOK = lazy.MinBudget(j, i)
+				if mOK != lOK || (mOK && !feq(mBS, lBS)) {
+					t.Fatalf("trial %d: σ(%d,%d) indexed (%v,%v) vs lazy (%v,%v)",
+						trial, j, i, mBS, mOK, lBS, lOK)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedIndexedPaths verifies that table-walk materialization
+// returns real graph walks whose summed attributes match the reported
+// scores, on both the in-memory and the disk-loaded oracle.
+func TestPartitionedIndexedPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomTestGraph(rng, 60, false)
+	mem, disk, _ := writeTestIndex(t, g, 9)
+	for trial := 0; trial < 300; trial++ {
+		from := graph.NodeID(rng.Intn(g.NumNodes()))
+		to := graph.NodeID(rng.Intn(g.NumNodes()))
+		for name, o := range map[string]*PartitionedOracle{"memory": mem, "disk": disk} {
+			wantOS, wantBS, ok := o.MinObjective(from, to)
+			path, pok := o.MinObjectivePath(from, to)
+			if ok != pok {
+				t.Fatalf("%s: τ(%d,%d) score ok=%v path ok=%v", name, from, to, ok, pok)
+			}
+			if ok {
+				gotOS, gotBS := pathScores(t, g, path, ByObjective)
+				if !feq(gotOS, wantOS) || !feq(gotBS, wantBS) {
+					t.Fatalf("%s: τ(%d,%d) path scores (%v,%v), reported (%v,%v)",
+						name, from, to, gotOS, gotBS, wantOS, wantBS)
+				}
+			}
+			wantOS, wantBS, ok = o.MinBudget(from, to)
+			path, pok = o.MinBudgetPath(from, to)
+			if ok != pok {
+				t.Fatalf("%s: σ(%d,%d) score ok=%v path ok=%v", name, from, to, ok, pok)
+			}
+			if ok {
+				gotOS, gotBS := pathScores(t, g, path, ByBudget)
+				if !feq(gotBS, wantBS) || !feq(gotOS, wantOS) {
+					t.Fatalf("%s: σ(%d,%d) path scores (%v,%v), reported (%v,%v)",
+						name, from, to, gotOS, gotBS, wantOS, wantBS)
+				}
+			}
+		}
+	}
+}
+
+// TestTargetSliceConcurrency hammers the slice cache from many goroutines
+// (single-flight, eviction) — meaningful mainly under -race.
+func TestTargetSliceConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomTestGraph(rng, 40, false)
+	o := NewPartitionedOracle(g, 8)
+	o.slices.cap = 6 // force eviction churn
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < 200; k++ {
+				to := graph.NodeID(r.Intn(g.NumNodes()))
+				m := Metric(r.Intn(2))
+				ts := o.TargetSlice(to, m)
+				from := graph.NodeID(r.Intn(g.NumNodes()))
+				p, s, ok := o.query(from, to, m)
+				if !ok {
+					if !math.IsInf(ts.Prim[from], 1) {
+						t.Errorf("slice reaches unreachable pair (%d,%d)", from, to)
+					}
+					continue
+				}
+				if ts.Prim[from] != p || ts.Sec[from] != s {
+					t.Errorf("slice (%v,%v) != query (%v,%v) for (%d,%d,%v)",
+						ts.Prim[from], ts.Sec[from], p, s, from, to, m)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestIndexLoadErrors exercises every typed load-failure path: damaged
+// files fail with ErrIndexFormat, incompatible versions with
+// ErrIndexVersion, and a mismatched graph with ErrIndexFingerprint — never
+// a panic, never a silently wrong oracle.
+func TestIndexLoadErrors(t *testing.T) {
+	g := buildPaperGraph(t)
+	mem := NewPartitionedOracle(g, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.kori")
+	if err := mem.WriteIndexFile(path); err != nil {
+		t.Fatalf("WriteIndexFile: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o, err := OpenIndex(p, g)
+		if o != nil {
+			o.Close()
+		}
+		if !errors.Is(err, want) {
+			t.Errorf("%s: OpenIndex error = %v, want %v", name, err, want)
+		}
+	}
+
+	// Not an index at all.
+	check("garbage.kori", []byte("definitely not an index file"), ErrIndexFormat)
+
+	// Truncated: below the header, and mid-payload.
+	check("short-header.kori", good[:20], ErrIndexFormat)
+	check("truncated.kori", good[:len(good)-25], ErrIndexFormat)
+
+	// A flipped payload byte must fail the payload CRC.
+	corrupt := append([]byte(nil), good...)
+	corrupt[indexHeaderSize+len(corrupt)/2] ^= 0x40
+	check("corrupt.kori", corrupt, ErrIndexFormat)
+
+	// A flipped header byte must fail the header CRC.
+	badHdr := append([]byte(nil), good...)
+	badHdr[10] ^= 0x01
+	check("bad-header.kori", badHdr, ErrIndexFormat)
+
+	// Future version, header CRC recomputed so only the version differs.
+	future := append([]byte(nil), good...)
+	future[4] = 0x7f
+	patchHeaderCRC(future)
+	check("future.kori", future, ErrIndexVersion)
+
+	// The right file for the wrong graph.
+	other := NewPartitionedOracle(randomTestGraph(rand.New(rand.NewSource(9)), 8, true), 3)
+	otherPath := filepath.Join(dir, "other.kori")
+	if err := other.WriteIndexFile(otherPath); err != nil {
+		t.Fatal(err)
+	}
+	if o, err := OpenIndex(otherPath, g); !errors.Is(err, ErrIndexFingerprint) {
+		if o != nil {
+			o.Close()
+		}
+		t.Errorf("wrong-graph OpenIndex error = %v, want ErrIndexFingerprint", err)
+	}
+
+	// The pristine file still opens after all that.
+	o, err := OpenIndex(path, g)
+	if err != nil {
+		t.Fatalf("reopening pristine index: %v", err)
+	}
+	o.Close()
+}
+
+// patchHeaderCRC recomputes the header checksum after a deliberate edit.
+func patchHeaderCRC(b []byte) {
+	crc := crc32.ChecksumIEEE(b[4:44])
+	b[44] = byte(crc)
+	b[45] = byte(crc >> 8)
+	b[46] = byte(crc >> 16)
+	b[47] = byte(crc >> 24)
+}
+
+// TestSourceSliceAgreement checks the outbound slices against the pair
+// interface on random graphs, both metrics, memory- and disk-backed:
+// identical reachability everywhere, and scores equal up to floating-point
+// association (source slices hoist the per-source half of the assembly).
+func TestSourceSliceAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		n := 12 + rng.Intn(25)
+		g := randomTestGraph(rng, n, trial%2 == 0)
+		_, disk, _ := writeTestIndex(t, g, 4+rng.Intn(8))
+		mem := NewPartitionedOracle(g, disk.CellSize())
+		for _, o := range []*PartitionedOracle{mem, disk} {
+			for from := 0; from < n; from++ {
+				tau := o.SourceSlice(graph.NodeID(from), ByObjective)
+				sig := o.SourceSlice(graph.NodeID(from), ByBudget)
+				for to := 0; to < n; to++ {
+					os, bs, ok := o.MinObjective(graph.NodeID(from), graph.NodeID(to))
+					if sOK := !math.IsInf(tau.Prim[to], 1); sOK != ok {
+						t.Fatalf("trial %d τ %d→%d: slice ok=%v, query ok=%v", trial, from, to, sOK, ok)
+					}
+					if ok && (!feq(tau.Prim[to], os) || !feq(tau.Sec[to], bs)) {
+						t.Fatalf("trial %d τ %d→%d: slice (%v,%v), query (%v,%v)",
+							trial, from, to, tau.Prim[to], tau.Sec[to], os, bs)
+					}
+					os, bs, ok = o.MinBudget(graph.NodeID(from), graph.NodeID(to))
+					if sOK := !math.IsInf(sig.Prim[to], 1); sOK != ok {
+						t.Fatalf("trial %d σ %d→%d: slice ok=%v, query ok=%v", trial, from, to, sOK, ok)
+					}
+					// MinBudget reports (os, bs) = (secondary, primary).
+					if ok && (!feq(sig.Prim[to], bs) || !feq(sig.Sec[to], os)) {
+						t.Fatalf("trial %d σ %d→%d: slice (%v,%v), query (%v,%v)",
+							trial, from, to, sig.Prim[to], sig.Sec[to], bs, os)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package apsp
+
+import (
+	"math"
+	"sync"
+
+	"kor/internal/graph"
+)
+
+// Per-target distance slices. The label algorithms hammer a handful of fixed
+// targets — the query target, the strategy-1 jump nodes, the strategy-2
+// keyword nodes — with pair lookups from thousands of distinct sources. The
+// partitioned oracle's pair assembly costs |borders(i)|·|borders(j)| table
+// probes per lookup; amortizing it per target turns each lookup into two
+// array reads. A TargetSlice is that amortization: the full
+// all-sources-into-one-target score vectors, built in
+// O(|B|·|borders(j)| + Σ_cells k·|borders(cell)|) and cached on the oracle
+// under a byte-bounded FIFO, so a steady query stream over a stable keyword
+// universe builds each slice once.
+
+// TargetSlice holds the scores of the metric-optimal paths from every node
+// into one fixed target: Prim[v] is the primary-metric score of the path
+// v→target (+Inf when unreachable), Sec[v] the other attribute summed along
+// that same path. Both slices are immutable once returned.
+type TargetSlice struct {
+	Prim []float64
+	Sec  []float64
+}
+
+// SliceIndexed is an optional oracle capability: per-target score vectors at
+// array-read lookup cost. Query plans resolve the slices for their candidate
+// targets once at plan time and then bypass the pair-query interface
+// entirely on the hot path.
+type SliceIndexed interface {
+	// TargetSlice returns the score vectors into target to under metric m.
+	// The result is shared and immutable; callers must not mutate it.
+	TargetSlice(to graph.NodeID, m Metric) *TargetSlice
+}
+
+// SourceSliced is the outbound mirror of SliceIndexed: the score vectors
+// from one fixed source to every node. Greedy hammers this orientation — one
+// current waypoint against every candidate keyword node.
+//
+// Unlike target slices, source-slice scores are not bit-identical to the
+// pair interface: the assembly hoists the per-source half, which associates
+// the primary sum as (head + mid) + tail where the pair query computes
+// head + (mid + tail). Reachability is identical and scores agree to
+// floating-point association; use source slices for ranking and
+// accumulation, not for equality against pair-query answers.
+type SourceSliced interface {
+	// SourceSlice returns the score vectors out of from under metric m:
+	// Prim[v] is the primary score of from→v. Shared and immutable.
+	SourceSlice(from graph.NodeID, m Metric) *TargetSlice
+}
+
+// sliceCacheBudget bounds the memory the cached slices may hold. At 16 bytes
+// per node per slice this is ~3,200 slices on a 5000-node graph. The sizing
+// matters: a label search resolves a slice per strategy-2 candidate node
+// (often ~100 per query), so the cache must hold the working set of a whole
+// query stream — a budget that only fits one query's candidates forces every
+// following query to rebuild its slices and costs more than it saves.
+const sliceCacheBudget = 256 << 20
+
+type sliceKey struct {
+	node graph.NodeID
+	m    Metric
+	src  bool // true for source-oriented (outbound) slices
+}
+
+// sliceEntry single-flights one slice build: the first requester builds,
+// concurrent requesters block on done. An entry evicted mid-build completes
+// normally for whoever holds it; it just stops being findable.
+type sliceEntry struct {
+	done chan struct{}
+	ts   *TargetSlice
+}
+
+// sliceCache is the oracle's bounded per-target slice cache: FIFO eviction,
+// capacity derived from the graph size so the cache never exceeds
+// sliceCacheBudget bytes of slices.
+type sliceCache struct {
+	mu      sync.Mutex
+	entries map[sliceKey]*sliceEntry
+	order   []sliceKey
+	cap     int
+}
+
+// init sizes the cache for an n-node graph.
+func (c *sliceCache) init(n int) {
+	bytesPer := 16*n + 64
+	c.cap = sliceCacheBudget / bytesPer
+	if c.cap < 8 {
+		c.cap = 8
+	}
+	c.entries = make(map[sliceKey]*sliceEntry)
+}
+
+// TargetSlice returns (building and caching on first use) the score vectors
+// into to under metric m.
+func (o *PartitionedOracle) TargetSlice(to graph.NodeID, m Metric) *TargetSlice {
+	return o.slice(sliceKey{node: to, m: m})
+}
+
+// SourceSlice returns (building and caching on first use) the score vectors
+// out of from under metric m.
+func (o *PartitionedOracle) SourceSlice(from graph.NodeID, m Metric) *TargetSlice {
+	return o.slice(sliceKey{node: from, m: m, src: true})
+}
+
+func (o *PartitionedOracle) slice(key sliceKey) *TargetSlice {
+	c := &o.slices
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		c.mu.Unlock()
+		<-e.done
+		return e.ts
+	}
+	e := &sliceEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.mu.Unlock()
+
+	if key.src {
+		e.ts = o.buildSourceSlice(key.node, key.m)
+	} else {
+		e.ts = o.buildSlice(key.node, key.m)
+	}
+	close(e.done)
+	return e.ts
+}
+
+// buildSlice assembles the slice into to: first the best overlay+tail
+// completion per border node (mid + tail), then per node the best head
+// through its region's borders — exactly query's decomposition with the
+// per-target half hoisted out, and the same head + (mid + tail) association,
+// so slice lookups reproduce query's primary scores bit for bit.
+func (o *PartitionedOracle) buildSlice(to graph.NodeID, m Metric) *TargetSlice {
+	n := len(o.region)
+	ts := &TargetSlice{Prim: newInfSlice(n), Sec: newInfSlice(n)}
+	rj := o.region[to]
+	cj := &o.cells[rj]
+	kj := len(cj.nodes)
+	lj := int(o.local[to])
+	jPrim, jSec, _ := cj.scoreTables(m)
+	ovP, ovS, _ := o.overlayTables(m)
+
+	// midTail[b]: best overlay(b,b2) + intra(b2,to) over to's region borders.
+	b := len(o.borders)
+	mtP := newInfSlice(b)
+	mtS := newInfSlice(b)
+	for b1 := 0; b1 < b; b1++ {
+		row := b1 * b
+		bp, bs := math.Inf(1), math.Inf(1)
+		for _, b2loc := range cj.borderLoc {
+			tail := jPrim[int(b2loc)*kj+lj]
+			if math.IsInf(tail, 1) {
+				continue
+			}
+			b2 := int(o.borderIdx[cj.nodes[b2loc]])
+			mid := ovP[row+b2]
+			if math.IsInf(mid, 1) {
+				continue
+			}
+			p := mid + tail
+			s := ovS[row+b2] + jSec[int(b2loc)*kj+lj]
+			if p < bp || (p == bp && s < bs) {
+				bp, bs = p, s
+			}
+		}
+		mtP[b1], mtS[b1] = bp, bs
+	}
+
+	for ci := range o.cells {
+		cell := &o.cells[ci]
+		k := len(cell.nodes)
+		iPrim, iSec, _ := cell.scoreTables(m)
+		sameRegion := int32(ci) == rj
+		for li := 0; li < k; li++ {
+			bestP, bestS := math.Inf(1), math.Inf(1)
+			if sameRegion {
+				bestP = iPrim[li*k+lj]
+				bestS = iSec[li*k+lj]
+			}
+			for _, b1loc := range cell.borderLoc {
+				head := iPrim[li*k+int(b1loc)]
+				if math.IsInf(head, 1) {
+					continue
+				}
+				b1 := int(o.borderIdx[cell.nodes[b1loc]])
+				if math.IsInf(mtP[b1], 1) {
+					continue
+				}
+				p := head + mtP[b1]
+				s := iSec[li*k+int(b1loc)] + mtS[b1]
+				if p < bestP || (p == bestP && s < bestS) {
+					bestP, bestS = p, s
+				}
+			}
+			v := cell.nodes[li]
+			ts.Prim[v] = bestP
+			ts.Sec[v] = bestS
+		}
+	}
+	ts.Prim[to] = 0
+	ts.Sec[to] = 0
+	return ts
+}
+
+// buildSourceSlice assembles the outbound slice from from: first the best
+// head+overlay arrival per border node ((head + mid), hoisting the
+// per-source half), then per node the best completion through its region's
+// borders. The hoisted association makes this the (head + mid) + tail
+// ordering — see SourceSliced for the contract.
+func (o *PartitionedOracle) buildSourceSlice(from graph.NodeID, m Metric) *TargetSlice {
+	n := len(o.region)
+	ts := &TargetSlice{Prim: newInfSlice(n), Sec: newInfSlice(n)}
+	ri := o.region[from]
+	ci := &o.cells[ri]
+	ki := len(ci.nodes)
+	li := int(o.local[from])
+	iPrim, iSec, _ := ci.scoreTables(m)
+	ovP, ovS, _ := o.overlayTables(m)
+
+	// hm[b2]: best intra(from,b1) + overlay(b1,b2) over from's region borders.
+	b := len(o.borders)
+	hmP := newInfSlice(b)
+	hmS := newInfSlice(b)
+	for _, b1loc := range ci.borderLoc {
+		head := iPrim[li*ki+int(b1loc)]
+		if math.IsInf(head, 1) {
+			continue
+		}
+		headS := iSec[li*ki+int(b1loc)]
+		row := int(o.borderIdx[ci.nodes[b1loc]]) * b
+		for b2 := 0; b2 < b; b2++ {
+			mid := ovP[row+b2]
+			if math.IsInf(mid, 1) {
+				continue
+			}
+			p := head + mid
+			s := headS + ovS[row+b2]
+			if p < hmP[b2] || (p == hmP[b2] && s < hmS[b2]) {
+				hmP[b2], hmS[b2] = p, s
+			}
+		}
+	}
+
+	for cj := range o.cells {
+		cell := &o.cells[cj]
+		k := len(cell.nodes)
+		jPrim, jSec, _ := cell.scoreTables(m)
+		sameRegion := int32(cj) == ri
+		for lj := 0; lj < k; lj++ {
+			bestP, bestS := math.Inf(1), math.Inf(1)
+			if sameRegion {
+				bestP = iPrim[li*ki+lj]
+				bestS = iSec[li*ki+lj]
+			}
+			for _, b2loc := range cell.borderLoc {
+				tail := jPrim[int(b2loc)*k+lj]
+				if math.IsInf(tail, 1) {
+					continue
+				}
+				b2 := int(o.borderIdx[cell.nodes[b2loc]])
+				if math.IsInf(hmP[b2], 1) {
+					continue
+				}
+				p := hmP[b2] + tail
+				s := hmS[b2] + jSec[int(b2loc)*k+lj]
+				if p < bestP || (p == bestP && s < bestS) {
+					bestP, bestS = p, s
+				}
+			}
+			v := cell.nodes[lj]
+			ts.Prim[v] = bestP
+			ts.Sec[v] = bestS
+		}
+	}
+	ts.Prim[from] = 0
+	ts.Sec[from] = 0
+	return ts
+}

@@ -138,6 +138,19 @@ func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedy
 	}
 
 	apsp.PrefetchSource(oracle, cur)
+	// On slice-indexed oracles the candidate scan reads two slices instead of
+	// issuing 2–3 pair queries per candidate: the plan's target slices for the
+	// m→target tails (bit-identical to the pair interface) and one outbound
+	// slice for the cur→m segments (exact reachability, scores equal up to
+	// floating-point association — see apsp.SourceSliced). On a partitioned
+	// oracle each pair query costs |borders|² table probes, so without the
+	// slices this loop dominates the whole search.
+	var srcTau *apsp.TargetSlice
+	if p.sliced {
+		if ss, ok := oracle.(apsp.SourceSliced); ok {
+			srcTau = ss.SourceSlice(cur, apsp.ByObjective)
+		}
+	}
 	type scored struct {
 		node   graph.NodeID
 		score  float64
@@ -151,18 +164,25 @@ func (p *plan) greedyStep(st greedyOutcome, nodeSet []graph.NodeID, best *greedy
 		if m == cur || p.nodeMask[m].Intersect(uncovered).Empty() {
 			continue
 		}
-		segOS, segBS, ok := oracle.MinObjective(cur, m)
+		var segOS, segBS float64
+		var ok bool
+		if srcTau != nil {
+			segOS, segBS = srcTau.Prim[m], srcTau.Sec[m]
+			ok = !math.IsInf(segOS, 1)
+		} else {
+			segOS, segBS, ok = oracle.MinObjective(cur, m)
+		}
 		if !ok {
 			continue
 		}
-		tailOS, tailBS, ok := oracle.MinObjective(m, p.q.Target)
+		tailOS, tailBS, ok := p.tauTo(m)
 		if !ok {
 			continue
 		}
 		if p.opts.BudgetPriority {
 			// §3.4 modification: only consider nodes that keep the route
 			// able to reach the target within Δ.
-			_, sigBS, sok := oracle.MinBudget(m, p.q.Target)
+			sigBS, sok := p.sigBudgetTo(m)
 			if !sok || st.bs+segBS+sigBS > p.q.Budget {
 				continue
 			}
@@ -211,7 +231,7 @@ func (p *plan) finishGreedy(st greedyOutcome, best *greedyOutcome, haveBest *boo
 	oracle := p.s.oracle
 	cur := st.waypoints[len(st.waypoints)-1]
 	legMetric := apsp.ByObjective
-	tailOS, tailBS, ok := oracle.MinObjective(cur, p.q.Target)
+	tailOS, tailBS, ok := p.tauTo(cur)
 	if !ok {
 		return
 	}

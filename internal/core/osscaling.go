@@ -129,14 +129,15 @@ func (p *plan) strategy1Jump(l *label) *label {
 	var bestNode graph.NodeID
 	var bestOS float64
 	found := false
-	for _, jn := range p.jumpNodes {
+	for i := range p.jumpNodes {
+		jn := &p.jumpNodes[i]
 		if jn.node == l.node {
 			continue
 		}
 		if jn.mask.Diff(l.covered).Empty() {
 			continue // carries no uncovered keyword
 		}
-		sigOS, sigBS, ok := p.sigInto(l.node, jn.node)
+		sigOS, sigBS, ok := p.sigInto(l.node, jn.node, &jn.sig)
 		if !ok || l.bs+sigBS+jn.tailBS > p.q.Budget {
 			continue
 		}

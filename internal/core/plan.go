@@ -63,12 +63,21 @@ type plan struct {
 	tauVia     map[graph.NodeID]*apsp.Sweep
 
 	// indexedPaths: the oracle materializes paths as table walks (dense
-	// matrix), so reconstruction delegates to it directly.
+	// matrix, partitioned), so reconstruction delegates to it directly.
 	indexedPaths bool
-	// Path-reconstruction sweeps for oracles that would otherwise answer
-	// each path with a fresh full sweep (e.g. the partitioned oracle): one
-	// reverse τ sweep into the target covers every tail path, one reverse σ
-	// sweep per shortcut node covers every σ segment.
+	// sliced: the oracle serves per-target score vectors (apsp.SliceIndexed).
+	// The plan resolves the two target slices eagerly — every admission check
+	// reads them — and the per-candidate slices lazily on first touch, cached
+	// on the candidate structs, so the hot lookups are plain array reads
+	// instead of border×border table assemblies.
+	sliced      bool
+	sliceOracle apsp.SliceIndexed
+	tailTau     *apsp.TargetSlice // τ(·, target) scores
+	tailSig     *apsp.TargetSlice // σ(·, target) scores
+	// Path-reconstruction sweeps for oracles that answer each path with a
+	// fresh full sweep: one reverse τ sweep into the target covers every
+	// tail path, one reverse σ sweep per shortcut node covers every σ
+	// segment.
 	tailPathSweep *apsp.Sweep
 	pathSweeps    map[graph.NodeID]*apsp.Sweep
 
@@ -85,6 +94,10 @@ type jumpNode struct {
 	node   graph.NodeID
 	mask   bitset.Mask
 	tailBS float64 // BS(σ(node, target)), precomputed at plan time
+
+	// sig caches the σ slice into this candidate on sliced oracles,
+	// resolved on first touch by any label.
+	sig *apsp.TargetSlice
 }
 
 // viaNode is one strategy-2 keyword node with its completions into the
@@ -93,6 +106,11 @@ type viaNode struct {
 	node graph.NodeID
 	osLT float64
 	bsLT float64
+
+	// sig/tau cache the slices into this candidate on sliced oracles,
+	// resolved on first touch by any label.
+	sig *apsp.TargetSlice
+	tau *apsp.TargetSlice
 }
 
 // newPlan validates the query and assembles the plan. A nil ctx means no
@@ -169,6 +187,12 @@ func (s *Searcher) newPlan(ctx context.Context, q Query, opts Options) (*plan, e
 		p.tauVia = make(map[graph.NodeID]*apsp.Sweep)
 	}
 	p.indexedPaths = apsp.HasIndexedPaths(s.oracle)
+	if so, ok := s.oracle.(apsp.SliceIndexed); ok {
+		p.sliced = true
+		p.sliceOracle = so
+		p.tailTau = so.TargetSlice(q.Target, apsp.ByObjective)
+		p.tailSig = so.TargetSlice(q.Target, apsp.ByBudget)
+	}
 
 	// The dominant shared-oracle lookups all point into the target; pin its
 	// sweeps first so the strategy precomputations below are cheap.
@@ -262,7 +286,15 @@ func (p *plan) tailEntryFor(v graph.NodeID) *tailEntry {
 }
 
 // sigBudgetTo returns the budget score of σ(v, target), memoized per plan.
+// On sliced oracles it is an array read off the plan's target slice.
 func (p *plan) sigBudgetTo(v graph.NodeID) (float64, bool) {
+	if p.sliced {
+		bs := p.tailSig.Prim[v]
+		if math.IsInf(bs, 1) {
+			return 0, false
+		}
+		return bs, true
+	}
 	e := p.tailEntryFor(v)
 	if e.flags&tailSigmaDone == 0 {
 		_, bs, ok := p.s.oracle.MinBudget(v, p.q.Target)
@@ -278,8 +310,16 @@ func (p *plan) sigBudgetTo(v graph.NodeID) (float64, bool) {
 	return e.sbs, true
 }
 
-// tauTo returns the scores of τ(v, target), memoized per plan.
+// tauTo returns the scores of τ(v, target), memoized per plan. On sliced
+// oracles it is two array reads off the plan's target slice.
 func (p *plan) tauTo(v graph.NodeID) (float64, float64, bool) {
+	if p.sliced {
+		os := p.tailTau.Prim[v]
+		if math.IsInf(os, 1) {
+			return 0, 0, false
+		}
+		return os, p.tailTau.Sec[v], true
+	}
 	e := p.tailEntryFor(v)
 	if e.flags&tailTauDone == 0 {
 		tos, tbs, ok := p.s.oracle.MinObjective(v, p.q.Target)
@@ -310,10 +350,24 @@ func (p *plan) boundedSigSweep(to graph.NodeID) *apsp.Sweep {
 }
 
 // sigInto returns the scores of σ(from, to) for a candidate node to. On a
+// sliced oracle the answer comes from the candidate's σ slice (resolved on
+// first touch into *slot, so later labels pay two array reads). On a
 // sweep-backed oracle it is answered from a plan-owned reverse sweep
 // truncated at Δ: ok=false then means "no path within the query budget",
 // which every caller treats identically to unreachable.
-func (p *plan) sigInto(from, to graph.NodeID) (os, bs float64, ok bool) {
+func (p *plan) sigInto(from, to graph.NodeID, slot **apsp.TargetSlice) (os, bs float64, ok bool) {
+	if p.sliced {
+		ts := *slot
+		if ts == nil {
+			ts = p.sliceOracle.TargetSlice(to, apsp.ByBudget)
+			*slot = ts
+		}
+		bs = ts.Prim[from]
+		if math.IsInf(bs, 1) {
+			return 0, 0, false
+		}
+		return ts.Sec[from], bs, true
+	}
 	if !p.useBounded {
 		return p.s.oracle.MinBudget(from, to)
 	}
@@ -358,11 +412,23 @@ func (p *plan) shortcutPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
 }
 
 // tauObjInto returns the objective score of τ(from, via.node) for a
-// strategy-2 keyword node. On a sweep-backed oracle the plan-owned sweep is
-// truncated at U−OS(τ(via,t)) as of its first use: U only shrinks, so a
-// node past the truncation can never satisfy the objective condition later
-// either.
-func (p *plan) tauObjInto(from graph.NodeID, via viaNode, u float64) (float64, bool) {
+// strategy-2 keyword node, from the candidate's τ slice on sliced oracles.
+// On a sweep-backed oracle the plan-owned sweep is truncated at
+// U−OS(τ(via,t)) as of its first use: U only shrinks, so a node past the
+// truncation can never satisfy the objective condition later either.
+func (p *plan) tauObjInto(from graph.NodeID, via *viaNode, u float64) (float64, bool) {
+	if p.sliced {
+		ts := via.tau
+		if ts == nil {
+			ts = p.sliceOracle.TargetSlice(via.node, apsp.ByObjective)
+			via.tau = ts
+		}
+		os := ts.Prim[from]
+		if math.IsInf(os, 1) {
+			return 0, false
+		}
+		return os, true
+	}
 	if !p.useBounded {
 		os, _, ok := p.s.oracle.MinObjective(from, via.node)
 		return os, ok
@@ -487,8 +553,9 @@ func (p *plan) strategy2Prune(l *label, u float64) bool {
 		return false
 	}
 	uInf := math.IsInf(u, 1)
-	for _, via := range p.infreq {
-		_, bsIL, ok := p.sigInto(l.node, via.node)
+	for i := range p.infreq {
+		via := &p.infreq[i]
+		_, bsIL, ok := p.sigInto(l.node, via.node, &via.sig)
 		if !ok || l.bs+bsIL+via.bsLT > p.q.Budget {
 			continue // cannot route through this node within Δ
 		}

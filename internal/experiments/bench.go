@@ -68,6 +68,10 @@ type BenchEntry struct {
 	AllocsPerOp     float64 `json:"allocs_per_op"`
 	BytesPerOp      float64 `json:"bytes_per_op"`
 	Failures        int     `json:"failures,omitempty"`
+	// FailureReason records why the first failed query failed (search error,
+	// empty result, or an infeasible best route), so a failure count in a
+	// committed report is diagnosable without rerunning the suite.
+	FailureReason string `json:"failure_reason,omitempty"`
 }
 
 // BenchReport is the committed benchmark artifact.
@@ -114,6 +118,9 @@ func benchWorkloads(o BenchOptions) []benchWorkload {
 	road := func(bo BenchOptions) (*Dataset, error) {
 		return NewRoadDataset(Config{Seed: bo.Seed, Queries: bo.Queries}, roadNodes), nil
 	}
+	roadIndexed := func(bo BenchOptions) (*Dataset, error) {
+		return NewRoadIndexedDataset(Config{Seed: bo.Seed, Queries: bo.Queries}, roadNodes)
+	}
 	return []benchWorkload{
 		{
 			name:    "flickr-dense",
@@ -130,6 +137,14 @@ func benchWorkloads(o BenchOptions) []benchWorkload {
 			delta:   9,
 			lineup:  benchLineup(),
 			descrip: "synthetic road network, lazy sweep oracle, m=6 Δ=9",
+		},
+		{
+			name:    "road-indexed",
+			build:   roadIndexed,
+			m:       6,
+			delta:   9,
+			lineup:  benchLineup(),
+			descrip: "same road network served from the disk-loaded partitioned index (mmap), m=6 Δ=9",
 		},
 	}
 }
@@ -154,12 +169,20 @@ func RunBench(o BenchOptions, log io.Writer) (*BenchReport, error) {
 		for _, algo := range w.lineup {
 			e, err := measureBench(ds, queries, algo, o.Iters)
 			if err != nil {
+				if ds.Cleanup != nil {
+					ds.Cleanup()
+				}
 				return nil, fmt.Errorf("experiments: bench %s/%s: %w", w.name, algo.Name, err)
 			}
 			e.Workload = w.name
 			report.Entries = append(report.Entries, e)
 			logf("  %-12s %12.0f ns/op  %8.0f labels/op  %6.2f+%.2f sweeps/op  %8.0f allocs/op",
 				algo.Name, e.NsPerOp, e.LabelsPerOp, e.SweepsPerOp, e.PlanSweepsPerOp, e.AllocsPerOp)
+		}
+		if ds.Cleanup != nil {
+			if err := ds.Cleanup(); err != nil {
+				return nil, fmt.Errorf("experiments: bench workload %s cleanup: %w", w.name, err)
+			}
 		}
 	}
 	return report, nil
@@ -177,6 +200,16 @@ func measureBench(ds *Dataset, queries []core.Query, algo Algorithm, iters int) 
 		res, err := algo.invoke(ds.Searcher, q)
 		if err != nil || len(res.Routes) == 0 || !res.Routes[0].Feasible {
 			e.Failures++
+			if e.FailureReason == "" {
+				switch {
+				case err != nil:
+					e.FailureReason = err.Error()
+				case len(res.Routes) == 0:
+					e.FailureReason = "no route returned"
+				default:
+					e.FailureReason = "best route infeasible (budget violated)"
+				}
+			}
 		}
 	}
 
@@ -243,17 +276,31 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 	return &r, nil
 }
 
-// Regression is one (workload, algorithm) cell whose ns/op grew past the
-// allowed ratio between two reports.
+// Regression is one (workload, algorithm) cell that got worse between two
+// reports: its ns/op grew past the allowed ratio, or its failure count
+// increased. A cell that regressed both ways yields two entries.
 type Regression struct {
 	Workload  string
 	Algorithm string
 	BaseNs    float64
 	CurNs     float64
 	Ratio     float64
+	// Failure-count regression (Ratio is 0 on these entries).
+	BaseFailures int
+	CurFailures  int
+	// FailureReason is the current report's recorded reason, when any.
+	FailureReason string
 }
 
 func (r Regression) String() string {
+	if r.CurFailures > r.BaseFailures {
+		reason := ""
+		if r.FailureReason != "" {
+			reason = " (" + r.FailureReason + ")"
+		}
+		return fmt.Sprintf("%s/%s: failures %d -> %d%s",
+			r.Workload, r.Algorithm, r.BaseFailures, r.CurFailures, reason)
+	}
 	return fmt.Sprintf("%s/%s: %.0f ns/op -> %.0f ns/op (%.2fx)",
 		r.Workload, r.Algorithm, r.BaseNs, r.CurNs, r.Ratio)
 }
@@ -264,12 +311,15 @@ func (r Regression) String() string {
 // the regression ratio.
 const gateFloorNs = 5e6
 
-// CompareBench reports every cell present in both reports whose current
-// ns/op exceeds maxRatio times the base. Cells present in only one report
-// are ignored (workload sets may evolve between revisions), as are cells
-// whose baseline measured region is under gateFloorNs — too noisy to gate.
-// Callers must compare like with like: a smoke report is only comparable
-// to another smoke report (BenchReport.Smoke).
+// CompareBench reports every cell present in both reports that regressed:
+// current ns/op exceeding maxRatio times the base, or a failure count that
+// grew — failures are deterministic over the fixed query set, so any
+// increase means a query that used to be answered no longer is, regardless
+// of how fast the cell runs. Cells present in only one report are ignored
+// (workload sets may evolve between revisions); the ns/op gate additionally
+// skips cells whose baseline measured region is under gateFloorNs — too
+// noisy to gate. Callers must compare like with like: a smoke report is
+// only comparable to another smoke report (BenchReport.Smoke).
 func CompareBench(base, cur *BenchReport, maxRatio float64) []Regression {
 	index := make(map[string]BenchEntry, len(base.Entries))
 	for _, e := range base.Entries {
@@ -280,6 +330,13 @@ func CompareBench(base, cur *BenchReport, maxRatio float64) []Regression {
 		b, ok := index[e.Workload+"/"+e.Algorithm]
 		if !ok || b.NsPerOp <= 0 {
 			continue
+		}
+		if e.Failures > b.Failures {
+			out = append(out, Regression{
+				Workload: e.Workload, Algorithm: e.Algorithm,
+				BaseFailures: b.Failures, CurFailures: e.Failures,
+				FailureReason: e.FailureReason,
+			})
 		}
 		if b.NsPerOp*float64(b.Queries*b.Iters) < gateFloorNs {
 			continue

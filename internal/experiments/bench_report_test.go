@@ -59,6 +59,37 @@ func TestCompareBenchFlagsRegressions(t *testing.T) {
 	}
 }
 
+// Failure counts are deterministic, so any increase is a regression even
+// when the cell's timing sits below the noise floor — and shrinking or
+// stable counts never are.
+func TestCompareBenchFlagsFailureIncrease(t *testing.T) {
+	base := sampleReport()
+	base.Entries[0].Failures = 2
+	cur := sampleReport()
+	cur.Entries[0].Failures = 5
+	cur.Entries[0].FailureReason = "no route returned"
+	cur.Entries[0].NsPerOp = 20_000 // below the gate floor: timing is ignored, failures are not
+	cur.Entries[1].Failures = 0     // same as base: not a regression
+
+	regs := CompareBench(base, cur, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Workload != "flickr-dense" || r.BaseFailures != 2 || r.CurFailures != 5 {
+		t.Fatalf("wrong failure regression: %+v", r)
+	}
+	if s := r.String(); !strings.Contains(s, "failures 2 -> 5") || !strings.Contains(s, "no route returned") {
+		t.Fatalf("failure regression renders %q", s)
+	}
+
+	// Fewer failures than the baseline is an improvement, not a regression.
+	cur.Entries[0].Failures = 1
+	if regs := CompareBench(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("failure decrease flagged: %v", regs)
+	}
+}
+
 // Cells whose baseline measured region is microseconds are below the gate
 // floor: too noisy for a ratio check, never flagged.
 func TestCompareBenchIgnoresNoiseFloorCells(t *testing.T) {

@@ -56,6 +56,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kor/internal/apsp"
 	"kor/internal/core"
@@ -169,6 +170,15 @@ type EngineConfig struct {
 	// inverted file at this path instead of the in-memory index — the
 	// paper's B+-tree storage.
 	IndexPath string
+	// DistIndexPath, when non-empty, loads a persistent distance oracle
+	// built by WriteDistIndex (kordata -build-index) instead of running the
+	// τ/σ pre-processing at startup; Oracle and PartitionCellSize are then
+	// ignored for the construction graph. The file is bound to one graph:
+	// NewEngine fails with apsp.ErrIndexFingerprint when it does not match,
+	// and after a Swap or Patch changes the graph the engine falls back to a
+	// lazy oracle and reports OracleStatus.Degraded until a matching graph
+	// is installed again.
+	DistIndexPath string
 	// CacheSize, when positive, bounds a shard-locked LRU cache of query
 	// responses keyed by the request's canonical form and the graph's
 	// fingerprint. Repeated identical requests — the hot fraction of any
@@ -209,6 +219,12 @@ type Engine struct {
 
 	index     io.Closer // non-nil when a disk index is open
 	diskIndex *textindex.GraphIndex
+
+	// distOracle is the disk-loaded distance oracle (DistIndexPath), shared
+	// by every snapshot whose graph matches its fingerprint; distLoad is how
+	// long OpenIndex took. Both are set once at construction.
+	distOracle *apsp.PartitionedOracle
+	distLoad   time.Duration
 
 	// cache is the optional response cache (EngineConfig.CacheSize > 0);
 	// keys fold in the current snapshot's fingerprint, and the whole cache
@@ -295,20 +311,51 @@ func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
 		eng.index = gi
 		eng.diskIndex = gi
 	}
+	if cfg.DistIndexPath != "" {
+		start := time.Now()
+		po, err := apsp.OpenIndex(cfg.DistIndexPath, g)
+		if err != nil {
+			if eng.index != nil {
+				eng.index.Close()
+			}
+			return nil, fmt.Errorf("kor: loading distance index %s: %w", cfg.DistIndexPath, err)
+		}
+		eng.distOracle = po
+		eng.distLoad = time.Since(start)
+	}
 	sn, err := eng.newSnapshot(g, 1)
 	if err != nil {
-		if eng.index != nil {
-			eng.index.Close()
-		}
+		eng.closeOwned()
 		return nil, err
 	}
 	eng.generation = 1
 	eng.snap.Store(sn)
+	eng.publishOracleStatus(sn.oracle)
 	return eng, nil
 }
 
-// buildOracle constructs the τ/σ oracle cfg selects for g.
-func buildOracle(g *Graph, cfg EngineConfig) (core.RouteOracle, error) {
+// WriteDistIndex runs the partitioned τ/σ pre-processing for g and persists
+// it to path in the KORI format, ready for EngineConfig.DistIndexPath /
+// korserve -dist-index. cellSize ≤ 0 uses apsp.DefaultCellSize. The file is
+// bound to g's fingerprint.
+func WriteDistIndex(path string, g *Graph, cellSize int) (apsp.IndexInfo, error) {
+	if cellSize <= 0 {
+		cellSize = apsp.DefaultCellSize
+	}
+	o := apsp.NewPartitionedOracle(g, cellSize)
+	if err := o.WriteIndexFile(path); err != nil {
+		return apsp.IndexInfo{}, err
+	}
+	info := o.IndexInfo()
+	if st, err := os.Stat(path); err == nil {
+		info.Bytes = st.Size()
+	}
+	return info, nil
+}
+
+// buildOracle constructs the τ/σ oracle cfg selects for g, returning it with
+// its OracleStatus.Kind label.
+func buildOracle(g *Graph, cfg EngineConfig) (core.RouteOracle, string, error) {
 	kind := cfg.Oracle
 	if kind == OracleAuto {
 		if g.NumNodes() <= denseOracleLimit {
@@ -319,17 +366,17 @@ func buildOracle(g *Graph, cfg EngineConfig) (core.RouteOracle, error) {
 	}
 	switch kind {
 	case OracleDense:
-		return apsp.NewMatrixOracle(g), nil
+		return apsp.NewMatrixOracle(g), OracleKindMatrix, nil
 	case OracleLazy:
-		return apsp.NewLazyOracle(g), nil
+		return apsp.NewLazyOracle(g), OracleKindLazy, nil
 	case OraclePartitioned:
 		cell := cfg.PartitionCellSize
 		if cell <= 0 {
 			cell = apsp.DefaultCellSize
 		}
-		return apsp.NewPartitionedOracle(g, cell), nil
+		return apsp.NewPartitionedOracle(g, cell), OracleKindPartitioned, nil
 	default:
-		return nil, fmt.Errorf("kor: unknown oracle kind %d", cfg.Oracle)
+		return nil, "", fmt.Errorf("kor: unknown oracle kind %d", cfg.Oracle)
 	}
 }
 
@@ -377,12 +424,25 @@ func (e *Engine) CacheStats() (stats CacheStats, ok bool) {
 	}, true
 }
 
-// Close releases the disk index, if any.
+// Close releases the engine's disk-backed resources: the inverted file and
+// the mmap behind a persistent distance oracle, when configured.
 func (e *Engine) Close() error {
+	return e.closeOwned()
+}
+
+// closeOwned releases the disk index and distance oracle, keeping the first
+// error.
+func (e *Engine) closeOwned() error {
+	var err error
 	if e.index != nil {
-		return e.index.Close()
+		err = e.index.Close()
 	}
-	return nil
+	if e.distOracle != nil {
+		if cerr := e.distOracle.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Graph returns the engine's current graph. After a Swap or Patch it

@@ -205,6 +205,31 @@ type Stats struct {
 	// Snapshot identifies the graph snapshot currently serving queries; it
 	// changes on every /v1/admin/patch or /v1/admin/reload.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// Oracle reports which τ/σ distance oracle is serving queries.
+	Oracle *OracleInfo `json:"oracle,omitempty"`
+}
+
+// OracleInfo is the wire form of the engine's oracle status inside
+// /v1/stats.
+type OracleInfo struct {
+	// Kind is the active oracle implementation: "lazy", "matrix",
+	// "partitioned" or "partitioned-disk".
+	Kind string `json:"kind"`
+	// Degraded is true when the server was started with a persistent
+	// distance index (-dist-index) but the live graph no longer matches it —
+	// after an admin patch or reload — so queries fall back to a lazy
+	// oracle instead of serving stale distances.
+	Degraded bool `json:"degraded,omitempty"`
+	// IndexFingerprint is the graph fingerprint the persistent index was
+	// built from, 16 lowercase hex digits; absent without one.
+	IndexFingerprint string `json:"index_fingerprint,omitempty"`
+	// IndexBytes is the persistent index file size.
+	IndexBytes int64 `json:"index_bytes,omitempty"`
+	// Mapped reports whether the index is served through an mmap rather
+	// than a decoded in-heap copy.
+	Mapped bool `json:"mapped,omitempty"`
+	// LoadMillis is how long the index took to open at server start.
+	LoadMillis float64 `json:"load_millis,omitempty"`
 }
 
 // Snapshot is the wire form of one graph snapshot's identity, served inside

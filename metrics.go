@@ -18,6 +18,9 @@ import (
 //	kor_engine_cache_evictions_total              counter (cache enabled)
 //	kor_engine_plan_sweeps_total                  counter
 //	kor_engine_oracle_sweeps                      gauge
+//	kor_engine_oracle_kind{kind}                  gauge (1 for the active kind)
+//	kor_engine_oracle_degraded                    gauge
+//	kor_engine_index_load_seconds                 gauge
 //	kor_engine_snapshot_generation                gauge
 //
 // Outcome labels are a closed set (see outcomeLabel); algorithm labels come
@@ -32,6 +35,7 @@ type engineMetrics struct {
 	latency    *metrics.HistogramVec
 	cacheReq   *metrics.CounterVec
 	planSweeps *metrics.Counter
+	oracleKind *metrics.GaugeVec
 }
 
 // registerMetrics creates the engine's instruments on reg. Called once from
@@ -46,6 +50,19 @@ func (e *Engine) registerMetrics(reg *metrics.Registry) {
 		planSweeps: reg.Counter("kor_engine_plan_sweeps_total",
 			"Query-owned oracle sweeps (Δ-bounded candidate lookups and route reconstruction)."),
 	}
+	m.oracleKind = reg.GaugeVec("kor_engine_oracle_kind",
+		"Active τ/σ oracle implementation: 1 on the serving kind's series, 0 elsewhere.", "kind")
+	reg.GaugeFunc("kor_engine_oracle_degraded",
+		"1 when a configured persistent distance index no longer matches the live graph and queries fall back to a lazy oracle.",
+		func() float64 {
+			if e.snap.Load().oracle.Degraded {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("kor_engine_index_load_seconds",
+		"Time spent loading the persistent distance index at engine construction (0 when none is configured).",
+		func() float64 { return e.snap.Load().oracle.LoadTime.Seconds() })
 	reg.GaugeFunc("kor_engine_snapshot_generation",
 		"Generation of the graph snapshot currently serving queries.",
 		func() float64 { return float64(e.Snapshot().Generation) })
@@ -68,6 +85,21 @@ func (e *Engine) registerMetrics(reg *metrics.Registry) {
 			func() float64 { return float64(e.cache.Stats().Evictions) })
 	}
 	e.met = m
+}
+
+// publishOracleStatus flips the oracle-kind gauge series to the snapshot's
+// serving kind. Called after every snapshot store; a no-op without metrics.
+func (e *Engine) publishOracleStatus(st OracleStatus) {
+	if e.met == nil {
+		return
+	}
+	for _, kind := range []string{OracleKindLazy, OracleKindMatrix, OracleKindPartitioned, OracleKindPartitionedDisk} {
+		v := int64(0)
+		if kind == st.Kind {
+			v = 1
+		}
+		e.met.oracleKind.With(kind).Set(v)
+	}
 }
 
 // observe records one Run outcome. algorithm falls back to "invalid" when

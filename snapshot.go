@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"kor/internal/apsp"
 	"kor/internal/core"
 	"kor/internal/graph"
 )
@@ -43,6 +44,44 @@ type SnapshotInfo struct {
 	LoadedAt time.Time
 }
 
+// Oracle kind labels reported by OracleStatus.Kind and the
+// kor_engine_oracle_kind metric. A closed set.
+const (
+	// OracleKindLazy is the memoized sweep oracle.
+	OracleKindLazy = "lazy"
+	// OracleKindMatrix is the dense |V|² table oracle.
+	OracleKindMatrix = "matrix"
+	// OracleKindPartitioned is the §6 partition oracle built in memory.
+	OracleKindPartitioned = "partitioned"
+	// OracleKindPartitionedDisk is the partition oracle loaded from a
+	// persistent index file (EngineConfig.DistIndexPath).
+	OracleKindPartitionedDisk = "partitioned-disk"
+)
+
+// OracleStatus reports which τ/σ oracle a snapshot is serving from, and the
+// identity of the persistent index behind it when there is one. Surfaced by
+// Engine.OracleStatus, /v1/stats and the kor_engine_oracle_* metrics.
+type OracleStatus struct {
+	// Kind is one of the OracleKind* labels.
+	Kind string
+	// Degraded reports that the engine was configured with a persistent
+	// distance index but the current snapshot's graph no longer matches its
+	// fingerprint (a Swap or Patch changed the graph), so queries are served
+	// by a freshly built lazy oracle instead of stale precomputed distances.
+	Degraded bool
+	// IndexFingerprint is the graph fingerprint of the configured persistent
+	// index; zero when none is configured.
+	IndexFingerprint uint64
+	// IndexBytes is the index file size; zero when none is configured.
+	IndexBytes int64
+	// Mapped reports that the index tables alias an mmap'ed file rather than
+	// a decoded in-heap copy.
+	Mapped bool
+	// LoadTime is how long opening the persistent index took at engine
+	// construction.
+	LoadTime time.Duration
+}
+
 // snapshot bundles one graph with everything derived from it. All fields
 // are immutable after construction except the lazily memoized stats; a
 // snapshot is therefore safe to share between any number of queries, and
@@ -52,6 +91,7 @@ type snapshot struct {
 	g        *Graph
 	searcher *core.Searcher
 	info     SnapshotInfo
+	oracle   OracleStatus
 
 	// statsOnce memoizes ComputeStats — a full O(V+E) scan — per snapshot,
 	// so a stats poller costs one scan per graph version, not per request.
@@ -67,11 +107,37 @@ func (sn *snapshot) computeStats() GraphStats {
 
 // newSnapshot builds the per-graph substrates: the oracle per the engine's
 // configuration and, unless the engine owns a disk index, a fresh in-memory
-// inverted index.
+// inverted index. With a persistent distance index configured the snapshot
+// serves from it when the graph still matches its fingerprint; otherwise it
+// falls back to a lazy oracle and flags the status Degraded — stale
+// precomputed distances must never answer queries for a changed graph.
 func (e *Engine) newSnapshot(g *Graph, generation uint64) (*snapshot, error) {
-	oracle, err := buildOracle(g, e.cfg)
-	if err != nil {
-		return nil, err
+	var (
+		oracle core.RouteOracle
+		status OracleStatus
+	)
+	if e.distOracle != nil {
+		info := e.distOracle.IndexInfo()
+		status = OracleStatus{
+			IndexFingerprint: info.Fingerprint,
+			IndexBytes:       info.Bytes,
+			Mapped:           info.Mapped,
+			LoadTime:         e.distLoad,
+		}
+		if info.Fingerprint == g.Fingerprint() {
+			oracle = e.distOracle
+			status.Kind = OracleKindPartitionedDisk
+		} else {
+			oracle = apsp.NewLazyOracle(g)
+			status.Kind = OracleKindLazy
+			status.Degraded = true
+		}
+	} else {
+		var err error
+		oracle, status.Kind, err = buildOracle(g, e.cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var index graph.PostingSource
 	if e.diskIndex != nil {
@@ -87,6 +153,7 @@ func (e *Engine) newSnapshot(g *Graph, generation uint64) (*snapshot, error) {
 			Generation:  generation,
 			LoadedAt:    time.Now(),
 		},
+		oracle: status,
 	}, nil
 }
 
@@ -141,6 +208,7 @@ func (e *Engine) installLocked(g *Graph) (SnapshotInfo, error) {
 	}
 	e.generation++
 	e.snap.Store(sn)
+	e.publishOracleStatus(sn.oracle)
 	if e.cache != nil {
 		// Entries for the old fingerprint can never be hit again; free the
 		// capacity now instead of waiting for LRU pressure. A query still
@@ -154,6 +222,12 @@ func (e *Engine) installLocked(g *Graph) (SnapshotInfo, error) {
 
 // Snapshot returns the identity of the engine's current snapshot.
 func (e *Engine) Snapshot() SnapshotInfo { return e.snap.Load().info }
+
+// OracleStatus reports the oracle serving the engine's current snapshot.
+// Watch Degraded after Swap or Patch on an engine configured with a
+// persistent distance index: true means the index no longer matches the live
+// graph and queries run on a lazy oracle until a matching graph returns.
+func (e *Engine) OracleStatus() OracleStatus { return e.snap.Load().oracle }
 
 // Stats returns the current snapshot's graph summary and identity. The
 // summary is computed once per snapshot and memoized, so polling this (as

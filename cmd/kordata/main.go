@@ -9,6 +9,15 @@
 //	kordata -kind road -nodes 5000 -seed 2012 -out road5k.korg
 //	kordata -kind road -nodes 200 -out g.korg -emit-delta patch.json
 //	kordata -kind road -nodes 5000 -out road5k.korg -build-index road5k.kori
+//	kordata -kind road -nodes 1000 -out city.korg -shard 2 -halo 3
+//
+// -shard N cuts the graph into N region shards for the korrouter serving
+// tier: city.shard0.korg … city.shard<N-1>.korg plus city.shardmap.json.
+// Each shard graph keeps the full node set and vocabulary (global node IDs
+// and Term numbering stay valid everywhere) but only the shard's closure —
+// its owned partition regions plus a -halo hop border band — keeps edges
+// and keywords. Boot one korserve per shard file (-role replica -shard-id
+// <i>) and point korrouter at the shard map.
 //
 // -build-index runs the partitioned τ/σ pre-processing offline and persists
 // it, so korserve -dist-index starts serving precomputed distances without
@@ -27,9 +36,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"kor"
+	"kor/internal/cluster"
 	"kor/internal/gen"
 	"kor/internal/textindex"
 	"kor/korapi"
@@ -44,7 +56,9 @@ func main() {
 		index     = flag.String("index", "", "optional output path for the disk inverted file")
 		emitDelta = flag.String("emit-delta", "", "optional output path for a JSON live-update delta valid for the generated graph")
 		distIndex = flag.String("build-index", "", "optional output path for the persistent distance index (partitioned τ/σ tables)")
-		cellSize  = flag.Int("cell-size", 0, "partition region-size cap for -build-index (0 = default)")
+		cellSize  = flag.Int("cell-size", 0, "partition region-size cap for -build-index and -shard (0 = default)")
+		shards    = flag.Int("shard", 0, "cut the graph into N region shards, writing <out-base>.shard<i>.korg plus <out-base>.shardmap.json for korrouter")
+		halo      = flag.Int("halo", 2, "border halo depth for -shard: undirected BFS hops replicated beyond each shard's owned nodes")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -104,6 +118,40 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if *shards > 0 {
+		if err := writeShards(*out, g, *shards, *cellSize, *halo); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeShards cuts g into region shards and writes one graph file per shard
+// plus the shard map korrouter boots from. File names derive from the main
+// output path: city.korg → city.shard0.korg … plus city.shardmap.json.
+func writeShards(outPath string, g *kor.Graph, shards, cellSize, halo int) error {
+	cut, err := cluster.CutGraph(g, cluster.CutConfig{Shards: shards, CellSize: cellSize, Halo: halo})
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(outPath, filepath.Ext(outPath))
+	for i, sg := range cut.Graphs {
+		name := fmt.Sprintf("%s.shard%d.korg", base, i)
+		if err := kor.SaveGraph(name, sg); err != nil {
+			return err
+		}
+		cut.Map.Shards[i].Graph = filepath.Base(name)
+		info := cut.Map.Shards[i]
+		fmt.Printf("wrote %s (shard %d: %d owned, %d closure, %d edges, %d keywords, fingerprint %s)\n",
+			name, i, info.Owned, info.Closure, info.Edges, len(info.Keywords), info.Fingerprint)
+	}
+	mapPath := base + ".shardmap.json"
+	if err := cut.Map.Save(mapPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d shards, halo %d, full fingerprint %s)\n",
+		mapPath, len(cut.Map.Shards), cut.Map.Halo, cut.Map.FullFingerprint)
+	return nil
 }
 
 // formatBytes renders a byte count with a binary unit suffix.

@@ -26,6 +26,7 @@ import (
 // one-to-one; tests construct it directly.
 type config struct {
 	URL         string        // korserve base URL
+	Targets     string        // comma-separated base URLs for multi-target runs; overrides URL
 	Duration    time.Duration // how long to drive load
 	QPS         float64       // fixed arrival rate; 0 = closed loop
 	Concurrency int           // worker count
@@ -95,8 +96,45 @@ type Report struct {
 	RejectedRate    float64  `json:"rejected_rate"`
 	AdminPatches    int      `json:"admin_patches,omitempty"`
 	AdminErrors     int      `json:"admin_errors,omitempty"`
-	SLOViolations   []string `json:"slo_violations"`
-	Pass            bool     `json:"pass"`
+	// Targets is the per-target breakdown of a -targets run, request order
+	// round-robin; absent on single-target runs.
+	Targets       []TargetReport `json:"targets,omitempty"`
+	SLOViolations []string       `json:"slo_violations"`
+	Pass          bool           `json:"pass"`
+}
+
+// TargetReport is one target's slice of a multi-target run. The latency
+// and error gates apply to every target individually — a cluster run
+// passing only because the fast router target drowns out a sick shard
+// replica defeats the point of driving them together.
+type TargetReport struct {
+	URL           string   `json:"url"`
+	Requests      int      `json:"requests"`
+	ThroughputQPS float64  `json:"throughput_qps"`
+	Latency       Latency  `json:"latency_ms"`
+	Outcomes      Outcomes `json:"outcomes"`
+	ErrorRate     float64  `json:"error_rate"`
+	RejectedRate  float64  `json:"rejected_rate"`
+}
+
+// parseTargets splits and normalizes the -targets list.
+func parseTargets(spec string) ([]string, error) {
+	var targets []string
+	for _, t := range strings.Split(spec, ",") {
+		t = strings.TrimRight(strings.TrimSpace(t), "/")
+		if t == "" {
+			continue
+		}
+		u, err := url.Parse(t)
+		if err != nil || u.Scheme == "" {
+			return nil, fmt.Errorf("bad target URL %q", t)
+		}
+		targets = append(targets, t)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("empty -targets list %q", spec)
+	}
+	return targets, nil
 }
 
 // mixEntry is one algorithm with its sampling weight.
@@ -350,11 +388,17 @@ func run(cfg config) (*Report, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
-	base, err := url.Parse(cfg.URL)
-	if err != nil || base.Scheme == "" {
-		return nil, fmt.Errorf("bad target URL %q", cfg.URL)
+	spec := cfg.Targets
+	if spec == "" {
+		spec = cfg.URL
 	}
-	cfg.URL = strings.TrimRight(cfg.URL, "/")
+	targets, err := parseTargets(spec)
+	if err != nil {
+		return nil, err
+	}
+	// The first target anchors the probe and the admin churn: in a cluster
+	// run that is the router, which replicates patches to every shard.
+	cfg.URL = targets[0]
 
 	client := &http.Client{
 		Timeout: cfg.Timeout,
@@ -423,11 +467,19 @@ func run(cfg config) (*Report, error) {
 		}()
 	}
 
+	// Per-worker, per-target accumulation: no locks on the hot path.
 	type workerResult struct {
-		latencies []float64 // milliseconds
-		outcomes  Outcomes
+		latencies [][]float64 // per target, milliseconds
+		outcomes  []Outcomes  // per target
 	}
 	results := make([]workerResult, cfg.Concurrency)
+	for i := range results {
+		results[i].latencies = make([][]float64, len(targets))
+		results[i].outcomes = make([]Outcomes, len(targets))
+	}
+	// Targets rotate per request across all workers, so every target sees
+	// an equal slice of the identical workload stream.
+	var rr atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < cfg.Concurrency; i++ {
@@ -447,16 +499,17 @@ func run(cfg config) (*Report, error) {
 					return
 				}
 				req := w.generate(rng)
+				ti := int(rr.Add(1)-1) % len(targets)
 				t0 := time.Now()
-				status, err := fire(ctx, client, cfg.URL, req)
+				status, err := fire(ctx, client, targets[ti], req)
 				if ctx.Err() != nil && err != nil {
 					// The run deadline cut this request off mid-flight; it
 					// says nothing about the server.
 					return
 				}
-				classify(status, err)(&res.outcomes)
+				classify(status, err)(&res.outcomes[ti])
 				if err == nil {
-					res.latencies = append(res.latencies, float64(time.Since(t0).Microseconds())/1e3)
+					res.latencies[ti] = append(res.latencies[ti], float64(time.Since(t0).Microseconds())/1e3)
 				}
 			}
 		}(i)
@@ -464,26 +517,42 @@ func run(cfg config) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Merge.
+	// Merge per target, then aggregate.
+	perTarget := make([]TargetReport, len(targets))
+	perLats := make([][]float64, len(targets))
 	var all []float64
 	var out Outcomes
-	for i := range results {
-		all = append(all, results[i].latencies...)
-		out.OK += results[i].outcomes.OK
-		out.NoRoute += results[i].outcomes.NoRoute
-		out.Rejected += results[i].outcomes.Rejected
-		out.ClientError += results[i].outcomes.ClientError
-		out.Error += results[i].outcomes.Error
+	for ti, target := range targets {
+		tr := &perTarget[ti]
+		tr.URL = target
+		for i := range results {
+			perLats[ti] = append(perLats[ti], results[i].latencies[ti]...)
+			addOutcomes(&tr.Outcomes, results[i].outcomes[ti])
+		}
+		tr.Requests = tr.Outcomes.total()
+		if elapsed > 0 {
+			tr.ThroughputQPS = float64(tr.Requests) / elapsed.Seconds()
+		}
+		if tr.Requests > 0 {
+			tr.ErrorRate = float64(tr.Outcomes.Error) / float64(tr.Requests)
+			tr.RejectedRate = float64(tr.Outcomes.Rejected) / float64(tr.Requests)
+		}
+		tr.Latency = summarize(perLats[ti])
+		all = append(all, perLats[ti]...)
+		addOutcomes(&out, tr.Outcomes)
 	}
 
 	rep := &Report{
-		Target:          cfg.URL,
+		Target:          strings.Join(targets, ","),
 		DurationSeconds: elapsed.Seconds(),
 		Requests:        out.total(),
 		Outcomes:        out,
 		AdminPatches:    int(patches.Load()),
 		AdminErrors:     int(patchErrs.Load()),
 		SLOViolations:   []string{},
+	}
+	if len(targets) > 1 {
+		rep.Targets = perTarget
 	}
 	if elapsed > 0 {
 		rep.ThroughputQPS = float64(out.total()) / elapsed.Seconds()
@@ -492,22 +561,37 @@ func run(cfg config) (*Report, error) {
 		rep.ErrorRate = float64(out.Error) / float64(n)
 		rep.RejectedRate = float64(out.Rejected) / float64(n)
 	}
-	if len(all) > 0 {
-		sort.Float64s(all)
-		sum := 0.0
-		for _, v := range all {
-			sum += v
-		}
-		rep.Latency = Latency{
-			MeanMS: sum / float64(len(all)),
-			P50MS:  percentile(all, 0.50),
-			P95MS:  percentile(all, 0.95),
-			P99MS:  percentile(all, 0.99),
-			MaxMS:  all[len(all)-1],
-		}
-	}
+	rep.Latency = summarize(all)
 	rep.evalSLO(cfg)
 	return rep, nil
+}
+
+// addOutcomes accumulates src into dst.
+func addOutcomes(dst *Outcomes, src Outcomes) {
+	dst.OK += src.OK
+	dst.NoRoute += src.NoRoute
+	dst.Rejected += src.Rejected
+	dst.ClientError += src.ClientError
+	dst.Error += src.Error
+}
+
+// summarize computes the latency block over samples (sorted in place).
+func summarize(lats []float64) Latency {
+	if len(lats) == 0 {
+		return Latency{}
+	}
+	sort.Float64s(lats)
+	sum := 0.0
+	for _, v := range lats {
+		sum += v
+	}
+	return Latency{
+		MeanMS: sum / float64(len(lats)),
+		P50MS:  percentile(lats, 0.50),
+		P95MS:  percentile(lats, 0.95),
+		P99MS:  percentile(lats, 0.99),
+		MaxMS:  lats[len(lats)-1],
+	}
 }
 
 // evalSLO fills SLOViolations and Pass against the configured gates.
@@ -534,6 +618,24 @@ func (r *Report) evalSLO(cfg config) {
 	}
 	if cfg.Require429 && r.Outcomes.Rejected == 0 {
 		violate("expected 429 rejections under oversaturation, saw none")
+	}
+	// Per-target gates: each target of a -targets run must clear the latency
+	// and error SLOs on its own, and must have seen traffic at all.
+	for i := range r.Targets {
+		tr := &r.Targets[i]
+		if tr.Requests == 0 {
+			violate("target %s received no requests", tr.URL)
+			continue
+		}
+		if cfg.SLOP50 > 0 && tr.Latency.P50MS > cfg.SLOP50.Seconds()*1000 {
+			violate("target %s p50 %.1fms exceeds SLO %s", tr.URL, tr.Latency.P50MS, cfg.SLOP50)
+		}
+		if cfg.SLOP99 > 0 && tr.Latency.P99MS > cfg.SLOP99.Seconds()*1000 {
+			violate("target %s p99 %.1fms exceeds SLO %s", tr.URL, tr.Latency.P99MS, cfg.SLOP99)
+		}
+		if cfg.SLOMaxErrorRate >= 0 && tr.ErrorRate > cfg.SLOMaxErrorRate {
+			violate("target %s error rate %.4f exceeds SLO %.4f (%d errors)", tr.URL, tr.ErrorRate, cfg.SLOMaxErrorRate, tr.Outcomes.Error)
+		}
 	}
 	if r.Outcomes.ClientError > 0 {
 		violate("%d client_error responses: the driver sent malformed requests", r.Outcomes.ClientError)

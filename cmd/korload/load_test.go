@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -266,6 +267,138 @@ func TestRunPatchChurn(t *testing.T) {
 	}
 	if rep.AdminErrors != 0 {
 		t.Errorf("admin errors = %d, want 0", rep.AdminErrors)
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("http://a:1, http://b:2/ ,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("parseTargets = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", " , ", "no-scheme.example", "http://a,not a url"} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunMultiTarget: -targets round-robins the identical stream across both
+// servers and the report breaks the run down per target.
+func TestRunMultiTarget(t *testing.T) {
+	var hits [2]atomic.Int64
+	ts0 := stubServe(t, func(w http.ResponseWriter, r *http.Request) {
+		hits[0].Add(1)
+		okRoute(w, r)
+	})
+	ts1 := stubServe(t, func(w http.ResponseWriter, r *http.Request) {
+		hits[1].Add(1)
+		okRoute(w, r)
+	})
+
+	rep, err := run(config{
+		Targets:         ts0.URL + "," + ts1.URL,
+		Duration:        300 * time.Millisecond,
+		Concurrency:     4,
+		Mix:             "bucketbound",
+		SLOMaxErrorRate: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("per-target breakdown has %d entries, want 2: %+v", len(rep.Targets), rep.Targets)
+	}
+	sum := 0
+	for i, tr := range rep.Targets {
+		if tr.Requests == 0 {
+			t.Errorf("target %d (%s) saw no requests", i, tr.URL)
+		}
+		// Requests the deadline cut mid-flight reach the server but are
+		// dropped from the report; at most one per worker can be in flight.
+		if got := hits[i].Load(); int64(tr.Requests) > got || got-int64(tr.Requests) > 4 {
+			t.Errorf("target %d: report %d requests, server saw %d", i, tr.Requests, got)
+		}
+		if tr.Requests > 0 && tr.Latency.P50MS <= 0 {
+			t.Errorf("target %d latency summary empty: %+v", i, tr.Latency)
+		}
+		sum += tr.Requests
+	}
+	if sum != rep.Requests {
+		t.Errorf("per-target requests sum to %d, aggregate says %d", sum, rep.Requests)
+	}
+	// Round-robin keeps the split near even.
+	if a, b := rep.Targets[0].Requests, rep.Targets[1].Requests; a < b-1 || a > b+1 {
+		t.Errorf("round robin split %d/%d, want within 1", a, b)
+	}
+	if !rep.Pass {
+		t.Errorf("violations with every gate off: %v", rep.SLOViolations)
+	}
+}
+
+// TestRunMultiTargetSickReplicaFails: the per-target error gate trips even
+// when the aggregate rate stays inside the SLO — the healthy target must not
+// mask the sick one.
+func TestRunMultiTargetSickReplicaFails(t *testing.T) {
+	healthy := stubServe(t, okRoute)
+	sick := stubServe(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: korapi.Error{Code: korapi.CodeInternal, Message: "boom"}})
+	})
+
+	rep, err := run(config{
+		Targets:         healthy.URL + "," + sick.URL,
+		Duration:        300 * time.Millisecond,
+		Concurrency:     4,
+		Mix:             "bucketbound",
+		SLOMaxErrorRate: 0.75, // aggregate ≈0.5 clears this; the sick target's 1.0 must not
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrorRate > 0.75 {
+		t.Fatalf("aggregate error rate %v breached the gate on its own — test premise broken", rep.ErrorRate)
+	}
+	if rep.Pass {
+		t.Fatalf("sick target hidden by the aggregate: %+v", rep)
+	}
+	found := false
+	for _, v := range rep.SLOViolations {
+		if strings.Contains(v, sick.URL) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations %v name no target, want one pinned on %s", rep.SLOViolations, sick.URL)
+	}
+}
+
+// TestEvalSLOZeroRequestTarget: a target the run never reached is itself a
+// violation.
+func TestEvalSLOZeroRequestTarget(t *testing.T) {
+	r := &Report{
+		Requests:      10,
+		SLOViolations: []string{},
+		Targets: []TargetReport{
+			{URL: "http://a", Requests: 10},
+			{URL: "http://b", Requests: 0},
+		},
+	}
+	r.evalSLO(config{SLOMaxErrorRate: -1})
+	if r.Pass {
+		t.Fatal("zero-request target passed")
+	}
+	found := false
+	for _, v := range r.SLOViolations {
+		if strings.Contains(v, "http://b") && strings.Contains(v, "no requests") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations %v, want one naming the unreached target", r.SLOViolations)
 	}
 }
 

@@ -16,6 +16,11 @@
 //	korload -url ... -qps 200 -mix "bucketbound=0.7,greedy=0.2,topk=0.1"
 //	korload -url ... -replay requests.json -slo-p99 250ms -slo-max-error-rate 0
 //	korload -url ... -concurrency 64 -require-429   # oversaturation check
+//	korload -targets http://router:8080,http://replica:8081 -slo-p99 500ms
+//
+// With -targets, requests round-robin across the listed base URLs and the
+// report gains a per-target breakdown; the latency and error SLOs then apply
+// to every target individually, so one healthy target cannot mask a sick one.
 //
 // Exit status: 0 when every configured SLO holds, 1 on violations (the
 // violations are listed in the report), 2 on setup errors. A 404 no_route
@@ -35,7 +40,8 @@ import (
 func main() {
 	var cfg config
 	var report string
-	flag.StringVar(&cfg.URL, "url", "", "korserve base URL (required), e.g. http://localhost:8080")
+	flag.StringVar(&cfg.URL, "url", "", "korserve base URL, e.g. http://localhost:8080 (required unless -targets is set)")
+	flag.StringVar(&cfg.Targets, "targets", "", "comma-separated base URLs to round-robin across; overrides -url")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to drive load")
 	flag.Float64Var(&cfg.QPS, "qps", 0, "fixed arrival rate; 0 = closed loop")
 	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "concurrent workers")
@@ -58,8 +64,8 @@ func main() {
 	flag.StringVar(&report, "report", "", "also write the JSON report to this file")
 	flag.Parse()
 
-	if cfg.URL == "" {
-		fmt.Fprintln(os.Stderr, "korload: -url is required")
+	if cfg.URL == "" && cfg.Targets == "" {
+		fmt.Fprintln(os.Stderr, "korload: -url or -targets is required")
 		flag.Usage()
 		os.Exit(2)
 	}

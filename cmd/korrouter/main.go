@@ -1,0 +1,178 @@
+// Command korrouter is the scatter-gather front of a sharded korserve
+// cluster. kordata -shard cuts a graph into region shards; one or more
+// korserve replicas serve each shard file; korrouter speaks the same /v1
+// surface as a single korserve and fans each query out to the shards whose
+// keyword postings can answer it (scatter), merging the candidate routes
+// under the core planner's ordering (gather).
+//
+// Usage:
+//
+//	korrouter -shardmap city.shardmap.json \
+//	          -backends "0=http://10.0.0.1:8080,0=http://10.0.0.2:8080,1=http://10.0.1.1:8080" \
+//	          [-addr :8080] [-timeout 15s] [-probe-interval 5s]
+//
+// Replication: POST /v1/admin/patch ships the korapi.Delta to every replica
+// of every shard. The snapshot fingerprint each replica reports — in every
+// query response and in /v1/stats — is the consistency check: a replica
+// that diverges from its shard's consensus is quarantined (shed from the
+// scatter set, visible in /v1/stats and /metrics) until a later probe or
+// patch observes it back on the expected fingerprint.
+//
+// Endpoints: GET/POST /v1/route, POST /v1/batch, GET /v1/nodes/{id},
+// GET /v1/keywords, GET /v1/stats (cluster block included), GET /metrics,
+// POST /v1/admin/patch. Errors are the korapi envelope; overload and
+// whole-cluster unavailability answer 429/503 with a Retry-After header,
+// exactly like a single korserve — partial shard failures never surface as
+// a bare 502.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"kor/internal/cluster"
+	"kor/internal/metrics"
+)
+
+func main() {
+	var (
+		mapPath   = flag.String("shardmap", "", "shard map written by kordata -shard (required)")
+		backends  = flag.String("backends", "", "comma-separated shard=url replica list, e.g. \"0=http://h1:8080,1=http://h2:8080\" (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("timeout", 15*time.Second, "per-query scatter deadline across shard backends (0 disables)")
+		probeIv   = flag.Duration("probe-interval", 5*time.Second, "replica health/fingerprint probe interval (0 disables probing)")
+		batchPar  = flag.Int("batch-parallelism", 0, "concurrent queries per /v1/batch (0 = number of shards ×4)")
+		drain     = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+		retryBase = flag.Int("retry-after", 1, "default Retry-After seconds on 429/503 when the shards supply none")
+	)
+	flag.Parse()
+	if *mapPath == "" || *backends == "" {
+		fmt.Fprintln(os.Stderr, "korrouter: -shardmap and -backends are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	shardMap, err := cluster.LoadShardMap(*mapPath)
+	if err != nil {
+		log.Fatalf("korrouter: %v", err)
+	}
+	pools, err := parseBackends(*backends, shardMap)
+	if err != nil {
+		log.Fatalf("korrouter: %v", err)
+	}
+	expected := make(map[int]string, len(shardMap.Shards))
+	for _, s := range shardMap.Shards {
+		expected[s.ID] = s.Fingerprint
+	}
+	client := &http.Client{Timeout: 0} // per-request contexts carry the deadline
+	pool := cluster.NewPool(client, pools, expected)
+
+	reg := metrics.NewRegistry()
+	rt := newRouter(shardMap, pool, client, routerConfig{
+		timeout:    *timeout,
+		maxPar:     *batchPar,
+		retryAfter: *retryBase,
+		registry:   reg,
+	})
+
+	// Boot probe so /v1/stats is honest immediately, then the periodic loop.
+	probeCtx, stopProbe := context.WithCancel(context.Background())
+	defer stopProbe()
+	func() {
+		ctx, cancel := context.WithTimeout(probeCtx, 5*time.Second)
+		defer cancel()
+		pool.ProbeAll(ctx)
+	}()
+	if *probeIv > 0 {
+		go func() {
+			tick := time.NewTicker(*probeIv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-probeCtx.Done():
+					return
+				case <-tick.C:
+					ctx, cancel := context.WithTimeout(probeCtx, *probeIv)
+					pool.ProbeAll(ctx)
+					cancel()
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		replicas := 0
+		for _, urls := range pools {
+			replicas += len(urls)
+		}
+		log.Printf("korrouter: %d shards, %d replicas, %d nodes, listening on %s",
+			len(shardMap.Shards), replicas, shardMap.Nodes, *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("korrouter: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("korrouter: shutting down, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("korrouter: shutdown: %v", err)
+	}
+}
+
+// parseBackends decodes the -backends flag against the shard map: every
+// entry is shard=url, every shard in the map needs at least one replica,
+// and no entry may name a shard outside the map.
+func parseBackends(spec string, m *cluster.ShardMap) (map[int][]string, error) {
+	out := make(map[int][]string)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		eq := strings.IndexByte(entry, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("backend entry %q is not shard=url", entry)
+		}
+		shard, err := strconv.Atoi(entry[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("backend entry %q: bad shard ID", entry)
+		}
+		if shard < 0 || shard >= len(m.Shards) {
+			return nil, fmt.Errorf("backend entry %q: shard map has no shard %d", entry, shard)
+		}
+		url := strings.TrimSuffix(entry[eq+1:], "/")
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("backend entry %q: url must be http(s)", entry)
+		}
+		out[shard] = append(out[shard], url)
+	}
+	for _, s := range m.Shards {
+		if len(out[s.ID]) == 0 {
+			return nil, fmt.Errorf("shard %d has no backend", s.ID)
+		}
+	}
+	return out, nil
+}

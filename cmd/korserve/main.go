@@ -81,6 +81,8 @@ func main() {
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "longest a request may wait for admission before a 429")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 		distIndex   = flag.String("dist-index", "", "persistent distance index built by kordata -build-index (must match -graph)")
+		role        = flag.String("role", "", "serving role reported in /v1/stats: \"\" (standalone) or \"replica\" behind a korrouter")
+		shardID     = flag.String("shard-id", "", "shard this replica serves, as named by kordata -shard (reported in /v1/stats)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -114,6 +116,10 @@ func main() {
 		log.Printf("korserve: distance index %s: fingerprint %016x, %d bytes, mapped=%v, loaded in %v",
 			*distIndex, ost.IndexFingerprint, ost.IndexBytes, ost.Mapped, ost.LoadTime.Round(time.Microsecond))
 	}
+	if *role != "" && *role != "replica" {
+		fmt.Fprintf(os.Stderr, "korserve: unknown -role %q (want \"\" or \"replica\")\n", *role)
+		os.Exit(2)
+	}
 	s := newServer(eng, serverConfig{
 		graphPath:   *graphPath,
 		timeout:     *timeout,
@@ -121,8 +127,13 @@ func main() {
 		maxInFlight: inFlight,
 		maxQueue:    queue,
 		queueWait:   *queueWait,
+		role:        *role,
+		shardID:     *shardID,
 		registry:    reg,
 	})
+	if *role != "" {
+		log.Printf("korserve: serving as %s for shard %q", *role, *shardID)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

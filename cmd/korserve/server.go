@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
 	"kor"
@@ -24,6 +23,9 @@ type server struct {
 	graphPath string        // graph file for /v1/admin/reload, "" = reload disabled
 	timeout   time.Duration // per-request search deadline, 0 = none
 	maxPar    int           // worker-pool cap for /v1/batch
+
+	role    string // serving role reported in /v1/stats, "" = standalone
+	shardID string // shard this replica serves, "" = unsharded
 
 	lim *limiter          // admission gate for query endpoints, nil = unlimited
 	reg *metrics.Registry // exposed at GET /metrics, nil = endpoint disabled
@@ -45,6 +47,13 @@ type serverConfig struct {
 	// queueWait bounds how long a queued request waits before it is shed.
 	queueWait time.Duration
 
+	// role and shardID identify this process inside a cluster: role
+	// "replica" plus the shard name from the shard map. Both surface in
+	// /v1/stats so a korrouter can verify it is talking to the backend it
+	// thinks it is. Empty = standalone.
+	role    string
+	shardID string
+
 	// registry, when non-nil, is served at GET /metrics; the server
 	// registers its own korserve_ metrics there (the caller typically also
 	// passed it to the engine for the kor_engine_ set).
@@ -64,6 +73,8 @@ func newServer(eng *kor.Engine, cfg serverConfig) *server {
 		graphPath: cfg.graphPath,
 		timeout:   cfg.timeout,
 		maxPar:    cfg.maxPar,
+		role:      cfg.role,
+		shardID:   cfg.shardID,
 		reg:       cfg.registry,
 	}
 	if cfg.maxInFlight > 0 {
@@ -215,105 +226,10 @@ func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 }
 
 // requestFromParams decodes a korapi.Request from URL query parameters.
-// Every malformed value is a hard bad_request error — nothing is silently
-// dropped.
+// The parsing lives in korapi.RequestFromParams so korrouter accepts the
+// exact same GET spelling.
 func requestFromParams(qv map[string][]string) (korapi.Request, *korapi.Error) {
-	get := func(key string) string {
-		if vs := qv[key]; len(vs) > 0 {
-			return vs[0]
-		}
-		return ""
-	}
-	badParam := func(key, val string) *korapi.Error {
-		return &korapi.Error{
-			Code:    korapi.CodeBadRequest,
-			Message: fmt.Sprintf("malformed parameter %s=%q", key, val),
-		}
-	}
-
-	var req korapi.Request
-	for _, key := range []string{"from", "to"} {
-		v := get(key)
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return req, badParam(key, v)
-		}
-		if key == "from" {
-			req.From = n
-		} else {
-			req.To = n
-		}
-	}
-
-	budgetKey := "budget"
-	if get(budgetKey) == "" && get("delta") != "" {
-		budgetKey = "delta" // deprecated alias
-	}
-	budget, err := strconv.ParseFloat(get(budgetKey), 64)
-	if err != nil {
-		return req, badParam(budgetKey, get(budgetKey))
-	}
-	req.Budget = budget
-
-	for _, kw := range strings.Split(get("keywords"), ",") {
-		if kw = strings.TrimSpace(kw); kw != "" {
-			req.Keywords = append(req.Keywords, kw)
-		}
-	}
-	if len(req.Keywords) == 0 {
-		return req, &korapi.Error{Code: korapi.CodeBadRequest, Message: "at least one keyword is required"}
-	}
-
-	req.Algorithm = get("algorithm")
-	if req.Algorithm == "" {
-		req.Algorithm = get("algo") // deprecated alias
-	}
-	if v := get("k"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil {
-			return req, badParam("k", v)
-		}
-		req.K = k
-	}
-	if v := get("metrics"); v != "" {
-		m, err := strconv.ParseBool(v)
-		if err != nil {
-			return req, badParam("metrics", v)
-		}
-		req.Metrics = m
-	}
-
-	// Flat tuning overrides. Out-of-domain values pass through here and are
-	// rejected by Options.Validate inside Engine.Run.
-	var opts korapi.Options
-	any := false
-	for _, p := range []struct {
-		key string
-		dst **float64
-	}{
-		{"epsilon", &opts.Epsilon}, {"beta", &opts.Beta}, {"alpha", &opts.Alpha},
-	} {
-		if v := get(p.key); v != "" {
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return req, badParam(p.key, v)
-			}
-			*p.dst = &f
-			any = true
-		}
-	}
-	if v := get("width"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return req, badParam("width", v)
-		}
-		opts.Width = &n
-		any = true
-	}
-	if any {
-		req.Options = &opts
-	}
-	return req, nil
+	return korapi.RequestFromParams(qv)
 }
 
 func (s *server) handleRouteGet(w http.ResponseWriter, r *http.Request) {
@@ -587,6 +503,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	snap := korapi.SnapshotFromKor(info)
 	out.Snapshot = &snap
+	out.Role = s.role
+	out.Shard = s.shardID
 	ost := s.eng.OracleStatus()
 	oi := korapi.OracleInfo{
 		Kind:       ost.Kind,
@@ -597,6 +515,9 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ost.IndexFingerprint != 0 {
 		oi.IndexFingerprint = fmt.Sprintf("%016x", ost.IndexFingerprint)
+	}
+	if ost.Degraded && !ost.DegradedSince.IsZero() {
+		oi.DegradedSince = ost.DegradedSince.UTC().Format(time.RFC3339Nano)
 	}
 	out.Oracle = &oi
 	writeJSON(w, out)
@@ -626,23 +547,9 @@ func (s *server) handleKeywords(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("korserve: encoding response: %v", err)
-	}
-}
+func writeJSON(w http.ResponseWriter, v any) { korapi.WriteJSON(w, v) }
 
-// writeError emits the korapi error envelope with the code's HTTP status.
-// CodeCanceled gets its 499 like any other code: the original client has
-// usually gone, but returning without writing would make net/http emit an
-// implicit 200 with an empty body — and a proxy-initiated cancel, or a
-// canceled batch sub-context, leaves a very-much-alive reader that must not
-// mistake an aborted search for an empty success.
-func writeError(w http.ResponseWriter, apiErr *korapi.Error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(apiErr.Code.HTTPStatus())
-	if err := json.NewEncoder(w).Encode(korapi.ErrorEnvelope{Error: *apiErr}); err != nil {
-		log.Printf("korserve: encoding error response: %v", err)
-	}
-}
+// writeError emits the korapi error envelope with the code's HTTP status;
+// the implementation is shared with korrouter via korapi.WriteError, so a
+// single server and a cluster router shed with identical envelopes.
+func writeError(w http.ResponseWriter, apiErr *korapi.Error) { korapi.WriteError(w, apiErr) }

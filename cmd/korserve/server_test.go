@@ -658,6 +658,9 @@ func TestServeStatsOracle(t *testing.T) {
 	if len(st.Oracle.IndexFingerprint) != 16 || st.Oracle.IndexBytes <= 0 {
 		t.Errorf("oracle index identity = %+v", st.Oracle)
 	}
+	if st.Oracle.DegradedSince != "" {
+		t.Errorf("healthy oracle carries degraded_since %q", st.Oracle.DegradedSince)
+	}
 
 	delta := korapi.Delta{UpdateEdges: []korapi.DeltaEdge{{From: 0, To: 1, Objective: 0.9, Budget: 1.2}}}
 	if resp := post(t, ts, "/v1/admin/patch", delta, nil); resp.StatusCode != http.StatusOK {
@@ -666,6 +669,22 @@ func TestServeStatsOracle(t *testing.T) {
 	get(t, ts, "/v1/stats", &st)
 	if st.Oracle == nil || st.Oracle.Kind != "lazy" || !st.Oracle.Degraded {
 		t.Fatalf("post-patch oracle = %+v, want degraded lazy", st.Oracle)
+	}
+	since, err := time.Parse(time.RFC3339Nano, st.Oracle.DegradedSince)
+	if err != nil {
+		t.Fatalf("degraded_since %q is not RFC 3339: %v", st.Oracle.DegradedSince, err)
+	}
+	if age := time.Since(since); age < 0 || age > time.Minute {
+		t.Errorf("degraded_since %q dates the episode %v ago, want just now", st.Oracle.DegradedSince, age)
+	}
+
+	// A second patch extends the same episode: the timestamp must not move.
+	if resp := post(t, ts, "/v1/admin/patch", korapi.Delta{UpdateEdges: []korapi.DeltaEdge{{From: 0, To: 1, Objective: 0.8, Budget: 1.2}}}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second patch status = %d", resp.StatusCode)
+	}
+	get(t, ts, "/v1/stats", &st)
+	if got, _ := time.Parse(time.RFC3339Nano, st.Oracle.DegradedSince); !got.Equal(since) {
+		t.Errorf("second patch moved degraded_since from %v to %v", since, got)
 	}
 }
 

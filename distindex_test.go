@@ -108,6 +108,47 @@ func TestEngineDegradesAfterGraphChange(t *testing.T) {
 	}
 }
 
+// TestDegradedSinceLifecycle: the timestamp dates the start of the degraded
+// episode — set on the first degrading patch, stable across further patches,
+// and cleared the moment the index matches again.
+func TestDegradedSinceLifecycle(t *testing.T) {
+	g := swapCity(t, 0.7)
+	eng, err := NewEngine(g, &EngineConfig{DistIndexPath: buildDistIndex(t, g)})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+
+	if ost := eng.OracleStatus(); !ost.DegradedSince.IsZero() {
+		t.Fatalf("healthy engine reports DegradedSince %v", ost.DegradedSince)
+	}
+
+	if _, err := eng.Patch(Delta{UpdateEdges: []EdgePatch{{From: 0, To: 1, Objective: 0.1, Budget: 1.2}}}); err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	first := eng.OracleStatus()
+	if !first.Degraded || first.DegradedSince.IsZero() {
+		t.Fatalf("post-patch OracleStatus = %+v, want degraded with a timestamp", first)
+	}
+
+	// A second patch extends the same episode; the start must not move.
+	if _, err := eng.Patch(Delta{UpdateEdges: []EdgePatch{{From: 0, To: 1, Objective: 0.2, Budget: 1.2}}}); err != nil {
+		t.Fatalf("second Patch: %v", err)
+	}
+	second := eng.OracleStatus()
+	if !second.Degraded || !second.DegradedSince.Equal(first.DegradedSince) {
+		t.Fatalf("second patch moved DegradedSince from %v to %v", first.DegradedSince, second.DegradedSince)
+	}
+
+	// Recovery clears the timestamp along with the flag.
+	if _, err := eng.Swap(swapCity(t, 0.7)); err != nil {
+		t.Fatalf("Swap back: %v", err)
+	}
+	if ost := eng.OracleStatus(); ost.Degraded || !ost.DegradedSince.IsZero() {
+		t.Fatalf("post-restore OracleStatus = %+v, want cleared DegradedSince", ost)
+	}
+}
+
 func TestOracleStatusWithoutDistIndex(t *testing.T) {
 	eng, err := NewEngine(swapCity(t, 0.7), nil)
 	if err != nil {

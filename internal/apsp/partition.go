@@ -91,80 +91,121 @@ func (o *PartitionedOracle) overlayTables(m Metric) ([]float64, []float64, []int
 // DefaultCellSize is the region-size cap used when partitioning.
 const DefaultCellSize = 128
 
-// NewPartitionedOracle partitions g into regions of at most cellSize nodes
-// (breadth-first region growing over the undirected skeleton) and
-// pre-computes the intra-region and border-overlay tables, parallelizing the
-// per-cell and per-border-row work across CPUs.
-func NewPartitionedOracle(g *graph.Graph, cellSize int) *PartitionedOracle {
+// Partition is the lightweight region decomposition underlying both the
+// partitioned oracle and the cluster shard cut (internal/cluster): every
+// node assigned to exactly one region of at most CellSize nodes, plus the
+// border set — nodes with any cross-region edge. It carries no score
+// tables, so computing one is O(V+E); the oracle layers its τ/σ tables on
+// top, and the shard cut groups regions into shards.
+type Partition struct {
+	// CellSize is the region-size cap the partition was grown with (after
+	// clamping to ≥ 2).
+	CellSize int
+	// Region maps node → region index.
+	Region []int32
+	// Local maps node → its index within Cells[Region[node]].
+	Local []int32
+	// Cells lists each region's nodes in discovery order.
+	Cells [][]graph.NodeID
+	// Borders lists the border nodes, node ID ascending; BorderIdx maps
+	// node → its index in Borders, -1 for interior nodes.
+	Borders   []graph.NodeID
+	BorderIdx []int32
+}
+
+// PartitionGraph partitions g into regions of at most cellSize nodes by
+// breadth-first region growing over the undirected skeleton, then marks the
+// border nodes. Deterministic for a given graph and cell size.
+func PartitionGraph(g *graph.Graph, cellSize int) *Partition {
 	if cellSize < 2 {
 		cellSize = 2
 	}
 	n := g.NumNodes()
-	o := &PartitionedOracle{g: g, cellSize: cellSize, region: make([]int32, n), local: make([]int32, n)}
-	for i := range o.region {
-		o.region[i] = -1
+	p := &Partition{CellSize: cellSize, Region: make([]int32, n), Local: make([]int32, n)}
+	for i := range p.Region {
+		p.Region[i] = -1
 	}
 
 	// Region growing: BFS over in+out neighbours from each unassigned seed.
 	for seed := 0; seed < n; seed++ {
-		if o.region[seed] != -1 {
+		if p.Region[seed] != -1 {
 			continue
 		}
-		r := int32(len(o.cells))
-		cell := cellTables{}
+		r := int32(len(p.Cells))
+		var nodes []graph.NodeID
 		queue := []graph.NodeID{graph.NodeID(seed)}
-		o.region[seed] = r
-		for len(queue) > 0 && len(cell.nodes) < cellSize {
+		p.Region[seed] = r
+		for len(queue) > 0 && len(nodes) < cellSize {
 			v := queue[0]
 			queue = queue[1:]
-			o.local[v] = int32(len(cell.nodes))
-			cell.nodes = append(cell.nodes, v)
+			p.Local[v] = int32(len(nodes))
+			nodes = append(nodes, v)
 			for _, e := range g.Out(v) {
-				if o.region[e.To] == -1 && len(cell.nodes)+len(queue) < cellSize {
-					o.region[e.To] = r
+				if p.Region[e.To] == -1 && len(nodes)+len(queue) < cellSize {
+					p.Region[e.To] = r
 					queue = append(queue, e.To)
 				}
 			}
 			for _, e := range g.In(v) {
-				if o.region[e.To] == -1 && len(cell.nodes)+len(queue) < cellSize {
-					o.region[e.To] = r
+				if p.Region[e.To] == -1 && len(nodes)+len(queue) < cellSize {
+					p.Region[e.To] = r
 					queue = append(queue, e.To)
 				}
 			}
 		}
 		// Anything still queued was claimed for this region: flush it in.
 		for _, v := range queue {
-			o.local[v] = int32(len(cell.nodes))
-			cell.nodes = append(cell.nodes, v)
+			p.Local[v] = int32(len(nodes))
+			nodes = append(nodes, v)
 		}
-		o.cells = append(o.cells, cell)
+		p.Cells = append(p.Cells, nodes)
 	}
 
 	// Border discovery: a node with any cross-region edge.
-	o.borderIdx = make([]int32, n)
-	for i := range o.borderIdx {
-		o.borderIdx[i] = -1
+	p.BorderIdx = make([]int32, n)
+	for i := range p.BorderIdx {
+		p.BorderIdx[i] = -1
 	}
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		isBorder := false
 		for _, e := range g.Out(v) {
-			if o.region[e.To] != o.region[v] {
+			if p.Region[e.To] != p.Region[v] {
 				isBorder = true
 				break
 			}
 		}
 		if !isBorder {
 			for _, e := range g.In(v) {
-				if o.region[e.To] != o.region[v] {
+				if p.Region[e.To] != p.Region[v] {
 					isBorder = true
 					break
 				}
 			}
 		}
 		if isBorder {
-			o.borderIdx[v] = int32(len(o.borders))
-			o.borders = append(o.borders, v)
+			p.BorderIdx[v] = int32(len(p.Borders))
+			p.Borders = append(p.Borders, v)
 		}
+	}
+	return p
+}
+
+// NewPartitionedOracle partitions g into regions of at most cellSize nodes
+// (PartitionGraph) and pre-computes the intra-region and border-overlay
+// tables, parallelizing the per-cell and per-border-row work across CPUs.
+func NewPartitionedOracle(g *graph.Graph, cellSize int) *PartitionedOracle {
+	p := PartitionGraph(g, cellSize)
+	o := &PartitionedOracle{
+		g:         g,
+		cellSize:  p.CellSize,
+		region:    p.Region,
+		local:     p.Local,
+		borders:   p.Borders,
+		borderIdx: p.BorderIdx,
+	}
+	o.cells = make([]cellTables, len(p.Cells))
+	for i, nodes := range p.Cells {
+		o.cells[i].nodes = nodes
 	}
 	for _, v := range o.borders {
 		c := &o.cells[o.region[v]]
@@ -177,7 +218,7 @@ func NewPartitionedOracle(g *graph.Graph, cellSize int) *PartitionedOracle {
 
 	o.buildCellTables()
 	o.buildOverlay()
-	o.slices.init(n)
+	o.slices.init(g.NumNodes())
 	return o
 }
 

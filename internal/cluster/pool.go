@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"kor/korapi"
+)
+
+// Replica pool: per-shard backend tracking. Every replica carries health
+// (reachability) and a quarantine bit (fingerprint divergence); the scatter
+// path picks round-robin among replicas that are both healthy and
+// unquarantined.
+//
+// Consistency protocol. Each shard has an expected fingerprint — initially
+// the shard graph's fingerprint from the shard map, advanced to the replica
+// consensus after every replicated patch — plus a short history of recently
+// accepted fingerprints. A query response whose fingerprint is in the
+// accepted set (expected ∪ history) is served; the history absorbs the
+// benign race where a response computed on the pre-patch snapshot arrives
+// after the patch landed. A response outside the accepted set is discarded
+// and the replica is probed synchronously: if its *current* /v1/stats
+// fingerprint is also outside the set, the replica genuinely diverged (it
+// was patched behind the router's back, or missed a patch) and is
+// quarantined. Readmission is the mirror image: a probe or replicated
+// patch observing the replica back on the expected fingerprint clears the
+// quarantine.
+const fingerprintHistory = 8
+
+// Replica is one backend of one shard. All mutable state is guarded by the
+// owning Pool's mutex; the exported fields are immutable.
+type Replica struct {
+	Shard int
+	URL   string
+
+	healthy     bool
+	quarantined bool
+	fingerprint string
+	generation  uint64
+	lastErr     string
+}
+
+// shardState is one shard's replica set and fingerprint expectation.
+type shardState struct {
+	id       int
+	replicas []*Replica
+	expected string
+	history  []string // recently accepted fingerprints, oldest first
+	rr       int
+}
+
+// accepted reports fp being the expected fingerprint or a recent ancestor.
+func (s *shardState) accepted(fp string) bool {
+	if fp == s.expected {
+		return true
+	}
+	for _, h := range s.history {
+		if h == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// advance installs fp as the shard's expected fingerprint, retiring the old
+// one into the bounded history.
+func (s *shardState) advance(fp string) {
+	if fp == s.expected || fp == "" {
+		return
+	}
+	if s.expected != "" {
+		s.history = append(s.history, s.expected)
+		if len(s.history) > fingerprintHistory {
+			s.history = s.history[len(s.history)-fingerprintHistory:]
+		}
+	}
+	s.expected = fp
+}
+
+// Pool tracks every configured replica across shards.
+type Pool struct {
+	client *http.Client
+
+	mu     sync.Mutex
+	shards map[int]*shardState
+}
+
+// NewPool builds the pool. backends maps shard ID → replica base URLs;
+// expected maps shard ID → the boot-time expected fingerprint (from the
+// shard map). Replicas start healthy and unquarantined — the first probe or
+// query corrects optimism.
+func NewPool(client *http.Client, backends map[int][]string, expected map[int]string) *Pool {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	p := &Pool{client: client, shards: make(map[int]*shardState)}
+	for shard, urls := range backends {
+		st := &shardState{id: shard, expected: expected[shard]}
+		for _, u := range urls {
+			st.replicas = append(st.replicas, &Replica{Shard: shard, URL: u, healthy: true})
+		}
+		p.shards[shard] = st
+	}
+	return p
+}
+
+// Shards returns the configured shard IDs, ascending.
+func (p *Pool) Shards() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.shards))
+	for id := range p.shards {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Replicas returns every replica of shard, configuration order. The slice
+// is a copy; the *Replica handles are shared.
+func (p *Pool) Replicas(shard int) []*Replica {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.shards[shard]
+	if st == nil {
+		return nil
+	}
+	return append([]*Replica(nil), st.replicas...)
+}
+
+// Pick returns the next healthy, unquarantined replica of shard, round
+// robin; ok is false when the whole shard is out.
+func (p *Pool) Pick(shard int) (*Replica, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.shards[shard]
+	if st == nil {
+		return nil, false
+	}
+	for i := 0; i < len(st.replicas); i++ {
+		r := st.replicas[st.rr%len(st.replicas)]
+		st.rr++
+		if r.healthy && !r.quarantined {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Expected returns shard's current expected fingerprint.
+func (p *Pool) Expected(shard int) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st := p.shards[shard]; st != nil {
+		return st.expected
+	}
+	return ""
+}
+
+// ObserveFailure records a transport failure talking to r.
+func (p *Pool) ObserveFailure(r *Replica, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.healthy = false
+	r.lastErr = err.Error()
+}
+
+// ObserveResponse records a successful exchange with r that reported snap
+// (nil when the response carried no snapshot). It returns true when the
+// response's fingerprint is in the shard's accepted set — serve it — and
+// false when it diverged: discard the payload and call Confirm to decide
+// quarantine against the replica's live state.
+func (p *Pool) ObserveResponse(r *Replica, snap *korapi.Snapshot) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.healthy = true
+	r.lastErr = ""
+	if snap == nil {
+		return true
+	}
+	r.fingerprint = snap.Fingerprint
+	r.generation = snap.Generation
+	return p.shards[r.Shard].accepted(snap.Fingerprint)
+}
+
+// Confirm re-probes r after a divergent response and quarantines it when
+// its current fingerprint is also outside the accepted set. The probe runs
+// without the pool lock; the verdict is applied under it.
+func (p *Pool) Confirm(ctx context.Context, r *Replica) {
+	snap, err := p.probe(ctx, r)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		r.healthy = false
+		r.lastErr = err.Error()
+		return
+	}
+	p.applyProbe(r, snap)
+}
+
+// ProbeAll probes every replica's /v1/stats once: refreshing health,
+// quarantining replicas whose live fingerprint left the accepted set, and
+// readmitting quarantined replicas that converged back to the expected
+// fingerprint. When every healthy replica of a shard agrees on one
+// fingerprint the router did not expect, the consensus is adopted as the
+// new expectation — a router restarted with a stale shard map follows the
+// cluster instead of quarantining all of it.
+func (p *Pool) ProbeAll(ctx context.Context) {
+	type verdict struct {
+		r    *Replica
+		snap *korapi.Snapshot
+		err  error
+	}
+	p.mu.Lock()
+	var all []*Replica
+	for _, st := range p.shards {
+		all = append(all, st.replicas...)
+	}
+	p.mu.Unlock()
+
+	verdicts := make([]verdict, len(all))
+	var wg sync.WaitGroup
+	for i, r := range all {
+		wg.Add(1)
+		go func(i int, r *Replica) {
+			defer wg.Done()
+			snap, err := p.probe(ctx, r)
+			verdicts[i] = verdict{r: r, snap: snap, err: err}
+		}(i, r)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, v := range verdicts {
+		if v.err != nil {
+			v.r.healthy = false
+			v.r.lastErr = v.err.Error()
+			continue
+		}
+		v.r.healthy = true
+		v.r.lastErr = ""
+		v.r.fingerprint = v.snap.Fingerprint
+		v.r.generation = v.snap.Generation
+	}
+	for _, st := range p.shards {
+		p.reconcileLocked(st)
+	}
+}
+
+// applyProbe applies one replica's live snapshot under the pool lock.
+func (p *Pool) applyProbe(r *Replica, snap *korapi.Snapshot) {
+	r.healthy = true
+	r.lastErr = ""
+	r.fingerprint = snap.Fingerprint
+	r.generation = snap.Generation
+	st := p.shards[r.Shard]
+	switch {
+	case snap.Fingerprint == st.expected:
+		r.quarantined = false
+	case !st.accepted(snap.Fingerprint):
+		r.quarantined = true
+	}
+}
+
+// reconcileLocked settles one shard after fresh probes: adopt a unanimous
+// unexpected fingerprint, then quarantine/readmit per replica.
+func (p *Pool) reconcileLocked(st *shardState) {
+	consensus := ""
+	unanimous := true
+	for _, r := range st.replicas {
+		if !r.healthy || r.fingerprint == "" {
+			continue
+		}
+		if consensus == "" {
+			consensus = r.fingerprint
+		} else if r.fingerprint != consensus {
+			unanimous = false
+		}
+	}
+	if unanimous && consensus != "" && consensus != st.expected {
+		st.advance(consensus)
+	}
+	for _, r := range st.replicas {
+		if !r.healthy || r.fingerprint == "" {
+			continue
+		}
+		switch {
+		case r.fingerprint == st.expected:
+			r.quarantined = false
+		case !st.accepted(r.fingerprint):
+			r.quarantined = true
+		}
+	}
+}
+
+// AdminResult is one replica's outcome of a replicated patch.
+type AdminResult struct {
+	Replica  *Replica
+	Snapshot *korapi.Snapshot // post-patch snapshot on success
+	Err      *korapi.Error    // wire or transport failure
+}
+
+// ApplyAdmin settles a shard after a replicated patch. The post-patch
+// fingerprints are definitive (no in-flight race: each replica reported the
+// snapshot its patch installed), so the majority fingerprint among
+// successful replicas becomes the shard's new expectation; successful
+// replicas on it are (re)admitted and successful replicas off it are
+// quarantined. Failed replicas keep their previous state — a shard whose
+// every replica rejected the delta identically (say, an edge outside this
+// shard's closure) stays consistent and unquarantined.
+func (p *Pool) ApplyAdmin(shard int, results []AdminResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.shards[shard]
+	if st == nil {
+		return
+	}
+	counts := make(map[string]int)
+	for _, res := range results {
+		if res.Err == nil && res.Snapshot != nil {
+			counts[res.Snapshot.Fingerprint]++
+		}
+	}
+	consensus := ""
+	best := 0
+	for _, res := range results { // iterate results, not the map: deterministic tie-break by replica order
+		if res.Err != nil || res.Snapshot == nil {
+			continue
+		}
+		fp := res.Snapshot.Fingerprint
+		if counts[fp] > best {
+			best = counts[fp]
+			consensus = fp
+		}
+	}
+	if consensus != "" {
+		st.advance(consensus)
+	}
+	for _, res := range results {
+		r := res.Replica
+		if res.Err != nil {
+			r.lastErr = res.Err.Message
+			continue
+		}
+		r.healthy = true
+		r.lastErr = ""
+		r.fingerprint = res.Snapshot.Fingerprint
+		r.generation = res.Snapshot.Generation
+		r.quarantined = res.Snapshot.Fingerprint != st.expected
+	}
+}
+
+// probe fetches a replica's /v1/stats snapshot.
+func (p *Pool) probe(ctx context.Context, r *Replica) (*korapi.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.URL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("probe %s: status %d", r.URL, resp.StatusCode)
+	}
+	var st korapi.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("probe %s: %w", r.URL, err)
+	}
+	if st.Snapshot == nil {
+		return nil, fmt.Errorf("probe %s: stats carry no snapshot", r.URL)
+	}
+	return st.Snapshot, nil
+}
+
+// ClusterStats exports the pool state as the /v1/stats cluster block.
+func (p *Pool) ClusterStats() korapi.ClusterStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.shards))
+	for id := range p.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := korapi.ClusterStats{}
+	for _, id := range ids {
+		st := p.shards[id]
+		ss := korapi.ShardStats{Shard: id, ExpectedFingerprint: st.expected}
+		for _, r := range st.replicas {
+			out.Replicas++
+			if r.quarantined {
+				out.Quarantined++
+			} else if r.healthy {
+				out.Healthy++
+			}
+			ss.Replicas = append(ss.Replicas, korapi.ReplicaStats{
+				URL:         r.URL,
+				Healthy:     r.healthy,
+				Quarantined: r.quarantined,
+				Fingerprint: r.fingerprint,
+				Generation:  r.generation,
+				LastError:   r.lastErr,
+			})
+		}
+		out.Shards = append(out.Shards, ss)
+	}
+	return out
+}
+
+// QuarantinedReplicas counts replicas currently shed from the scatter set
+// for fingerprint divergence.
+func (p *Pool) QuarantinedReplicas() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, st := range p.shards {
+		for _, r := range st.replicas {
+			if r.quarantined {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UnhealthyReplicas counts replicas currently unreachable.
+func (p *Pool) UnhealthyReplicas() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, st := range p.shards {
+		for _, r := range st.replicas {
+			if !r.healthy {
+				n++
+			}
+		}
+	}
+	return n
+}

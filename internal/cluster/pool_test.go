@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"kor/korapi"
+)
+
+// fakeStats is a stub /v1/stats backend with a settable fingerprint.
+type fakeStats struct {
+	mu  sync.Mutex
+	fp  string
+	gen uint64
+	srv *httptest.Server
+}
+
+func newFakeStats(t *testing.T, fp string) *fakeStats {
+	t.Helper()
+	f := &fakeStats{fp: fp, gen: 1}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		f.mu.Lock()
+		snap := &korapi.Snapshot{Fingerprint: f.fp, Generation: f.gen}
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(korapi.Stats{Snapshot: snap})
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeStats) set(fp string, gen uint64) {
+	f.mu.Lock()
+	f.fp = fp
+	f.gen = gen
+	f.mu.Unlock()
+}
+
+func poolOf(client *http.Client, expected string, urls ...string) *Pool {
+	return NewPool(client, map[int][]string{0: urls}, map[int]string{0: expected})
+}
+
+func TestObserveResponseAcceptsExpectedAndHistory(t *testing.T) {
+	p := poolOf(nil, "aaa", "http://r0")
+	r := p.Replicas(0)[0]
+
+	if !p.ObserveResponse(r, &korapi.Snapshot{Fingerprint: "aaa", Generation: 1}) {
+		t.Fatal("expected fingerprint rejected")
+	}
+	if !p.ObserveResponse(r, nil) {
+		t.Fatal("snapshot-free response rejected")
+	}
+	if p.ObserveResponse(r, &korapi.Snapshot{Fingerprint: "zzz", Generation: 2}) {
+		t.Fatal("divergent fingerprint accepted")
+	}
+
+	// After a patch advances the expectation, a straggler response computed
+	// on the previous snapshot is still accepted from the history.
+	p.ApplyAdmin(0, []AdminResult{{Replica: r, Snapshot: &korapi.Snapshot{Fingerprint: "bbb", Generation: 2}}})
+	if !p.ObserveResponse(r, &korapi.Snapshot{Fingerprint: "aaa", Generation: 1}) {
+		t.Fatal("pre-patch straggler rejected — the fingerprint history must absorb the in-flight race")
+	}
+	if !p.ObserveResponse(r, &korapi.Snapshot{Fingerprint: "bbb", Generation: 2}) {
+		t.Fatal("post-patch fingerprint rejected")
+	}
+}
+
+func TestConfirmQuarantinesDivergedReplica(t *testing.T) {
+	diverged := newFakeStats(t, "zzz")
+	p := poolOf(diverged.srv.Client(), "aaa", diverged.srv.URL)
+	r := p.Replicas(0)[0]
+
+	// A query response off the accepted set triggers Confirm; the live
+	// probe also reports the divergent fingerprint → quarantine.
+	if p.ObserveResponse(r, &korapi.Snapshot{Fingerprint: "zzz", Generation: 5}) {
+		t.Fatal("divergent response accepted")
+	}
+	p.Confirm(context.Background(), r)
+	if p.QuarantinedReplicas() != 1 {
+		t.Fatalf("quarantined = %d, want 1", p.QuarantinedReplicas())
+	}
+	if _, ok := p.Pick(0); ok {
+		t.Fatal("Pick returned a quarantined replica")
+	}
+
+	// The replica converges back to the expected fingerprint; the next
+	// probe readmits it.
+	diverged.set("aaa", 6)
+	p.ProbeAll(context.Background())
+	if p.QuarantinedReplicas() != 0 {
+		t.Fatalf("quarantined = %d after convergence, want 0", p.QuarantinedReplicas())
+	}
+	if _, ok := p.Pick(0); !ok {
+		t.Fatal("Pick found no replica after readmission")
+	}
+}
+
+func TestConfirmForgivesInFlightRace(t *testing.T) {
+	// The response carried a stale fingerprint but the replica's live state
+	// is already on the expected one: no quarantine.
+	live := newFakeStats(t, "aaa")
+	p := poolOf(live.srv.Client(), "aaa", live.srv.URL)
+	r := p.Replicas(0)[0]
+
+	if p.ObserveResponse(r, &korapi.Snapshot{Fingerprint: "old", Generation: 1}) {
+		t.Fatal("stale response accepted")
+	}
+	p.Confirm(context.Background(), r)
+	if p.QuarantinedReplicas() != 0 {
+		t.Fatal("replica quarantined for a benign in-flight race")
+	}
+}
+
+func TestProbeAllAdoptsUnanimousConsensus(t *testing.T) {
+	// Router boots with a stale expectation but both replicas agree on the
+	// live fingerprint: the consensus is adopted, nobody is quarantined.
+	a := newFakeStats(t, "new")
+	b := newFakeStats(t, "new")
+	p := poolOf(a.srv.Client(), "stale", a.srv.URL, b.srv.URL)
+
+	p.ProbeAll(context.Background())
+	if p.QuarantinedReplicas() != 0 {
+		t.Fatalf("quarantined = %d, want 0 — unanimous consensus must be adopted", p.QuarantinedReplicas())
+	}
+	if got := p.Expected(0); got != "new" {
+		t.Fatalf("expected fingerprint %q, want the adopted consensus %q", got, "new")
+	}
+}
+
+func TestProbeAllQuarantinesMinority(t *testing.T) {
+	a := newFakeStats(t, "aaa")
+	b := newFakeStats(t, "zzz")
+	p := poolOf(a.srv.Client(), "aaa", a.srv.URL, b.srv.URL)
+
+	p.ProbeAll(context.Background())
+	if p.QuarantinedReplicas() != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the diverged replica)", p.QuarantinedReplicas())
+	}
+	// The healthy replica still serves.
+	r, ok := p.Pick(0)
+	if !ok || r.URL != a.srv.URL {
+		t.Fatalf("Pick = %v/%v, want the consistent replica", r, ok)
+	}
+}
+
+func TestApplyAdminConsensusAndReadmission(t *testing.T) {
+	p := poolOf(nil, "aaa", "http://r0", "http://r1", "http://r2")
+	rs := p.Replicas(0)
+
+	// Patch lands on all three; r2 computes a different fingerprint.
+	p.ApplyAdmin(0, []AdminResult{
+		{Replica: rs[0], Snapshot: &korapi.Snapshot{Fingerprint: "bbb", Generation: 2}},
+		{Replica: rs[1], Snapshot: &korapi.Snapshot{Fingerprint: "bbb", Generation: 2}},
+		{Replica: rs[2], Snapshot: &korapi.Snapshot{Fingerprint: "ccc", Generation: 2}},
+	})
+	if got := p.Expected(0); got != "bbb" {
+		t.Fatalf("expected = %q, want the majority fingerprint bbb", got)
+	}
+	if p.QuarantinedReplicas() != 1 {
+		t.Fatalf("quarantined = %d, want 1", p.QuarantinedReplicas())
+	}
+
+	// The next patch converges everyone: full readmission.
+	p.ApplyAdmin(0, []AdminResult{
+		{Replica: rs[0], Snapshot: &korapi.Snapshot{Fingerprint: "ddd", Generation: 3}},
+		{Replica: rs[1], Snapshot: &korapi.Snapshot{Fingerprint: "ddd", Generation: 3}},
+		{Replica: rs[2], Snapshot: &korapi.Snapshot{Fingerprint: "ddd", Generation: 3}},
+	})
+	if p.QuarantinedReplicas() != 0 {
+		t.Fatalf("quarantined = %d after convergence, want 0", p.QuarantinedReplicas())
+	}
+}
+
+func TestApplyAdminFailedReplicaKeepsState(t *testing.T) {
+	// A shard that rejects a delta consistently (all replicas fail) must not
+	// be quarantined — it is still internally consistent.
+	p := poolOf(nil, "aaa", "http://r0", "http://r1")
+	rs := p.Replicas(0)
+	reject := &korapi.Error{Code: korapi.CodeBadRequest, Message: "edge outside closure"}
+	p.ApplyAdmin(0, []AdminResult{
+		{Replica: rs[0], Err: reject},
+		{Replica: rs[1], Err: reject},
+	})
+	if p.QuarantinedReplicas() != 0 {
+		t.Fatal("consistently rejecting shard was quarantined")
+	}
+	if got := p.Expected(0); got != "aaa" {
+		t.Fatalf("expected advanced to %q on an all-failed patch", got)
+	}
+}
+
+func TestPickRoundRobinSkipsUnhealthy(t *testing.T) {
+	p := poolOf(nil, "aaa", "http://r0", "http://r1")
+	rs := p.Replicas(0)
+	p.ObserveFailure(rs[0], context.DeadlineExceeded)
+	for i := 0; i < 4; i++ {
+		r, ok := p.Pick(0)
+		if !ok || r.URL != "http://r1" {
+			t.Fatalf("Pick #%d = %v/%v, want the healthy replica only", i, r, ok)
+		}
+	}
+	// Recovery: a successful exchange restores it to the rotation.
+	p.ObserveResponse(rs[0], nil)
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		r, _ := p.Pick(0)
+		seen[r.URL] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("round robin after recovery hit %v, want both replicas", seen)
+	}
+}
+
+func TestClusterStatsShape(t *testing.T) {
+	p := NewPool(nil, map[int][]string{
+		0: {"http://a"},
+		1: {"http://b", "http://c"},
+	}, map[int]string{0: "f0", 1: "f1"})
+	cs := p.ClusterStats()
+	if cs.Replicas != 3 || len(cs.Shards) != 2 {
+		t.Fatalf("stats %+v, want 3 replicas over 2 shards", cs)
+	}
+	if cs.Shards[0].Shard != 0 || cs.Shards[1].Shard != 1 {
+		t.Fatalf("shards not ascending: %+v", cs.Shards)
+	}
+	if cs.Healthy != 3 || cs.Quarantined != 0 {
+		t.Fatalf("boot state %+v, want all healthy", cs)
+	}
+}

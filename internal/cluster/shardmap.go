@@ -1,0 +1,190 @@
+// Package cluster implements the sharded serving tier behind korrouter: the
+// shard map written by kordata -shard, the shard cut itself (grouping
+// apsp partition regions into shards with a border halo), the
+// scatter-gather merge that combines per-shard candidate routes under the
+// core planner's ordering, and the replica pool that tracks backend health
+// and snapshot fingerprints, quarantining replicas that diverge from their
+// shard's consensus until they converge.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ShardMapVersion is the wire version of the shard map JSON file.
+const ShardMapVersion = 1
+
+// ShardMap describes one shard cut of a graph: which shard owns every node,
+// what each shard's graph file contains, and enough full-graph summary for
+// a router to answer /v1/stats without loading the unsharded graph.
+type ShardMap struct {
+	Version int `json:"version"`
+	// FullFingerprint is the unsharded graph's fingerprint, 16 lowercase
+	// hex digits.
+	FullFingerprint string `json:"full_fingerprint"`
+	// CellSize and Halo record the cut parameters.
+	CellSize int `json:"cell_size"`
+	Halo     int `json:"halo"`
+
+	// Full-graph summary, served by korrouter's /v1/stats.
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	Terms        int     `json:"terms"`
+	MinObjective float64 `json:"min_objective"`
+	MaxObjective float64 `json:"max_objective"`
+	MinBudget    float64 `json:"min_budget"`
+	MaxBudget    float64 `json:"max_budget"`
+
+	// NodeShard maps node ID → owning shard ID.
+	NodeShard []int `json:"node_shard"`
+	// Shards describes each shard, ID ascending.
+	Shards []ShardInfo `json:"shards"`
+
+	// keywordShards maps keyword → sorted IDs of the shards whose closure
+	// carries it; built lazily by index().
+	keywordShards map[string][]int
+}
+
+// ShardInfo describes one shard of the cut.
+type ShardInfo struct {
+	ID int `json:"id"`
+	// Graph is the shard's .korg file, relative to the shard map file.
+	Graph string `json:"graph"`
+	// Fingerprint is the shard graph's content digest, 16 lowercase hex
+	// digits — the fingerprint every replica of this shard must serve at
+	// boot.
+	Fingerprint string `json:"fingerprint"`
+	// Regions counts the partition cells grouped into this shard.
+	Regions int `json:"regions"`
+	// Owned counts the nodes this shard owns; Closure adds the halo.
+	Owned   int `json:"owned"`
+	Closure int `json:"closure"`
+	// Edges counts the shard graph's edges (both endpoints in the closure).
+	Edges int `json:"edges"`
+	// Keywords lists the keywords present on closure nodes, sorted. A query
+	// keyword outside this list can never match in this shard, so the
+	// router's scatter set skips it.
+	Keywords []string `json:"keywords"`
+}
+
+// Validate checks the map's internal consistency.
+func (m *ShardMap) Validate() error {
+	if m.Version != ShardMapVersion {
+		return fmt.Errorf("cluster: shard map version %d, want %d", m.Version, ShardMapVersion)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("cluster: shard map has no shards")
+	}
+	if len(m.NodeShard) != m.Nodes {
+		return fmt.Errorf("cluster: node_shard has %d entries for %d nodes", len(m.NodeShard), m.Nodes)
+	}
+	for i, s := range m.Shards {
+		if s.ID != i {
+			return fmt.Errorf("cluster: shard %d carries ID %d (must be dense, ascending)", i, s.ID)
+		}
+	}
+	for v, s := range m.NodeShard {
+		if s < 0 || s >= len(m.Shards) {
+			return fmt.Errorf("cluster: node %d assigned to unknown shard %d", v, s)
+		}
+	}
+	return nil
+}
+
+// index builds the keyword → shards lookup. Not safe for concurrent first
+// use; callers build it once at load time via LoadShardMap.
+func (m *ShardMap) index() {
+	m.keywordShards = make(map[string][]int)
+	for _, s := range m.Shards {
+		for _, kw := range s.Keywords {
+			m.keywordShards[kw] = append(m.keywordShards[kw], s.ID)
+		}
+	}
+}
+
+// ScatterSet returns the shard IDs a query must fan out to: the shards
+// whose closure carries every query keyword (only those can produce a
+// candidate route). When no shard carries all keywords — the keywords span
+// shards, or one is unknown — the set falls back to the shard owning the
+// source node, whose replica classifies the query exactly (no_route vs
+// unknown_keyword; every shard graph carries the full vocabulary).
+func (m *ShardMap) ScatterSet(from, to int64, keywords []string) []int {
+	if m.keywordShards == nil {
+		m.index()
+	}
+	// Intersect the per-keyword shard lists.
+	var caps []int
+	for i, kw := range keywords {
+		shards := m.keywordShards[kw]
+		if i == 0 {
+			caps = append(caps[:0], shards...)
+		} else {
+			caps = intersect(caps, shards)
+		}
+		if len(caps) == 0 {
+			break
+		}
+	}
+	if len(caps) > 0 {
+		sort.Ints(caps)
+		return caps
+	}
+	return []int{m.OwnerOf(from)}
+}
+
+// OwnerOf returns the shard owning node id, falling back to shard 0 for IDs
+// outside the map (the replica answers not_found/bad_request exactly).
+func (m *ShardMap) OwnerOf(id int64) int {
+	if id >= 0 && id < int64(len(m.NodeShard)) {
+		return m.NodeShard[id]
+	}
+	return 0
+}
+
+// intersect returns the elements of a also present in b; both are sorted.
+func intersect(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Save writes the map as JSON to path.
+func (m *ShardMap) Save(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// LoadShardMap reads, validates and indexes a shard map file.
+func LoadShardMap(path string) (*ShardMap, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m ShardMap
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parsing shard map %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	m.index()
+	return &m, nil
+}

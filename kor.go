@@ -235,6 +235,13 @@ type Engine struct {
 	// generation is guarded by it.
 	swapMu     sync.Mutex
 	generation uint64
+	// degradedSince dates the start of the current degraded-oracle episode
+	// (persistent distance index configured but the live graph diverged);
+	// zero while serving from the index. Written only by newSnapshot — at
+	// construction or under swapMu — and read through the snapshot's
+	// OracleStatus, so repeated patches keep the original onset rather than
+	// restarting the clock.
+	degradedSince time.Time
 
 	// met holds the engine's instruments when EngineConfig.Metrics was set;
 	// nil otherwise (every update site nil-checks).

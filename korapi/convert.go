@@ -111,6 +111,10 @@ func ResponseFromKor(g *kor.Graph, resp kor.Response, withMetrics bool) Response
 		m := MetricsFromKor(resp.Metrics)
 		out.Metrics = &m
 	}
+	if resp.Snapshot.Generation != 0 {
+		snap := SnapshotFromKor(resp.Snapshot)
+		out.Snapshot = &snap
+	}
 	return out
 }
 

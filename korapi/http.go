@@ -1,0 +1,42 @@
+package korapi
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+)
+
+// WriteJSON emits v as the JSON response body. Encoding failures are logged,
+// not surfaced: by the time Encode writes, the status line is already gone.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("korapi: encoding response: %v", err)
+	}
+}
+
+// WriteError emits the error envelope with the code's HTTP status. Both
+// korserve and korrouter answer through this one function, so every server
+// in a cluster sheds with byte-identical envelopes. CodeCanceled gets its
+// 499 like any other code: the original client has usually gone, but
+// returning without writing would make net/http emit an implicit 200 with an
+// empty body — and a proxy-initiated cancel, or a canceled batch
+// sub-context, leaves a very-much-alive reader that must not mistake an
+// aborted search for an empty success.
+func WriteError(w http.ResponseWriter, apiErr *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(apiErr.Code.HTTPStatus())
+	if err := json.NewEncoder(w).Encode(ErrorEnvelope{Error: *apiErr}); err != nil {
+		log.Printf("korapi: encoding error response: %v", err)
+	}
+}
+
+// WriteErrorRetry is WriteError plus a Retry-After hint, for the shedding
+// codes (overloaded, unavailable) whose contract promises the header.
+func WriteErrorRetry(w http.ResponseWriter, apiErr *Error, retryAfterSeconds int) {
+	if retryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	WriteError(w, apiErr)
+}

@@ -126,6 +126,11 @@ type Response struct {
 	// route that covers the keywords but overshoots Δ (its Feasible flag is
 	// false).
 	Warning *Error `json:"warning,omitempty"`
+	// Snapshot identifies the graph snapshot the response was computed on.
+	// Cluster routers use it as the replica consistency check: a response
+	// whose fingerprint diverges from the shard's expected fingerprint marks
+	// the replica for quarantine.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -207,6 +212,90 @@ type Stats struct {
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
 	// Oracle reports which τ/σ distance oracle is serving queries.
 	Oracle *OracleInfo `json:"oracle,omitempty"`
+	// Role is the serving role the process was started with: "standalone"
+	// (the default, omitted), or "replica" for a shard backend behind a
+	// korrouter.
+	Role string `json:"role,omitempty"`
+	// Shard names the shard a replica serves, as assigned by kordata -shard.
+	Shard string `json:"shard,omitempty"`
+	// Cluster is present only on korrouter: the shard/replica topology and
+	// its health, quarantine and fingerprint state.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the cluster block inside a korrouter's /v1/stats.
+type ClusterStats struct {
+	// Shards is the per-shard replica state, shard ID ascending.
+	Shards []ShardStats `json:"shards"`
+	// Replicas counts all configured replicas across shards.
+	Replicas int `json:"replicas"`
+	// Healthy counts replicas that are reachable and in the scatter set.
+	Healthy int `json:"healthy"`
+	// Quarantined counts replicas shed from the scatter set because their
+	// snapshot fingerprint diverged from the shard's expected fingerprint.
+	Quarantined int `json:"quarantined"`
+}
+
+// ShardStats is one shard's replica state inside ClusterStats.
+type ShardStats struct {
+	// Shard is the shard ID from the shard map.
+	Shard int `json:"shard"`
+	// ExpectedFingerprint is the snapshot fingerprint the router currently
+	// expects every replica of this shard to serve.
+	ExpectedFingerprint string `json:"expected_fingerprint,omitempty"`
+	// Replicas is the per-replica state, configuration order.
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is one replica's state inside ShardStats.
+type ReplicaStats struct {
+	// URL is the replica's base URL.
+	URL string `json:"url"`
+	// Healthy reports the last probe or request reached the replica.
+	Healthy bool `json:"healthy"`
+	// Quarantined reports the replica is shed from the scatter set because
+	// its fingerprint diverged from the shard's expected fingerprint.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Fingerprint is the replica's last observed snapshot fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Generation is the replica's last observed snapshot generation.
+	Generation uint64 `json:"generation,omitempty"`
+	// LastError is the most recent transport or probe failure, cleared on
+	// the next success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ClusterAdminResponse answers korrouter's POST /v1/admin/patch: the
+// per-replica outcome of replicating the delta across the cluster.
+type ClusterAdminResponse struct {
+	// Shards is the per-shard replication outcome, shard ID ascending.
+	Shards []ShardAdmin `json:"shards"`
+	// Quarantined counts replicas left quarantined after the patch.
+	Quarantined int `json:"quarantined"`
+}
+
+// ShardAdmin is one shard's replication outcome inside ClusterAdminResponse.
+type ShardAdmin struct {
+	// Shard is the shard ID from the shard map.
+	Shard int `json:"shard"`
+	// ExpectedFingerprint is the post-patch consensus fingerprint.
+	ExpectedFingerprint string `json:"expected_fingerprint,omitempty"`
+	// Replicas is the per-replica outcome, configuration order.
+	Replicas []ReplicaAdmin `json:"replicas"`
+}
+
+// ReplicaAdmin is one replica's patch outcome inside ShardAdmin: exactly one
+// of Snapshot and Error is set.
+type ReplicaAdmin struct {
+	// URL is the replica's base URL.
+	URL string `json:"url"`
+	// Snapshot is the replica's post-patch snapshot on success.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// Error is the replica's failure, transport or wire.
+	Error *Error `json:"error,omitempty"`
+	// Quarantined reports the replica diverged from the shard consensus and
+	// is shed from the scatter set until it converges.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // OracleInfo is the wire form of the engine's oracle status inside
@@ -230,6 +319,11 @@ type OracleInfo struct {
 	Mapped bool `json:"mapped,omitempty"`
 	// LoadMillis is how long the index took to open at server start.
 	LoadMillis float64 `json:"load_millis,omitempty"`
+	// DegradedSince is when the oracle entered the degraded fallback, RFC
+	// 3339 with nanoseconds, UTC; present only while Degraded is true. It
+	// survives further patches, so it dates the start of the outage, not the
+	// latest swap.
+	DegradedSince string `json:"degraded_since,omitempty"`
 }
 
 // Snapshot is the wire form of one graph snapshot's identity, served inside
@@ -336,6 +430,10 @@ const (
 	// request because the in-flight limit and its wait queue are full. The
 	// response carries a Retry-After header; back off and retry. HTTP 429.
 	CodeOverloaded ErrorCode = "overloaded"
+	// CodeUnavailable — no backend could answer: every shard replica the
+	// query needed was unreachable, quarantined, or failed. The response
+	// carries a Retry-After header; back off and retry. HTTP 503.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal — an unexpected server-side failure. HTTP 500.
 	CodeInternal ErrorCode = "internal"
 	// CodeBudgetExceeded — a greedy route covers the keywords but
@@ -359,6 +457,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return 499
 	case CodeInternal:
 		return 500
+	case CodeUnavailable:
+		return 503
 	case CodeDeadline:
 		return 504
 	default:

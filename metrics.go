@@ -60,6 +60,15 @@ func (e *Engine) registerMetrics(reg *metrics.Registry) {
 			}
 			return 0
 		})
+	reg.GaugeFunc("kor_engine_oracle_degraded_seconds",
+		"Seconds since the oracle entered the degraded fallback; 0 while serving from the index. Dates the start of the episode, not the latest patch.",
+		func() float64 {
+			ost := e.snap.Load().oracle
+			if !ost.Degraded || ost.DegradedSince.IsZero() {
+				return 0
+			}
+			return time.Since(ost.DegradedSince).Seconds()
+		})
 	reg.GaugeFunc("kor_engine_index_load_seconds",
 		"Time spent loading the persistent distance index at engine construction (0 when none is configured).",
 		func() float64 { return e.snap.Load().oracle.LoadTime.Seconds() })

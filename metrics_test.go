@@ -2,8 +2,10 @@ package kor
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"kor/internal/metrics"
 )
@@ -100,6 +102,58 @@ func TestEngineMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out, "kor_engine_cache_size 0\n") {
 		t.Errorf("cache size gauge did not reflect the swap flush:\n%s", out)
+	}
+}
+
+// gaugeValue extracts a plain (unlabelled) gauge's value from an exposition.
+func gaugeValue(t *testing.T, out, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("gauge %s carries unparseable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("gauge %s missing from exposition:\n%s", name, out)
+	return 0
+}
+
+// TestOracleDegradedSecondsGauge: the episode-age gauge is 0 while the disk
+// oracle serves, climbs once a patch degrades it, and resets on recovery.
+func TestOracleDegradedSecondsGauge(t *testing.T) {
+	g := swapCity(t, 0.7)
+	path := buildDistIndex(t, g)
+	reg := metrics.NewRegistry()
+	eng, err := NewEngine(g, &EngineConfig{DistIndexPath: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if v := gaugeValue(t, exposition(t, reg), "kor_engine_oracle_degraded_seconds"); v != 0 {
+		t.Fatalf("healthy engine reports degraded for %vs", v)
+	}
+
+	if _, err := eng.Patch(Delta{UpdateEdges: []EdgePatch{{From: 0, To: 1, Objective: 0.1, Budget: 1.2}}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	out := exposition(t, reg)
+	if !strings.Contains(out, "kor_engine_oracle_degraded 1\n") {
+		t.Errorf("degraded flag gauge not set:\n%s", out)
+	}
+	if v := gaugeValue(t, out, "kor_engine_oracle_degraded_seconds"); v <= 0 {
+		t.Errorf("degraded_seconds = %v after a degrading patch, want > 0", v)
+	}
+
+	if _, err := eng.Swap(swapCity(t, 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	if v := gaugeValue(t, exposition(t, reg), "kor_engine_oracle_degraded_seconds"); v != 0 {
+		t.Errorf("degraded_seconds = %v after recovery, want 0", v)
 	}
 }
 

@@ -80,6 +80,11 @@ type OracleStatus struct {
 	// LoadTime is how long opening the persistent index took at engine
 	// construction.
 	LoadTime time.Duration
+	// DegradedSince is when the engine entered the degraded fallback; zero
+	// unless Degraded. It dates the start of the episode, surviving further
+	// patches, so operators can tell a two-second blip from an hour-long
+	// outage.
+	DegradedSince time.Time
 }
 
 // snapshot bundles one graph with everything derived from it. All fields
@@ -127,10 +132,15 @@ func (e *Engine) newSnapshot(g *Graph, generation uint64) (*snapshot, error) {
 		if info.Fingerprint == g.Fingerprint() {
 			oracle = e.distOracle
 			status.Kind = OracleKindPartitionedDisk
+			e.degradedSince = time.Time{}
 		} else {
 			oracle = apsp.NewLazyOracle(g)
 			status.Kind = OracleKindLazy
 			status.Degraded = true
+			if e.degradedSince.IsZero() {
+				e.degradedSince = time.Now()
+			}
+			status.DegradedSince = e.degradedSince
 		}
 	} else {
 		var err error

@@ -1,9 +1,11 @@
 package kor
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 )
 
@@ -32,6 +34,13 @@ func (b BatchResult) Route() Route {
 // fleet of default BucketBound queries. Results are returned in request
 // order. parallelism bounds the worker pool; values < 1 mean GOMAXPROCS.
 //
+// Identical requests within the batch are deduplicated: one representative
+// runs and every duplicate receives a clone of its outcome, flagged
+// Coalesced on the Response. The remaining distinct requests are dispatched
+// grouped by source (then target), so requests sharing endpoints run close
+// together and reuse each other's sweeps through the engine's snapshot-
+// scoped shared sweep cache instead of merely running in parallel.
+//
 // Cancelling ctx stops the batch early: requests already running abort via
 // their search loops' context polls, and requests not yet started fail
 // immediately. The returned error is nil on a full run and the context's
@@ -45,11 +54,39 @@ func (e *Engine) SearchBatch(ctx context.Context, requests []Request, parallelis
 	if n == 0 {
 		return nil, ctx.Err()
 	}
+
+	// Dedup by canonical key: rep[i] names the representative index whose
+	// outcome request i shares; work lists the representatives to run.
+	rep := make([]int, n)
+	byKey := make(map[string]int, n)
+	work := make([]int, 0, n)
+	for i, r := range requests {
+		rep[i] = i
+		k, ok := batchKey(r)
+		if ok {
+			if j, seen := byKey[k]; seen {
+				rep[i] = j
+				continue
+			}
+			byKey[k] = i
+		}
+		work = append(work, i)
+	}
+	// Same-source grouping: dispatch order is (From, To), stable, so plans
+	// hitting the same endpoints are adjacent in the queue. Results still
+	// land at their request index.
+	slices.SortStableFunc(work, func(a, b int) int {
+		if c := cmp.Compare(requests[a].From, requests[b].From); c != 0 {
+			return c
+		}
+		return cmp.Compare(requests[a].To, requests[b].To)
+	})
+
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism > n {
-		parallelism = n
+	if parallelism > len(work) {
+		parallelism = len(work)
 	}
 
 	out := make([]BatchResult, n)
@@ -69,10 +106,30 @@ func (e *Engine) SearchBatch(ctx context.Context, requests []Request, parallelis
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for _, i := range work {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+
+	// Fan representative outcomes out to their duplicates, in request order.
+	for i := range requests {
+		j := rep[i]
+		if j == i {
+			continue
+		}
+		src := out[j]
+		resp := cloneResponse(src.Response)
+		resp.Coalesced = true
+		out[i] = BatchResult{Response: resp, Err: src.Err}
+		e.coalesced.Add(1)
+		if e.met != nil {
+			// Duplicates never entered Run: account for them here so the
+			// request totals still count every batch item and the cache
+			// series records them as coalesced, not as misses.
+			e.met.cacheLookup(cacheResultCoalesced)
+			e.met.observe(resp, src.Err, 0)
+		}
+	}
 	return out, ctx.Err()
 }

@@ -442,6 +442,25 @@ func BenchmarkRunCached(b *testing.B) {
 	}
 }
 
+// BenchmarkRunCoalesced — a stampede of one identical request on the
+// uncached engine: concurrent Runs fold into whatever search is in flight
+// via the engine's single-flight, so most operations wait on a shared
+// search instead of running their own. Contrast with BenchmarkRunUncached
+// (serial, every request pays) and BenchmarkRunCached (warm result cache).
+func BenchmarkRunCoalesced(b *testing.B) {
+	eng, _, requests := cacheFixture(b)
+	req := requests[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Run(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationOracles — the three τ/σ oracle implementations serving
 // the same OSScaling workload: dense tables (the paper's pre-processing),
 // lazy memoized sweeps, and the §6 partitioned design.

@@ -76,6 +76,64 @@ func cacheKey(fp uint64, algo Algorithm, q core.Query, opts Options) string {
 	return string(b)
 }
 
+// batchKey canonicalizes a Request for in-batch dedup — the same fields as
+// cacheKey but batch-local: no fingerprint (every request in a batch resolves
+// against the snapshot it is run on) and keyword strings instead of resolved
+// terms (so two spellings of the same term set conservatively stay distinct;
+// resolution happens inside Run). ok is false for requests that must not be
+// deduped: a Tracer observes per-request side effects, and an unparseable
+// algorithm should fail per-request rather than share an error.
+func batchKey(req Request) (string, bool) {
+	algo, err := core.ParseAlgorithm(string(req.Algorithm))
+	if err != nil {
+		return "", false
+	}
+	opts := DefaultOptions()
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	if req.K != 0 {
+		opts.K = req.K
+	}
+	if !cacheable(opts) {
+		return "", false
+	}
+	b := make([]byte, 0, 128)
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	flag := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+
+	b = append(b, string(algo.Canonical())...)
+	b = append(b, 0)
+	u64(uint64(uint32(req.From)))
+	u64(uint64(uint32(req.To)))
+	f64(req.Budget)
+	u64(uint64(len(req.Keywords)))
+	for _, kw := range req.Keywords {
+		// Length-prefixed: keyword strings are arbitrary bytes.
+		u64(uint64(len(kw)))
+		b = append(b, kw...)
+	}
+	f64(opts.Epsilon)
+	f64(opts.Beta)
+	f64(opts.Alpha)
+	f64(opts.InfrequentFraction)
+	u64(uint64(opts.Width))
+	u64(uint64(opts.K))
+	u64(uint64(opts.Strategy1Candidates))
+	u64(uint64(opts.MaxExpansions))
+	flag(opts.DisableStrategy1)
+	flag(opts.DisableStrategy2)
+	flag(opts.BudgetPriority)
+	return string(b), true
+}
+
 // cloneResponse deep-copies the route slices so cache entries and the
 // responses handed to callers never share mutable memory: a caller
 // scribbling on Response.Routes (or a route's Nodes) must not corrupt the

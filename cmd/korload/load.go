@@ -40,6 +40,7 @@ type config struct {
 	BudgetMin   float64       // budget draw lower bound; 0 = auto from /v1/stats
 	BudgetMax   float64       // budget draw upper bound; 0 = auto from /v1/stats
 	K           int           // K for topk requests
+	DupFraction float64       // fraction of requests re-issued verbatim from the recent pool
 	WithMetrics bool          // ask the server to attach search metrics
 	ReplayPath  string        // JSON file of korapi.Requests to replay instead of synthesizing
 	ChurnEvery  time.Duration // POST an admin keyword patch this often; 0 = off
@@ -205,7 +206,23 @@ type workload struct {
 	budgetMax    float64
 	k            int
 	metrics      bool
+
+	// Duplicate-heavy traffic: with probability dupFraction a worker
+	// re-issues a verbatim recent request instead of synthesizing a fresh
+	// one — the shape that exercises the server's result cache, request
+	// coalescing and shared sweeps. The pool is a small ring shared across
+	// workers (each worker owns its rng, but duplicates must cross workers
+	// to collide in-flight).
+	dupFraction float64
+	dupMu       sync.Mutex
+	recent      []korapi.Request
+	recentAt    int
 }
+
+// dupPoolSize bounds the recent-request ring duplicates are drawn from. Small
+// on purpose: a tight pool keeps re-issue probability per distinct request
+// high enough to collide with itself in flight.
+const dupPoolSize = 32
 
 // newWorkload probes the server for the graph's shape (node count, budget
 // extrema, vocabulary) and prepares the generator, or loads the replay file.
@@ -242,15 +259,16 @@ func newWorkload(cfg config, client *http.Client) (*workload, error) {
 		return nil, err
 	}
 	w := &workload{
-		mix:       mix,
-		nodes:     st.Nodes,
-		vocab:     vocab,
-		kwMin:     cfg.KeywordsMin,
-		kwMax:     cfg.KeywordsMax,
-		budgetMin: cfg.BudgetMin,
-		budgetMax: cfg.BudgetMax,
-		k:         cfg.K,
-		metrics:   cfg.WithMetrics,
+		mix:         mix,
+		nodes:       st.Nodes,
+		vocab:       vocab,
+		kwMin:       cfg.KeywordsMin,
+		kwMax:       cfg.KeywordsMax,
+		budgetMin:   cfg.BudgetMin,
+		budgetMax:   cfg.BudgetMax,
+		k:           cfg.K,
+		dupFraction: cfg.DupFraction,
+		metrics:     cfg.WithMetrics,
 	}
 	if w.kwMin < 1 {
 		w.kwMin = 1
@@ -326,6 +344,15 @@ func (w *workload) generate(rng *rand.Rand) korapi.Request {
 		i := int(w.next.Add(1)-1) % len(w.replay)
 		return w.replay[i]
 	}
+	if w.dupFraction > 0 && rng.Float64() < w.dupFraction {
+		w.dupMu.Lock()
+		if len(w.recent) > 0 {
+			req := w.recent[rng.Intn(len(w.recent))]
+			w.dupMu.Unlock()
+			return req
+		}
+		w.dupMu.Unlock()
+	}
 	nk := w.kwMin
 	if w.kwMax > w.kwMin {
 		nk += rng.Intn(w.kwMax - w.kwMin + 1)
@@ -354,6 +381,16 @@ func (w *workload) generate(rng *rand.Rand) korapi.Request {
 		if req.K < 2 {
 			req.K = 3
 		}
+	}
+	if w.dupFraction > 0 {
+		w.dupMu.Lock()
+		if len(w.recent) < dupPoolSize {
+			w.recent = append(w.recent, req)
+		} else {
+			w.recent[w.recentAt] = req
+			w.recentAt = (w.recentAt + 1) % dupPoolSize
+		}
+		w.dupMu.Unlock()
 	}
 	return req
 }

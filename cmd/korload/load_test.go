@@ -2,10 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -420,5 +422,37 @@ func TestRunSetupErrors(t *testing.T) {
 	t.Cleanup(ts.Close)
 	if _, err := run(config{URL: ts.URL, Duration: time.Second, Mix: "bucketbound"}); err == nil {
 		t.Error("keyword-less target accepted")
+	}
+}
+
+// TestGenerateDupFraction: with -dup-fraction the generator re-issues
+// verbatim recent requests (the duplicate-heavy shape that exercises result
+// caching and request coalescing on the server) and never records into the
+// pool when the knob is off.
+func TestGenerateDupFraction(t *testing.T) {
+	mix, err := parseMix("bucketbound=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &workload{
+		mix: mix, nodes: 50, vocab: []string{"a", "b", "c", "d"},
+		kwMin: 1, kwMax: 2, budgetMin: 1, budgetMax: 5,
+		dupFraction: 1,
+	}
+	rng := rand.New(rand.NewSource(1))
+	first := w.generate(rng) // empty pool: synthesized, then recorded
+	for i := 0; i < 10; i++ {
+		if got := w.generate(rng); !reflect.DeepEqual(got, first) {
+			t.Fatalf("dup-fraction 1 synthesized a fresh request: %+v vs %+v", got, first)
+		}
+	}
+
+	w.dupFraction = 0
+	w.recent = nil
+	for i := 0; i < 10; i++ {
+		w.generate(rng)
+	}
+	if len(w.recent) != 0 {
+		t.Fatalf("dup-fraction 0 recorded %d requests into the pool", len(w.recent))
 	}
 }

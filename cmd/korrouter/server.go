@@ -403,9 +403,12 @@ func (rt *router) handleNode(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleKeywords scatters the autocomplete query to one replica per shard
-// and merges the suggestions. Per-keyword node counts are a shard-local
-// view; the merge keeps the maximum seen, a lower bound on the global count
-// (halo overlap makes the exact union unrecoverable from counts alone).
+// and merges the suggestions. Per-keyword node counts are a shard-local view
+// whose halo overlap makes the union unrecoverable from live counts alone,
+// so counts come from the shard map's owned-node sums (exact: ownership
+// partitions the nodes). Keywords the map does not know — added by live
+// patches after the cut — fall back to the maximum live count, a lower
+// bound.
 func (rt *router) handleKeywords(w http.ResponseWriter, r *http.Request) {
 	limit := 10
 	if l := r.URL.Query().Get("limit"); l != "" {
@@ -471,6 +474,11 @@ func (rt *router) handleKeywords(w http.ResponseWriter, r *http.Request) {
 			if kw.Nodes > merged[kw.Keyword] {
 				merged[kw.Keyword] = kw.Nodes
 			}
+		}
+	}
+	for kw := range merged {
+		if n, ok := rt.shardMap.OwnedKeywordCount(kw); ok {
+			merged[kw] = n
 		}
 	}
 	if !answered {

@@ -533,6 +533,47 @@ func TestRouterSurface(t *testing.T) {
 	}
 }
 
+// TestRouterKeywordCountsExact pins router /v1/keywords counts to the
+// unsharded engine's: with a small halo every shard's closure overlaps its
+// neighbour, so shard-local counts neither sum nor max to the global count —
+// the router must serve the shard map's owned-node sums instead. Before the
+// fix the merge kept the maximum shard-local count, a lower bound.
+func TestRouterKeywordCountsExact(t *testing.T) {
+	g := kor.SyntheticRoadNetwork(2012, 300)
+	tc := newTestCluster(t, g, 40, 1, 1)
+
+	// The cut must actually split some keyword's nodes across both shards,
+	// otherwise this test cannot distinguish sum from max.
+	split := false
+	for kw, n := range tc.cut.Map.Shards[0].KeywordOwned {
+		if n > 0 && tc.cut.Map.Shards[1].KeywordOwned[kw] > 0 {
+			split = true
+			break
+		}
+	}
+	if !split {
+		t.Fatal("cut did not split any keyword across shards; pick different parameters")
+	}
+
+	for _, prefix := range []string{"", "a", "k"} {
+		var got korapi.KeywordsResponse
+		getJSON(t, tc.srv.URL+"/v1/keywords?prefix="+prefix+"&limit=200", &got)
+		want, err := tc.single.Suggest(prefix, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Keywords) != len(want) {
+			t.Fatalf("prefix %q: router returned %d keywords, unsharded %d", prefix, len(got.Keywords), len(want))
+		}
+		for i, kw := range got.Keywords {
+			if kw.Keyword != want[i].Keyword || kw.Nodes != want[i].Nodes {
+				t.Errorf("prefix %q: keyword %d = %s/%d, unsharded %s/%d",
+					prefix, i, kw.Keyword, kw.Nodes, want[i].Keyword, want[i].Nodes)
+			}
+		}
+	}
+}
+
 func getJSON(t *testing.T, url string, out any) {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -1,0 +1,85 @@
+package kor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Request-level single-flight. N identical cacheable requests arriving
+// concurrently used to stampede: each missed the result cache (the first
+// finisher's Put lands too late for the others) and ran the full search. The
+// engine now keys in-flight searches by the same canonical key as the result
+// cache — which folds in the snapshot fingerprint, so a follower can only
+// ever join a flight computing against the exact graph version the follower
+// itself resolved its request on; a Swap between two arrivals changes the
+// fingerprint and therefore the key.
+//
+// Followers receive a clone of the leader's response flagged Coalesced.
+// Only definitive outcomes (the same set the result cache stores: a clean
+// answer, ErrNoRoute, ErrBudgetExceeded) are shared — a leader that aborts
+// on its own context or trips ErrSearchLimit proves nothing about the
+// followers' requests, so they retry, electing a new leader among
+// themselves.
+
+// flight is one in-flight search. done closes when resp/err/definitive are
+// readable. followers counts the callers that joined after the leader; it
+// only grows (the flight itself is discarded at completion) and exists for
+// the engine's test instrumentation.
+type flight struct {
+	done       chan struct{}
+	resp       Response
+	err        error
+	definitive bool
+	followers  atomic.Int32
+}
+
+// flightGroup indexes live flights by canonical request key. The zero value
+// is ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the flight for key, creating it when none is live. leader is
+// true for the creator, who must eventually call finish exactly once;
+// followers wait on f.done.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f = g.m[key]; f != nil {
+		f.followers.Add(1)
+		return f, false
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and releases the followers. The
+// flight leaves the map before done closes, so a request arriving after the
+// outcome is decided starts a fresh flight instead of reading a stale one.
+func (g *flightGroup) finish(key string, f *flight, resp Response, err error, definitive bool) {
+	g.mu.Lock()
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	f.resp, f.err, f.definitive = resp, err, definitive
+	close(f.done)
+}
+
+// waiters sums the followers attached to live flights (test support: the
+// stampede tests hold the leader in a hook until the expected followers have
+// queued up).
+func (g *flightGroup) waiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.m {
+		n += int(f.followers.Load())
+	}
+	return n
+}

@@ -138,6 +138,21 @@ func CutGraph(g *graph.Graph, cfg CutConfig) (*Cut, error) {
 		info.ID = s
 		info.Regions = regions[s]
 		info.Owned = owned
+		// Owned-node keyword counts: summed across shards these are exact
+		// global counts (ownership partitions the nodes), which the router
+		// serves from /v1/keywords instead of halo-overlapping shard counts.
+		kwOwned := make(map[string]int)
+		for v := 0; v < n; v++ {
+			if nodeShard[v] != s {
+				continue
+			}
+			for _, t := range g.Terms(graph.NodeID(v)) {
+				kwOwned[g.Vocab().Name(t)]++
+			}
+		}
+		if len(kwOwned) > 0 {
+			info.KeywordOwned = kwOwned
+		}
 		cut.Graphs[s] = sg
 		cut.Map.Shards = append(cut.Map.Shards, info)
 	}

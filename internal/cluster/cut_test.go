@@ -64,6 +64,24 @@ func TestCutShardInvariants(t *testing.T) {
 	if owned != g.NumNodes() {
 		t.Errorf("shards own %d nodes in total, want %d (ownership must partition)", owned, g.NumNodes())
 	}
+	// Owned keyword counts must sum to the full graph's document
+	// frequencies — the invariant the router's exact /v1/keywords merge
+	// rests on.
+	wantDF := make(map[string]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, term := range g.Terms(kor.NodeID(v)) {
+			wantDF[g.Vocab().Name(term)]++
+		}
+	}
+	for kw, want := range wantDF {
+		got, ok := m.OwnedKeywordCount(kw)
+		if !ok || got != want {
+			t.Errorf("OwnedKeywordCount(%q) = %d,%v, want %d", kw, got, ok, want)
+		}
+	}
+	if _, ok := m.OwnedKeywordCount("no-such-keyword"); ok {
+		t.Error("OwnedKeywordCount claims to know a keyword absent from the cut")
+	}
 	for i, sg := range cut.Graphs {
 		// Full node set: global IDs are valid verbatim on every shard.
 		if sg.NumNodes() != g.NumNodes() {

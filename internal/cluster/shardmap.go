@@ -68,6 +68,13 @@ type ShardInfo struct {
 	// keyword outside this list can never match in this shard, so the
 	// router's scatter set skips it.
 	Keywords []string `json:"keywords"`
+	// KeywordOwned counts, per keyword, the nodes carrying it that this
+	// shard owns (halo nodes excluded). Ownership partitions the node set,
+	// so summing a keyword's counts across shards yields its exact global
+	// node count — shard-local /v1/keywords counts overlap on the halo and
+	// can only bound it. Optional: maps written before this field report no
+	// counts and readers must fall back (see OwnedKeywordCount).
+	KeywordOwned map[string]int `json:"keyword_owned,omitempty"`
 }
 
 // Validate checks the map's internal consistency.
@@ -133,6 +140,22 @@ func (m *ShardMap) ScatterSet(from, to int64, keywords []string) []int {
 		return caps
 	}
 	return []int{m.OwnerOf(from)}
+}
+
+// OwnedKeywordCount returns the exact global node count for a keyword by
+// summing the shards' owned-node counts — ownership partitions the node set,
+// so the sum has no halo double-counting. ok is false when the count is not
+// knowable from the map: the map predates KeywordOwned, or the keyword was
+// absent at cut time (e.g. added by a live patch); callers then fall back to
+// merging the shards' live (lower-bound) counts.
+func (m *ShardMap) OwnedKeywordCount(kw string) (n int, ok bool) {
+	for i := range m.Shards {
+		if c, present := m.Shards[i].KeywordOwned[kw]; present {
+			n += c
+			ok = true
+		}
+	}
+	return n, ok
 }
 
 // OwnerOf returns the shard owning node id, falling back to shard 0 for IDs

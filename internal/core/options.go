@@ -127,6 +127,7 @@ type Metrics struct {
 	Feasible        int // feasible candidates encountered
 	PeakQueue       int // largest queue population
 	PlanSweeps      int // query-owned sweeps: Δ-bounded candidate lookups and path reconstruction
+	SharedSweeps    int // sweeps reused from the Searcher's cross-query shared cache instead of computed
 }
 
 // add accumulates counters from another run (used when averaging workloads).
@@ -142,6 +143,7 @@ func (m *Metrics) add(o Metrics) {
 	m.ShortcutLabels += o.ShortcutLabels
 	m.Feasible += o.Feasible
 	m.PlanSweeps += o.PlanSweeps
+	m.SharedSweeps += o.SharedSweeps
 	if o.PeakQueue > m.PeakQueue {
 		m.PeakQueue = o.PeakQueue
 	}

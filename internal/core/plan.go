@@ -335,15 +335,28 @@ func (p *plan) tauTo(v graph.NodeID) (float64, float64, bool) {
 	return e.tos, e.tbs, true
 }
 
-// boundedSigSweep returns (creating on first use) the plan's Δ-bounded
+// boundedSigSweep returns (resolving on first use) the plan's Δ-bounded
 // reverse σ sweep into candidate node to — the single source for both score
 // lookups and path reconstruction, so the two can never disagree on bound
-// or metric.
+// or metric. Sweeps come from the Searcher's shared cache: the plan-local map
+// only pins the resolved pointer so later lookups skip the cache lock.
 func (p *plan) boundedSigSweep(to graph.NodeID) *apsp.Sweep {
 	sw := p.boundedSig[to]
 	if sw == nil {
-		sw = apsp.ReverseBoundedSweep(p.s.g, to, apsp.ByBudget, p.q.Budget)
+		sw = p.sharedSweep(to, apsp.ByBudget, p.q.Budget)
 		p.boundedSig[to] = sw
+	}
+	return sw
+}
+
+// sharedSweep resolves one reverse sweep through the Searcher's shared cache,
+// attributing the work: a sweep this plan computed counts in PlanSweeps, one
+// reused from (or awaited in) the cache counts in SharedSweeps.
+func (p *plan) sharedSweep(root graph.NodeID, m apsp.Metric, bound float64) *apsp.Sweep {
+	sw, shared := p.s.sweeps.get(p.s.g, root, m, bound)
+	if shared {
+		p.metrics.SharedSweeps++
+	} else {
 		p.metrics.PlanSweeps++
 	}
 	return sw
@@ -383,8 +396,7 @@ func (p *plan) tailPath(from graph.NodeID) ([]graph.NodeID, bool) {
 		return p.s.oracle.MinObjectivePath(from, p.q.Target)
 	}
 	if p.tailPathSweep == nil {
-		p.tailPathSweep = apsp.ReverseBoundedSweep(p.s.g, p.q.Target, apsp.ByObjective, math.Inf(1))
-		p.metrics.PlanSweeps++
+		p.tailPathSweep = p.sharedSweep(p.q.Target, apsp.ByObjective, math.Inf(1))
 	}
 	return p.tailPathSweep.WalkFrom(from)
 }
@@ -404,9 +416,8 @@ func (p *plan) shortcutPath(from, to graph.NodeID) ([]graph.NodeID, bool) {
 	}
 	sw := p.pathSweeps[to]
 	if sw == nil {
-		sw = apsp.ReverseBoundedSweep(p.s.g, to, apsp.ByBudget, math.Inf(1))
+		sw = p.sharedSweep(to, apsp.ByBudget, math.Inf(1))
 		p.pathSweeps[to] = sw
-		p.metrics.PlanSweeps++
 	}
 	return sw.WalkFrom(from)
 }
@@ -435,9 +446,8 @@ func (p *plan) tauObjInto(from graph.NodeID, via *viaNode, u float64) (float64, 
 	}
 	sw := p.tauVia[via.node]
 	if sw == nil {
-		sw = apsp.ReverseBoundedSweep(p.s.g, via.node, apsp.ByObjective, u-via.osLT)
+		sw = p.sharedSweep(via.node, apsp.ByObjective, u-via.osLT)
 		p.tauVia[via.node] = sw
-		p.metrics.PlanSweeps++
 	}
 	os, _, ok := sw.Scores(from)
 	return os, ok

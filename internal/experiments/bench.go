@@ -11,10 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"kor/internal/core"
@@ -65,9 +68,13 @@ type BenchEntry struct {
 	// lookups and path reconstruction).
 	SweepsPerOp     float64 `json:"sweeps_per_op"`
 	PlanSweepsPerOp float64 `json:"plan_sweeps_per_op,omitempty"`
-	AllocsPerOp     float64 `json:"allocs_per_op"`
-	BytesPerOp      float64 `json:"bytes_per_op"`
-	Failures        int     `json:"failures,omitempty"`
+	// SharedSweepsPerOp counts plan sweeps answered from the Searcher's
+	// cross-query shared sweep cache instead of computed (concurrent-mixed
+	// workload; zero when sharing is disabled).
+	SharedSweepsPerOp float64 `json:"shared_sweeps_per_op,omitempty"`
+	AllocsPerOp       float64 `json:"allocs_per_op"`
+	BytesPerOp        float64 `json:"bytes_per_op"`
+	Failures          int     `json:"failures,omitempty"`
 	// FailureReason records why the first failed query failed (search error,
 	// empty result, or an infeasible best route), so a failure count in a
 	// committed report is diagnosable without rerunning the suite.
@@ -185,7 +192,153 @@ func RunBench(o BenchOptions, log io.Writer) (*BenchReport, error) {
 			}
 		}
 	}
+	if err := runConcurrentMixed(o, report, logf); err != nil {
+		return nil, err
+	}
 	return report, nil
+}
+
+// mixedOp is one operation of the concurrent-mixed workload: a query paired
+// with the algorithm that answers it.
+type mixedOp struct {
+	q    core.Query
+	algo Algorithm
+}
+
+// concurrentMixWorkers bounds the worker pool of the concurrent-mixed cell.
+const concurrentMixWorkers = 8
+
+// runConcurrentMixed measures the duplicate-heavy concurrent serving shape
+// the cross-query sweep cache exists for: a worker pool draining a shuffled
+// mix in which every query appears several times under rotating algorithms,
+// all against one lazy-oracle Searcher. Two cells are recorded — sharing
+// enabled and disabled on the same dataset — so the committed report itself
+// shows the per-query sweep and allocation drop sharing buys.
+func runConcurrentMixed(o BenchOptions, report *BenchReport, logf func(string, ...any)) error {
+	const name = "concurrent-mixed"
+	roadNodes := 5000
+	if o.Smoke {
+		roadNodes = 1500
+	}
+	ds := NewRoadDataset(Config{Seed: o.Seed, Queries: o.Queries}, roadNodes)
+	queries := ds.Queries(Config{Seed: o.Seed, Queries: o.Queries}, 6, 9)
+	lineup := benchLineup()
+
+	// Duplicate-heavy mix: every query appears once per lineup algorithm,
+	// shuffled deterministically so duplicates arrive interleaved, not
+	// back-to-back.
+	mix := make([]mixedOp, 0, len(queries)*len(lineup))
+	for _, algo := range lineup {
+		for _, q := range queries {
+			mix = append(mix, mixedOp{q: q, algo: algo})
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 17))
+	rng.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
+
+	logf("bench %s (duplicate-heavy worker-pool mix, lazy sweep oracle, %d workers): %d ops",
+		name, concurrentMixWorkers, len(mix))
+	for _, shared := range []bool{true, false} {
+		e, err := measureConcurrentMixed(ds, mix, shared, o.Iters)
+		if err != nil {
+			return fmt.Errorf("experiments: bench %s: %w", name, err)
+		}
+		e.Workload = name
+		report.Entries = append(report.Entries, e)
+		logf("  %-12s %12.0f ns/op  %8.0f labels/op  %6.2f+%.2f(+%.2f shared) sweeps/op  %8.0f allocs/op",
+			e.Algorithm, e.NsPerOp, e.LabelsPerOp, e.SweepsPerOp, e.PlanSweepsPerOp, e.SharedSweepsPerOp, e.AllocsPerOp)
+	}
+	return nil
+}
+
+// measureConcurrentMixed times iters worker-pool passes over the mix with
+// sweep sharing toggled as requested. The sweep cache (when enabled) is
+// dropped before the measured region and kept across passes — its lifetime
+// under a real engine is the snapshot's, which outlives any one request.
+func measureConcurrentMixed(ds *Dataset, mix []mixedOp, shared bool, iters int) (BenchEntry, error) {
+	algoName := "MixedPrivate"
+	if shared {
+		algoName = "MixedShared"
+	}
+	e := BenchEntry{Algorithm: algoName, Queries: len(mix), Iters: iters}
+	if len(mix) == 0 {
+		return e, fmt.Errorf("no operations generated")
+	}
+	// SetSweepSharing drops all entries either way: each mode starts cold.
+	ds.Searcher.SetSweepSharing(shared)
+	defer ds.Searcher.SetSweepSharing(true)
+
+	for _, op := range mix { // warm pass, also counts failures
+		res, err := op.algo.invoke(ds.Searcher, op.q)
+		if err != nil || len(res.Routes) == 0 || !res.Routes[0].Feasible {
+			e.Failures++
+			if e.FailureReason == "" {
+				switch {
+				case err != nil:
+					e.FailureReason = err.Error()
+				case len(res.Routes) == 0:
+					e.FailureReason = "no route returned"
+				default:
+					e.FailureReason = "best route infeasible (budget violated)"
+				}
+			}
+		}
+	}
+	ds.Searcher.SetSweepSharing(shared) // drop warm-pass entries: measure cold
+
+	var counter sweepCounter
+	if sc, ok := ds.Searcher.Oracle().(sweepCounter); ok {
+		counter = sc
+	}
+	sweeps0 := int64(0)
+	if counter != nil {
+		sweeps0 = counter.SweepCount()
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var labels, planSweeps, sharedSweeps int64
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < concurrentMixWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var l, p, s int64
+				for i := range next {
+					res, _ := mix[i].algo.invoke(ds.Searcher, mix[i].q)
+					l += int64(res.Metrics.LabelsCreated)
+					p += int64(res.Metrics.PlanSweeps)
+					s += int64(res.Metrics.SharedSweeps)
+				}
+				atomic.AddInt64(&labels, l)
+				atomic.AddInt64(&planSweeps, p)
+				atomic.AddInt64(&sharedSweeps, s)
+			}()
+		}
+		for i := range mix {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	ops := float64(iters * len(mix))
+	e.NsPerOp = float64(elapsed.Nanoseconds()) / ops
+	e.LabelsPerOp = float64(labels) / ops
+	e.PlanSweepsPerOp = float64(planSweeps) / ops
+	e.SharedSweepsPerOp = float64(sharedSweeps) / ops
+	e.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / ops
+	e.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / ops
+	if counter != nil {
+		e.SweepsPerOp = float64(counter.SweepCount()-sweeps0) / ops
+	}
+	return e, nil
 }
 
 // measureBench times iters passes over the query set, reading allocation and

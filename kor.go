@@ -231,6 +231,24 @@ type Engine struct {
 	// is cleared on swap.
 	cache *rescache.Cache[cachedResponse]
 
+	// flights single-flights identical in-flight cacheable requests (see
+	// flight.go), keyed by the same canonical key as the cache. Active even
+	// with caching disabled: coalescing needs no storage budget.
+	flights flightGroup
+	// coalesced counts responses answered by sharing another request's
+	// search: single-flight followers and SearchBatch duplicates.
+	// cacheHits/cacheMisses are the engine's own lookup accounting:
+	// rescache's internal counters would count a coalesced follower's
+	// discovery Get as a miss, but no search ran for it — the engine counts
+	// a miss only when a request goes on to lead a search.
+	coalesced   atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	// searchHook, when non-nil, runs on the leader's path right before the
+	// search. Test instrumentation only: stampede tests park the leader here
+	// until the followers have queued.
+	searchHook func()
+
 	// swapMu serializes Swap and Patch so concurrent patches compose;
 	// generation is guarded by it.
 	swapMu     sync.Mutex
@@ -410,6 +428,11 @@ type CacheStats struct {
 	Misses int64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64
+	// Coalesced counts requests answered by sharing another request's
+	// search instead of running their own: single-flight followers of an
+	// identical in-flight request and duplicates inside a SearchBatch.
+	// Such requests are not counted in Misses.
+	Coalesced int64
 	// Size is the current entry count; Capacity the configured bound.
 	Size     int
 	Capacity int
@@ -423,9 +446,10 @@ func (e *Engine) CacheStats() (stats CacheStats, ok bool) {
 	}
 	st := e.cache.Stats()
 	return CacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
+		Hits:      e.cacheHits.Load(),
+		Misses:    e.cacheMisses.Load(),
 		Evictions: st.Evictions,
+		Coalesced: e.coalesced.Load(),
 		Size:      st.Size,
 		Capacity:  st.Capacity,
 	}, true

@@ -103,6 +103,7 @@ func ResponseFromKor(g *kor.Graph, resp kor.Response, withMetrics bool) Response
 		Routes:    make([]Route, len(resp.Routes)),
 		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1e3,
 		Cached:    resp.Cached,
+		Coalesced: resp.Coalesced,
 	}
 	for i, r := range resp.Routes {
 		out.Routes[i] = RouteFromKor(g, r)
@@ -142,6 +143,7 @@ func CacheStatsFromKor(st kor.CacheStats) CacheStats {
 		Hits:      st.Hits,
 		Misses:    st.Misses,
 		Evictions: st.Evictions,
+		Coalesced: st.Coalesced,
 		Size:      st.Size,
 		Capacity:  st.Capacity,
 	}

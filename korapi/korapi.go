@@ -120,6 +120,10 @@ type Response struct {
 	// Cached reports that the response came from the server's result cache
 	// without running a search.
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that the response was shared from an identical
+	// request's search — a concurrent in-flight twin or a duplicate in the
+	// same batch — without running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Warning reports a non-fatal condition on an otherwise successful
 	// response: the routes are present and usable, but the caller should
 	// inspect the code. Currently emitted for budget_exceeded — a greedy
@@ -390,11 +394,14 @@ type AdminResponse struct {
 	Edges    int      `json:"edges"`
 }
 
-// CacheStats is the result-cache block inside Stats.
+// CacheStats is the result-cache block inside Stats. Coalesced counts
+// requests answered by sharing an identical in-flight request's search
+// (single-flight followers and batch duplicates); those are not Misses.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced,omitempty"`
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
 }

@@ -13,7 +13,7 @@ import (
 //
 //	kor_engine_requests_total{algorithm,outcome}  counter
 //	kor_engine_request_seconds{algorithm}         histogram
-//	kor_engine_cache_requests_total{result}       counter (cache enabled)
+//	kor_engine_cache_requests_total{result}       counter (cache enabled; hit/miss/coalesced)
 //	kor_engine_cache_size                         gauge   (cache enabled)
 //	kor_engine_cache_evictions_total              counter (cache enabled)
 //	kor_engine_plan_sweeps_total                  counter
@@ -85,7 +85,7 @@ func (e *Engine) registerMetrics(reg *metrics.Registry) {
 		})
 	if e.cache != nil {
 		m.cacheReq = reg.CounterVec("kor_engine_cache_requests_total",
-			"Result-cache lookups by result (hit or miss).", "result")
+			"Result-cache lookups by result (hit, miss, or coalesced onto an identical in-flight request).", "result")
 		reg.GaugeFunc("kor_engine_cache_size",
 			"Entries currently held in the result cache.",
 			func() float64 { return float64(e.cache.Len()) })
@@ -112,7 +112,9 @@ func (e *Engine) publishOracleStatus(st OracleStatus) {
 }
 
 // observe records one Run outcome. algorithm falls back to "invalid" when
-// the request failed before the algorithm was resolved.
+// the request failed before the algorithm was resolved. Cached and coalesced
+// responses carry the originating search's counters, so their plan sweeps
+// are skipped — that work already counted when the leader ran.
 func (m *engineMetrics) observe(resp Response, err error, elapsed time.Duration) {
 	algo := string(resp.Algorithm)
 	if algo == "" {
@@ -120,21 +122,29 @@ func (m *engineMetrics) observe(resp Response, err error, elapsed time.Duration)
 	}
 	m.requests.With(algo, outcomeLabel(err)).Inc()
 	m.latency.With(algo).Observe(elapsed.Seconds())
-	if n := resp.Metrics.PlanSweeps; n > 0 && !resp.Cached {
+	if n := resp.Metrics.PlanSweeps; n > 0 && !resp.Cached && !resp.Coalesced {
 		m.planSweeps.Add(uint64(n))
 	}
 }
 
-// cacheLookup records a result-cache hit or miss.
-func (m *engineMetrics) cacheLookup(hit bool) {
+// The closed result-label set of kor_engine_cache_requests_total. Every
+// cacheable Run records exactly one: "hit" for a cache hit, "miss" for the
+// request that goes on to lead the search, "coalesced" for a single-flight
+// follower (or batch duplicate) answered by someone else's search. Before
+// coalescing existed, followers inflated the miss series and dashboards
+// under-reported the effective hit rate.
+const (
+	cacheResultHit       = "hit"
+	cacheResultMiss      = "miss"
+	cacheResultCoalesced = "coalesced"
+)
+
+// cacheLookup records one result-cache lookup outcome.
+func (m *engineMetrics) cacheLookup(result string) {
 	if m == nil || m.cacheReq == nil {
 		return
 	}
-	if hit {
-		m.cacheReq.With("hit").Inc()
-	} else {
-		m.cacheReq.With("miss").Inc()
-	}
+	m.cacheReq.With(result).Inc()
 }
 
 // outcomeLabel maps a Run error onto its closed outcome label set. The

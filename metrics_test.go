@@ -157,6 +157,75 @@ func TestOracleDegradedSecondsGauge(t *testing.T) {
 	}
 }
 
+// TestEngineMetricsCoalesced: coalesced responses surface in the cache-lookup
+// series under their own label — not as misses — and the plan-sweep counter
+// reflects the single search the whole stampede paid for. Batch duplicates
+// are counted the same way.
+func TestEngineMetricsCoalesced(t *testing.T) {
+	eng, reg := metricsTestEngine(t)
+	req := Request{From: 0, To: 0, Keywords: []string{"jazz"}, Budget: 4}
+	const followers = 3
+
+	release := make(chan struct{})
+	parked, searches := parkFirstSearch(eng, release)
+	done := make(chan error, followers+1)
+	run := func() {
+		_, err := eng.Run(context.Background(), req)
+		done <- err
+	}
+	go run()
+	<-parked
+	for i := 0; i < followers; i++ {
+		go run()
+	}
+	awaitWaiters(t, eng, followers)
+	close(release)
+	for i := 0; i < followers+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	if searches.Load() != 1 {
+		t.Fatalf("%d searches executed, want 1", searches.Load())
+	}
+
+	// A batch of two identical requests: the representative hits the warm
+	// cache, the duplicate is coalesced by the batch layer without ever
+	// entering Run.
+	if _, err := eng.SearchBatch(context.Background(), []Request{req, req}, 2); err != nil {
+		t.Fatalf("SearchBatch: %v", err)
+	}
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		`kor_engine_cache_requests_total{result="miss"} 1`,
+		`kor_engine_cache_requests_total{result="coalesced"} 4`,
+		`kor_engine_cache_requests_total{result="hit"} 1`,
+		// Every request — stampede followers and the batch duplicate
+		// included — still counts in the request totals.
+		`kor_engine_requests_total{algorithm="bucketbound",outcome="ok"} 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+
+	// Plan sweeps are counted once, for the leader's search — coalesced and
+	// cached responses carry the leader's Metrics but must not re-add them.
+	twin, twinReg := metricsTestEngine(t)
+	if _, err := twin.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	got := gaugeValue(t, out, "kor_engine_plan_sweeps_total")
+	want := gaugeValue(t, exposition(t, twinReg), "kor_engine_plan_sweeps_total")
+	if got != want {
+		t.Errorf("plan sweeps after stampede+batch = %v, want the single-search %v", got, want)
+	}
+}
+
 // TestEngineMetricsDisabled: an engine without a registry must not touch any
 // instrument (e.met stays nil on every path, including cache hits).
 func TestEngineMetricsDisabled(t *testing.T) {

@@ -87,6 +87,12 @@ type Response struct {
 	// Cached reports that the response was served from the engine's result
 	// cache (EngineConfig.CacheSize) without running a search.
 	Cached bool
+	// Coalesced reports that the response was shared from a search another
+	// request performed — this request joined an identical in-flight Run as a
+	// single-flight follower, or was a duplicate inside a SearchBatch — so no
+	// search ran for it. Metrics are the counters of the search that produced
+	// the shared answer.
+	Coalesced bool
 	// Snapshot identifies the graph snapshot the response was computed
 	// against. Under live updates (Engine.Swap, Engine.Patch) this is how a
 	// caller — or a test — ties an answer to the exact graph version that
@@ -163,26 +169,67 @@ func (e *Engine) run(ctx context.Context, req Request) (Response, error) {
 	}
 
 	start := time.Now()
-	key := ""
-	if e.cache != nil && cacheable(opts) {
-		// A dead context must fail exactly as it does on the search path
-		// (newPlan rejects it): a hit must not outrank cancellation.
+	if !cacheable(opts) {
+		// A tracer observes side effects; the request can be neither cached
+		// nor shared with others, so it searches privately.
+		res, err := sn.searcher.Run(ctx, algo, cq, opts)
+		return e.response(sn, algo, opts, res, start), err
+	}
+	// A dead context must fail exactly as it does on the search path
+	// (newPlan rejects it): a hit or a coalesced answer must not outrank
+	// cancellation.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return Response{Algorithm: algo}, fmt.Errorf("kor: search aborted: %w", ctxErr)
+	}
+	key := cacheKey(sn.info.Fingerprint, algo, cq, opts)
+	for {
+		if e.cache != nil {
+			if hit, ok := e.cache.Get(key); ok {
+				e.cacheHits.Add(1)
+				e.met.cacheLookup(cacheResultHit)
+				resp := cloneResponse(hit.resp)
+				resp.Cached = true
+				resp.Elapsed = time.Since(start)
+				return resp, hit.err
+			}
+		}
+		f, leader := e.flights.join(key)
+		if leader {
+			if e.cache != nil {
+				e.cacheMisses.Add(1)
+			}
+			e.met.cacheLookup(cacheResultMiss)
+			return e.leadSearch(ctx, sn, algo, cq, opts, key, f, start)
+		}
+		select {
+		case <-ctx.Done():
+			// Abandon the flight: the leader keeps computing for whoever
+			// else is waiting.
+			return Response{Algorithm: algo}, fmt.Errorf("kor: search aborted: %w", ctx.Err())
+		case <-f.done:
+		}
+		if f.definitive {
+			e.met.cacheLookup(cacheResultCoalesced)
+			e.coalesced.Add(1)
+			resp := cloneResponse(f.resp)
+			resp.Coalesced = true
+			resp.Elapsed = time.Since(start)
+			return resp, f.err
+		}
+		// The leader's search ended without a definitive outcome — its
+		// context fired, or the expansion cap tripped. That proves nothing
+		// about this request, so go around again: re-check the cache, then
+		// join (or lead) a fresh flight.
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return Response{Algorithm: algo}, fmt.Errorf("kor: search aborted: %w", ctxErr)
 		}
-		key = cacheKey(sn.info.Fingerprint, algo, cq, opts)
-		if hit, ok := e.cache.Get(key); ok {
-			e.met.cacheLookup(true)
-			resp := cloneResponse(hit.resp)
-			resp.Cached = true
-			resp.Elapsed = time.Since(start)
-			return resp, hit.err
-		}
-		e.met.cacheLookup(false)
 	}
+}
 
-	res, err := sn.searcher.Run(ctx, algo, cq, opts)
-	resp := Response{
+// response assembles a Run response from a search result against one
+// snapshot.
+func (e *Engine) response(sn *snapshot, algo Algorithm, opts Options, res Result, start time.Time) Response {
+	return Response{
 		Routes:    res.Routes,
 		Algorithm: algo,
 		Bound:     core.BoundFor(algo, opts),
@@ -191,15 +238,47 @@ func (e *Engine) run(ctx context.Context, req Request) (Response, error) {
 		Snapshot:  sn.info,
 		graph:     sn.g,
 	}
-	if key != "" && (err == nil || errors.Is(err, ErrNoRoute) || errors.Is(err, ErrBudgetExceeded)) {
-		// Store a private copy: the caller owns resp and may mutate it.
-		// Definitive non-nil outcomes are cached alongside clean answers:
-		// ErrNoRoute (the search proved infeasibility) and the greedy
-		// budget overshoot (deterministic routes plus the sentinel) are
-		// exactly as expensive and as deterministic to recompute. Context
-		// errors and ErrSearchLimit are never cached — an aborted search
-		// proved nothing.
-		e.cache.Put(key, cachedResponse{resp: cloneResponse(resp), err: err})
+}
+
+// definitiveOutcome reports whether a search outcome is deterministic and
+// complete — safe to cache and to share with single-flight followers. A clean
+// answer, ErrNoRoute (the search proved infeasibility) and the greedy budget
+// overshoot (deterministic routes plus the sentinel) all qualify: they are
+// exactly as expensive and as deterministic to recompute. Context errors and
+// ErrSearchLimit never qualify — an aborted search proved nothing.
+func definitiveOutcome(err error) bool {
+	return err == nil || errors.Is(err, ErrNoRoute) || errors.Is(err, ErrBudgetExceeded)
+}
+
+// leadSearch runs the search as the leader of flight f, publishes the
+// outcome to the cache and the flight's followers, and returns it. The
+// flight is always finished, even when the search panics — the followers
+// then retry rather than hang.
+func (e *Engine) leadSearch(ctx context.Context, sn *snapshot, algo Algorithm, cq core.Query, opts Options, key string, f *flight, start time.Time) (Response, error) {
+	finished := false
+	defer func() {
+		if !finished {
+			e.flights.finish(key, f, Response{}, nil, false)
+		}
+	}()
+	if e.searchHook != nil {
+		e.searchHook()
+	}
+	res, err := sn.searcher.Run(ctx, algo, cq, opts)
+	resp := e.response(sn, algo, opts, res, start)
+	if definitiveOutcome(err) {
+		// One private copy serves both the cache and the followers: neither
+		// ever hands out its stored response without cloning again, so the
+		// caller owning resp can scribble on it freely.
+		shared := cloneResponse(resp)
+		if e.cache != nil {
+			e.cache.Put(key, cachedResponse{resp: shared, err: err})
+		}
+		finished = true
+		e.flights.finish(key, f, shared, err, true)
+	} else {
+		finished = true
+		e.flights.finish(key, f, Response{}, err, false)
 	}
 	return resp, err
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -323,7 +324,7 @@ func loadReplay(path string) ([]korapi.Request, error) {
 		dec := json.NewDecoder(br)
 		for {
 			var r korapi.Request
-			if err := dec.Decode(&r); err == io.EOF {
+			if err := dec.Decode(&r); errors.Is(err, io.EOF) {
 				break
 			} else if err != nil {
 				return nil, fmt.Errorf("decoding replay line %d: %w", len(reqs)+1, err)

@@ -124,6 +124,8 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument counts and times requests per endpoint, same label scheme as
 // korserve's korserve_http_* set so dashboards line up.
+//
+// korvet:labels — endpoint is a handler-name literal at every call site.
 func (rt *router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	if rt.met == nil {
 		return h
@@ -133,7 +135,7 @@ func (rt *router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		rt.met.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
+		rt.met.requests.With(endpoint, korapi.StatusLabel(sw.status)).Inc()
 		latency.Observe(time.Since(start).Seconds())
 	}
 }
@@ -145,6 +147,9 @@ func (rt *router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// countScatter records one scatter-leg outcome.
+//
+// korvet:labels — callers pass a literal from the scatter outcome set.
 func (rt *router) countScatter(outcome string) {
 	if rt.met != nil {
 		rt.met.scatter.With(outcome).Inc()

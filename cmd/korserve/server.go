@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -143,7 +144,7 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := s.lim.acquire(r.Context()); err != nil {
-			if err == errSaturated {
+			if errors.Is(err, errSaturated) {
 				s.countAdmission("rejected")
 				w.Header().Set("Retry-After", strconv.Itoa(s.lim.retryAfterSeconds()))
 				writeError(w, &korapi.Error{
@@ -162,6 +163,9 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// countAdmission records one admission-gate decision.
+//
+// korvet:labels — callers pass "admitted", "rejected" or "canceled".
 func (s *server) countAdmission(outcome string) {
 	if s.met != nil {
 		s.met.admission.With(outcome).Inc()
@@ -185,6 +189,8 @@ func (w *statusWriter) WriteHeader(code int) {
 // would blow up the label cardinality. The endpoint is fixed per wrapped
 // handler, so its histogram child is resolved once here; the request
 // counter's code label varies and is looked up per request.
+//
+// korvet:labels — endpoint is a handler-name literal at every call site.
 func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	if s.met == nil {
 		return h
@@ -194,7 +200,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.met.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
+		s.met.requests.With(endpoint, korapi.StatusLabel(sw.status)).Inc()
 		latency.Observe(time.Since(start).Seconds())
 	}
 }

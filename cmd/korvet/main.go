@@ -1,0 +1,233 @@
+// Command korvet is the project's static-analysis gate: it type-checks the
+// module with nothing but the standard library and runs the analyzer suite
+// in internal/analysis over every package, printing machine-readable
+// findings as
+//
+//	file:line: [rule-id] message
+//
+// Usage:
+//
+//	go run ./cmd/korvet ./...          # whole module (the CI gate)
+//	go run ./cmd/korvet ./internal/core kor/internal/apsp
+//	go run ./cmd/korvet -list          # rule catalogue
+//	go run ./cmd/korvet -disable errwrap ./...
+//	go run ./cmd/korvet -enable snapshot-pin,plan-lifecycle ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (bad flags,
+// unparseable or untypeable code). Suppress a single finding with
+// //korvet:ignore rule-id reason — the reason is mandatory and unused
+// suppressions are findings, so the ignore surface cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"kor/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("korvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "print the rule catalogue and exit")
+		enable  = fs.String("enable", "", "comma-separated rule ids to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated rule ids to skip")
+		tests   = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		root    = fs.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	active, err := selectRules(suite, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "korvet:", err)
+		return 2
+	}
+
+	moduleRoot := *root
+	if moduleRoot == "" {
+		moduleRoot, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "korvet:", err)
+			return 2
+		}
+	}
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, "korvet:", err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+
+	paths, err := resolvePatterns(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "korvet:", err)
+		return 2
+	}
+
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fmt.Fprintln(stderr, "korvet:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings := analysis.RunAnalyzers(pkgs, active, loader.IsLabelFunc)
+	for _, f := range findings {
+		line := f
+		if rel, err := filepath.Rel(moduleRoot, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			line.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, line.String())
+	}
+	if len(findings) > 0 {
+		printRemediation(stdout, findings)
+		return 1
+	}
+	return 0
+}
+
+// selectRules applies -enable/-disable to the suite.
+func selectRules(suite []*analysis.Analyzer, enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, id := range strings.Split(csv, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if byName[id] == nil {
+				return nil, fmt.Errorf("unknown rule %q (see korvet -list)", id)
+			}
+			set[id] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if on != nil && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		active = append(active, a)
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("rule selection leaves no active rules")
+	}
+	return active, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory (use -root)")
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns expands the package arguments: "./..." (all module
+// packages), relative directories ("./internal/core"), or import paths
+// ("kor/internal/core"). No arguments means "./...".
+func resolvePatterns(l *analysis.Loader, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := l.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasPrefix(arg, "./"):
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(arg, "./")))
+			if rel == "." {
+				add(l.Module)
+			} else {
+				add(l.Module + "/" + rel)
+			}
+		default:
+			add(arg)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// printRemediation summarizes which rules fired and where their contracts
+// are documented, so a CI failure is actionable without spelunking.
+func printRemediation(stdout io.Writer, findings []analysis.Finding) {
+	rules := make(map[string]int)
+	for _, f := range findings {
+		rules[f.Rule]++
+	}
+	ids := make([]string, 0, len(rules))
+	for id := range rules {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(stdout, "\nkorvet: %d finding(s). Remediation:\n", len(findings))
+	for _, id := range ids {
+		fmt.Fprintf(stdout, "  [%s] ×%d — contract documented in DESIGN.md#static-analysis; fix the site or add `//korvet:ignore %s <reason>` with justification\n", id, rules[id], id)
+	}
+}

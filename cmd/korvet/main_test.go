@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kor/internal/analysis"
+)
+
+// writeFixtureModule lays down a throwaway module with one errwrap
+// violation and returns its root.
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module m\n\ngo 1.24\n",
+		"m.go": `package m
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrBoom = errors.New("boom")
+
+func Classify(err error) string {
+	if err == ErrBoom {
+		return "boom"
+	}
+	if errors.Is(err, io.EOF) {
+		return "eof"
+	}
+	return "other"
+}
+`,
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(root, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runCapture(t *testing.T, argv ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(argv, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunFindsViolations(t *testing.T) {
+	root := writeFixtureModule(t)
+	code, out, _ := runCapture(t, "-root", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "m.go:11: [errwrap]") {
+		t.Errorf("finding line missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "DESIGN.md#static-analysis") {
+		t.Errorf("remediation hint missing from output:\n%s", out)
+	}
+}
+
+func TestRunDisableRule(t *testing.T) {
+	root := writeFixtureModule(t)
+	code, out, _ := runCapture(t, "-root", root, "-disable", "errwrap", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestRunEnableSubset(t *testing.T) {
+	root := writeFixtureModule(t)
+	code, out, _ := runCapture(t, "-root", root, "-enable", "snapshot-pin,ctx-flow", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, out, _ := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing rule %s:\n%s", a.Name, out)
+		}
+	}
+}
+
+func TestRunOperationalErrors(t *testing.T) {
+	root := writeFixtureModule(t)
+	cases := [][]string{
+		{"-root", root, "-enable", "no-such-rule", "./..."},
+		{"-root", root, "-disable", "errwrap,snapshot-pin,plan-lifecycle,ctx-flow,metric-labels,definitive-outcome", "./..."},
+		{"-root", root, "m/does/not/exist"},
+		{"-not-a-flag"},
+	}
+	for _, argv := range cases {
+		if code, out, errOut := runCapture(t, argv...); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2\nstdout: %s\nstderr: %s", argv, code, out, errOut)
+		}
+	}
+}
+
+func TestResolvePatterns(t *testing.T) {
+	root := writeFixtureModule(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolvePatterns(loader, []string{"./...", "./.", "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "m" {
+		t.Fatalf("resolvePatterns = %v, want [m]", got)
+	}
+}

@@ -1,0 +1,221 @@
+// Package analysis is korvet's dependency-free static-analysis kernel: a
+// module loader built on go/parser and go/types, a registry of
+// project-invariant analyzers, and the machinery that turns their reports
+// into the machine-readable finding format
+//
+//	file:line: [rule-id] message
+//
+// The analyzers encode contracts that exist elsewhere only as prose in
+// DESIGN.md or as -race tests that can miss schedules: one snapshot load
+// per query path, pooled plan scratch always released, context threaded and
+// polled, metric labels drawn from closed sets, only definitive outcomes
+// cached or shared, sentinel errors wrapped with %w and matched with
+// errors.Is. See DESIGN.md § "Static analysis" for the rule catalogue and
+// the policy for adding rules.
+//
+// Findings can be suppressed at the offending line (or the line below a
+// comment on its own line) with
+//
+//	//korvet:ignore rule-id reason
+//
+// The reason is mandatory — a suppression without one, for an unknown rule,
+// or that suppresses nothing is itself a finding, so the suppression
+// surface can never rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the machine-readable finding line. The column is omitted:
+// the format is file:line: [rule-id] message, stable for golden files and
+// grep-ability.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one project-invariant rule. Run inspects a single
+// type-checked package through its Pass and reports findings; it must be
+// stateless across packages.
+type Analyzer struct {
+	// Name is the rule id used in findings, flags and suppression comments.
+	Name string
+	// Doc is the one-line rule description for korvet -list.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	out      *[]Finding
+
+	// labelFunc reports whether a function object is marked with the
+	// korvet:labels doc marker (see the metric-labels rule). The map spans
+	// every module package the loader has seen, so cross-package calls
+	// resolve.
+	labelFunc func(types.Object) bool
+
+	parents map[*ast.File]map[ast.Node]ast.Node
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Finding{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsLabelFunc reports whether obj is a function whose doc comment carries
+// the korvet:labels marker — the project's declaration that the function's
+// string parameters and results are drawn from closed label sets.
+func (p *Pass) IsLabelFunc(obj types.Object) bool {
+	return obj != nil && p.labelFunc != nil && p.labelFunc(obj)
+}
+
+// Parents returns (building on first use) the child→parent node map for
+// file, for rules that need to look outward from a match.
+func (p *Pass) Parents(file *ast.File) map[ast.Node]ast.Node {
+	if p.parents == nil {
+		p.parents = make(map[*ast.File]map[ast.Node]ast.Node)
+	}
+	if m := p.parents[file]; m != nil {
+		return m
+	}
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	p.parents[file] = m
+	return m
+}
+
+// ignoreDirective is one parsed //korvet:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+var ignoreRe = regexp.MustCompile(`^//korvet:ignore(\s+(\S+))?(\s+(.*))?$`)
+
+// collectIgnores parses every //korvet:ignore directive in the package.
+// Malformed directives (no rule, no reason) are reported immediately under
+// the reserved rule id "korvet".
+func collectIgnores(pkg *Package, known map[string]bool, out *[]Finding) []*ignoreDirective {
+	var dirs []*ignoreDirective
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rule, reason := m[2], strings.TrimSpace(m[4])
+				switch {
+				case rule == "":
+					*out = append(*out, Finding{Pos: pos, Rule: "korvet",
+						Msg: "ignore directive names no rule; use //korvet:ignore rule-id reason"})
+				case !known[rule]:
+					*out = append(*out, Finding{Pos: pos, Rule: "korvet",
+						Msg: fmt.Sprintf("ignore directive names unknown rule %q", rule)})
+				case reason == "":
+					*out = append(*out, Finding{Pos: pos, Rule: "korvet",
+						Msg: fmt.Sprintf("ignore directive for %s has no reason; suppressions must be justified", rule)})
+				default:
+					dirs = append(dirs, &ignoreDirective{pos: pos, rule: rule, reason: reason})
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+// suppresses reports whether d covers f: same file, same rule, and f sits
+// on the directive's line (end-of-line comment) or the line directly below
+// (comment on its own line).
+func (d *ignoreDirective) suppresses(f Finding) bool {
+	return f.Rule == d.rule &&
+		f.Pos.Filename == d.pos.Filename &&
+		(f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1)
+}
+
+// RunAnalyzers runs the given analyzers over the packages and returns the
+// surviving findings, sorted by position. Suppressed findings are dropped;
+// suppression hygiene problems (malformed or unused directives for enabled
+// rules) are findings themselves.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, labelFunc func(types.Object) bool) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		dirs := collectIgnores(pkg, known, &raw)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, out: &raw, labelFunc: labelFunc}
+			a.Run(pass)
+		}
+	perFinding:
+		for _, f := range raw {
+			if f.Rule != "korvet" {
+				for _, d := range dirs {
+					if d.suppresses(f) {
+						d.used = true
+						continue perFinding
+					}
+				}
+			}
+			all = append(all, f)
+		}
+		for _, d := range dirs {
+			if !d.used {
+				all = append(all, Finding{Pos: d.pos, Rule: "korvet",
+					Msg: fmt.Sprintf("suppression for %s matches no finding; delete it", d.rule)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return all
+}

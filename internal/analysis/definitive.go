@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// DefinitiveOutcome protects the cross-query sharing tier (DESIGN.md "Work
+// sharing"): a result may only be published to the response cache or to
+// single-flight waiters as definitive when definitiveOutcome(err) said so.
+// Caching a budget-truncated or context-cancelled response would replay a
+// transient failure to every later caller with the same key.
+//
+// Concretely, in package kor, every
+//
+//   - e.cache.Put(...) call, and
+//   - e.flights.finish(...) call whose definitive argument (the last) is
+//     not the constant false
+//
+// must sit inside the then-branch of an if whose condition is
+// definitiveOutcome(...) (possibly &&-conjoined with more checks).
+// Non-definitive publishes — finish(..., false) on error and cleanup
+// paths — are exempt.
+var DefinitiveOutcome = &Analyzer{
+	Name: "definitive-outcome",
+	Doc:  "cache Puts and definitive flight publishes must be dominated by a definitiveOutcome check",
+	Run:  runDefinitiveOutcome,
+}
+
+func runDefinitiveOutcome(pass *Pass) {
+	if pass.Pkg.Path != "kor" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		parents := pass.Parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := publishKind(pass, call)
+			if kind == "" {
+				return true
+			}
+			if !dominatedByDefinitive(parents, call) {
+				pass.Reportf(call.Pos(),
+					"%s publishes a shared result without a dominating definitiveOutcome(err) check; transient failures must not be cached or broadcast as definitive", kind)
+			}
+			return true
+		})
+	}
+}
+
+// publishKind classifies a call as a guarded publish site ("cache.Put" or
+// "flights.finish"), or "" when it is neither or is an exempt
+// non-definitive finish.
+func publishKind(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch {
+	case sel.Sel.Name == "Put" && recv.Sel.Name == "cache":
+		return "cache.Put"
+	case sel.Sel.Name == "finish" && recv.Sel.Name == "flights":
+		if len(call.Args) > 0 && isConstFalse(pass, call.Args[len(call.Args)-1]) {
+			return "" // explicit non-definitive publish
+		}
+		return "flights.finish"
+	}
+	return ""
+}
+
+func isConstFalse(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false
+	}
+	return !constant.BoolVal(tv.Value)
+}
+
+// dominatedByDefinitive walks outward from the call looking for an
+// enclosing if whose then-branch contains the call and whose condition
+// includes a definitiveOutcome(...) conjunct.
+func dominatedByDefinitive(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	var prev ast.Node = call
+	for n := parents[call]; n != nil; n = parents[n] {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_ = fl
+			return false // the closure is its own dominance scope
+		}
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			if prev == ifs.Body && condHasDefinitive(ifs.Cond) {
+				return true
+			}
+		}
+		prev = n
+	}
+	return false
+}
+
+// condHasDefinitive reports whether cond is definitiveOutcome(...) or an
+// && conjunction containing it (un-negated).
+func condHasDefinitive(cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		return calleeName(e) == "definitiveOutcome"
+	case *ast.BinaryExpr:
+		if e.Op.String() == "&&" {
+			return condHasDefinitive(e.X) || condHasDefinitive(e.Y)
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestDogfoodRepo runs the full suite over this repository and requires a
+// clean bill: the same check CI's lint tier runs via cmd/korvet, kept here
+// too so `go test ./...` alone catches a contract regression. Skipped in
+// -short mode — it type-checks the whole module including its stdlib deps.
+func TestDogfoodRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dogfood run type-checks the entire module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery looks broken", len(pkgs))
+	}
+	for _, f := range RunAnalyzers(pkgs, All(), loader.IsLabelFunc) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the repo's error taxonomy contract (DESIGN.md "Errors"):
+// sentinel errors (ErrNoRoute, ErrBadQuery, io.EOF, ...) are wrapped with
+// the %w verb and matched with errors.Is, never with ==. Direct equality
+// breaks the moment any layer wraps the error for context — which the
+// taxonomy explicitly invites callers to do.
+//
+// Flagged shapes:
+//
+//   - err == SomeSentinel / err != SomeSentinel (nil comparisons are fine);
+//   - switch err { case SomeSentinel: ... };
+//   - fmt.Errorf with a sentinel bound to a verb other than %w;
+//   - comparing .Error() strings with == or strings.Contains.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors are wrapped with %w and compared with errors.Is, never ==",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrComparison(pass, x)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// sentinelObjOf resolves e to a package-level sentinel error object, or nil.
+func sentinelObjOf(pass *Pass, e ast.Expr) types.Object {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[x.Sel]
+	}
+	if obj != nil && isSentinelError(obj) {
+		return obj
+	}
+	return nil
+}
+
+// isErrorStringCall reports a .Error() call on an error value.
+func isErrorStringCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.Pkg.Info.Types[sel.X].Type
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func checkErrComparison(pass *Pass, bin *ast.BinaryExpr) {
+	op := bin.Op.String()
+	if op != "==" && op != "!=" {
+		return
+	}
+	if isNilIdent(bin.X) || isNilIdent(bin.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if obj := sentinelObjOf(pass, side); obj != nil {
+			pass.Reportf(bin.Pos(),
+				"sentinel %s compared with %s; use errors.Is so wrapped errors still match", obj.Name(), op)
+			return
+		}
+	}
+	if isErrorStringCall(pass, bin.X) || isErrorStringCall(pass, bin.Y) {
+		pass.Reportf(bin.Pos(),
+			"comparing .Error() strings; match the sentinel with errors.Is instead")
+	}
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := pass.Pkg.Info.Types[sw.Tag].Type
+	if t == nil || !types.Implements(t, errorIface) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := sentinelObjOf(pass, e); obj != nil {
+				pass.Reportf(e.Pos(),
+					"switch on an error value cases sentinel %s; use an if/else chain of errors.Is", obj.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap maps fmt.Errorf verbs to arguments and flags sentinels
+// bound to anything but %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.Pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb == 'w' {
+			continue
+		}
+		if sObj := sentinelObjOf(pass, call.Args[argIdx]); sObj != nil {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"sentinel %s formatted with %%%c; wrap it with %%w so errors.Is keeps matching downstream", sObj.Name(), verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order, skipping %% and explicit-index forms it cannot track.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// skip flags, width, precision
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' {
+			// explicit argument index: give up on positional tracking
+			return nil
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

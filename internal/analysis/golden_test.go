@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current findings")
+
+// runCase loads the fixture module under testdata/src/name and returns the
+// findings rendered with module-relative paths, one per line.
+func runCase(t *testing.T, name string) []string {
+	t.Helper()
+	root := filepath.Join("testdata", "src", name)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatalf("ModulePackages: %v", err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := RunAnalyzers(pkgs, All(), loader.IsLabelFunc)
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		rel, err := filepath.Rel(loader.Root, f.Pos.Filename)
+		if err != nil {
+			t.Fatalf("relativizing %s: %v", f.Pos.Filename, err)
+		}
+		f.Pos.Filename = filepath.ToSlash(rel)
+		lines = append(lines, f.String())
+	}
+	return lines
+}
+
+// TestGolden asserts the exact findings — file, line, rule id and message —
+// for every fixture module. Regenerate with
+//
+//	go test ./internal/analysis -run TestGolden -update
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading testdata/src: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			got := strings.Join(runCase(t, name), "\n")
+			if got != "" {
+				got += "\n"
+			}
+			goldenPath := filepath.Join("testdata", "src", name, "findings.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoversEveryRule guards the suite itself: each shipped rule must
+// fire somewhere in the fixtures, or a broken analyzer could pass silently.
+func TestGoldenCoversEveryRule(t *testing.T) {
+	fired := make(map[string]bool)
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading testdata/src: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", "src", e.Name(), "findings.golden"))
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.Index(line, "["); i >= 0 {
+				if j := strings.Index(line[i:], "]"); j > 0 {
+					fired[line[i+1:i+j]] = true
+				}
+			}
+		}
+	}
+	for _, a := range All() {
+		if !fired[a.Name] {
+			t.Errorf("rule %s never fires in the golden fixtures", a.Name)
+		}
+	}
+	if !fired["korvet"] {
+		t.Error("suppression hygiene (rule id korvet) never fires in the golden fixtures")
+	}
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	// Path is the import path ("kor", "kor/internal/core", ...).
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages so
+	// cross-package positions stay coherent).
+	Fset *token.FileSet
+	// Files are the parsed files, comments included.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses and type-checks the packages of one module using
+// only the standard library: module-local imports are resolved by walking
+// the module tree, everything else (the standard library) through the
+// source importer. It implements types.Importer.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+	// IncludeTests additionally parses in-package _test.go files. External
+	// test packages (package foo_test) are never loaded.
+	IncludeTests bool
+
+	fset     *token.FileSet
+	ctxt     build.Context
+	std      types.Importer
+	pkgs     map[string]*Package
+	inFlight map[string]bool
+
+	// labelFuncs records every function object in loaded packages whose doc
+	// comment carries the korvet:labels marker (see metric-labels).
+	labelFuncs map[types.Object]bool
+}
+
+// NewLoader builds a loader for the module rooted at root, reading the
+// module path from its go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       abs,
+		Module:     module,
+		fset:       fset,
+		ctxt:       build.Default,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		inFlight:   make(map[string]bool),
+		labelFuncs: make(map[types.Object]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// IsLabelFunc reports whether obj was declared with the korvet:labels doc
+// marker in any package this loader has loaded.
+func (l *Loader) IsLabelFunc(obj types.Object) bool { return l.labelFuncs[obj] }
+
+// Import resolves an import path during type checking: module-local paths
+// load (and cache) through the loader itself, unsafe maps to types.Unsafe,
+// and everything else goes to the standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// Load parses and type-checks the module package at the given import path,
+// memoized for the loader's lifetime.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg := l.pkgs[path]; pkg != nil {
+		return pkg, nil
+	}
+	if l.inFlight[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.inFlight[path] = true
+	defer delete(l.inFlight, path)
+
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	var pkgName string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !l.IncludeTests {
+			continue
+		}
+		match, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s/%s: %w", path, name, err)
+		}
+		if !match {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		// Never load external test packages: they are a separate package and
+		// would collide with the one under analysis.
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: %s: mixed package names %s and %s", path, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.recordLabelFuncs(pkg)
+	return pkg, nil
+}
+
+// recordLabelFuncs indexes the package's korvet:labels-marked functions by
+// their types object, so call sites in other packages can recognize them.
+func (l *Loader) recordLabelFuncs(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			if !strings.Contains(fd.Doc.Text(), "korvet:labels") {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				l.labelFuncs[obj] = true
+			}
+		}
+	}
+}
+
+// ModulePackages walks the module tree and returns every package import
+// path (directories containing at least one buildable .go file), sorted.
+// testdata, hidden and underscore directories are skipped.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return err
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != ip {
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	// WalkDir visits files of one directory contiguously, but be safe about
+	// duplicates after sorting.
+	out := paths[:0]
+	for i, p := range paths {
+		if i == 0 || paths[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

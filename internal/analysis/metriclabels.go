@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricLabels guards the metrics kernel against label-cardinality
+// explosions (DESIGN.md "Observability"): every string reaching a label-vec
+// call site must be traceable to a closed, declared set of values — never a
+// request-derived string, which would mint a new time series per attacker-
+// chosen value.
+//
+// Two kinds of call sites are checked: .With(...) on the metrics kernel's
+// vector types (CounterVec, GaugeVec, HistogramVec), and calls to functions
+// whose doc comment carries the korvet:labels marker — the project's
+// declaration that the function's plain string parameters flow into labels.
+// Marked-function parameters with a named domain type (Algorithm, ...) are
+// mapper inputs: the function's job is to fold that open domain into the
+// closed set, so those arguments are deliberately unvetted.
+//
+// A string argument is trusted when it is
+//
+//   - a constant (literal, named constant, or expression of constants);
+//   - the result of a korvet:labels-marked function (the closed-set
+//     mappers: outcomeLabel, StatusLabel, ...);
+//   - a parameter of a korvet:labels-marked function (its callers were
+//     checked at their own call sites), including via closures;
+//   - a local variable every assignment of which is itself trusted, or
+//     the iteration variable of a range over a composite literal of
+//     constants.
+//
+// Everything else — conversions like string(resp.Algorithm), fields, map
+// lookups, request values — is a finding.
+var MetricLabels = &Analyzer{
+	Name: "metric-labels",
+	Doc:  "label-vec arguments must come from closed label sets, never request-derived strings",
+	Run:  runMetricLabels,
+}
+
+// metricVecTypes are the label-vector types of kor/internal/metrics.
+var metricVecTypes = map[string]bool{
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
+}
+
+func runMetricLabels(pass *Pass) {
+	trustedParams := markedParamObjects(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, unit := range funcUnits(file) {
+			checkLabelCallSites(pass, file, unit, trustedParams)
+		}
+	}
+}
+
+// markedParamObjects collects the parameter objects of every
+// korvet:labels-marked function declared in this package: inside such a
+// function (and its closures) those parameters are trusted label sources.
+func markedParamObjects(pass *Pass) map[types.Object]bool {
+	trusted := make(map[types.Object]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			if !pass.IsLabelFunc(pass.Pkg.Info.Defs[fd.Name]) {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+						trusted[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return trusted
+}
+
+// checkLabelCallSites finds the label-vec call sites in one unit and vets
+// their string arguments.
+func checkLabelCallSites(pass *Pass, file *ast.File, unit FuncUnit, trustedParams map[types.Object]bool) {
+	inspectUnit(unit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		site := ""
+		var sig *types.Signature
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "With" &&
+			metricVecTypes[namedTypeName(pass.Pkg.Info, sel.X)] {
+			site = "metric With"
+		} else if obj := calleeObj(pass.Pkg.Info, call); pass.IsLabelFunc(obj) {
+			site = fullFuncName(obj)
+			sig, _ = obj.Type().(*types.Signature)
+		}
+		if site == "" {
+			return true
+		}
+		for i, arg := range call.Args {
+			t := pass.Pkg.Info.Types[arg].Type
+			if t == nil || !isStringType(t) {
+				continue
+			}
+			// At a marked-function site, only plain string parameters are
+			// label sinks. A named domain type (Algorithm, ...) means the
+			// function is a mapper: it turns that open domain into the
+			// closed set, so its input is deliberately unvetted.
+			if sig != nil && !isBasicString(paramTypeAt(sig, i)) {
+				continue
+			}
+			if !trustedLabelExpr(pass, file, arg, trustedParams, 0) {
+				pass.Reportf(arg.Pos(),
+					"label argument to %s is not traceable to a declared label set; route it through a korvet:labels helper or a constant", site)
+			}
+		}
+		return true
+	})
+}
+
+// paramTypeAt returns the declared type of the parameter receiving argument
+// i, unrolling variadics; nil when out of range.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// isBasicString reports the exact basic string type (named string types are
+// domain values, not raw labels).
+func isBasicString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+const labelTraceDepth = 4
+
+// trustedLabelExpr reports whether e provably draws from a closed label set.
+func trustedLabelExpr(pass *Pass, file *ast.File, e ast.Expr, trustedParams map[types.Object]bool, depth int) bool {
+	if depth > labelTraceDepth {
+		return false
+	}
+	e = ast.Unparen(e)
+	if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant expression
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		return pass.IsLabelFunc(calleeObj(pass.Pkg.Info, x))
+	case *ast.BinaryExpr:
+		return trustedLabelExpr(pass, file, x.X, trustedParams, depth+1) &&
+			trustedLabelExpr(pass, file, x.Y, trustedParams, depth+1)
+	case *ast.Ident:
+		obj := pass.Pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return false
+		}
+		if trustedParams[obj] {
+			return true
+		}
+		if _, ok := obj.(*types.Const); ok {
+			return true
+		}
+		return trustedLocalVar(pass, file, obj, trustedParams, depth)
+	}
+	return false
+}
+
+// trustedLocalVar vets a local variable by finding every assignment to it
+// in the file and requiring each source to be trusted. Object identity makes
+// this exact across closures.
+func trustedLocalVar(pass *Pass, file *ast.File, obj types.Object, trustedParams map[types.Object]bool, depth int) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false // only locals: package-level vars are mutable from anywhere
+	}
+	assigned := false
+	trusted := true
+	matches := func(lhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		o := pass.Pkg.Info.Defs[id]
+		if o == nil {
+			o = pass.Pkg.Info.Uses[id]
+		}
+		return o == obj
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if !matches(lhs) {
+					continue
+				}
+				assigned = true
+				if len(s.Rhs) == len(s.Lhs) {
+					if !trustedLabelExpr(pass, file, s.Rhs[i], trustedParams, depth+1) {
+						trusted = false
+					}
+				} else {
+					trusted = false // multi-value unpack: opaque source
+				}
+			}
+		case *ast.RangeStmt:
+			if (s.Key != nil && matches(s.Key)) || (s.Value != nil && matches(s.Value)) {
+				assigned = true
+				if !constantCompositeLit(pass, s.X) {
+					trusted = false
+				}
+			}
+		}
+		return true
+	})
+	return assigned && trusted
+}
+
+// constantCompositeLit reports whether e is a composite literal whose
+// elements are all constant — a closed set spelled inline, like
+// []string{OracleKindLazy, OracleKindMatrix}.
+func constantCompositeLit(pass *Pass, e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		tv, ok := pass.Pkg.Info.Types[el]
+		if !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PlanLifecycle enforces the pooled-scratch contract of the core search
+// plans (DESIGN.md "Hot path"): every plan obtained from newPlan carries
+// checked-out sync.Pool scratch and must reach plan.close on all paths, or
+// the scratch slab leaks out of the pool. The rule understands the
+// package's two ownership shapes:
+//
+//   - the caller secures the plan directly with `defer p.close()`;
+//   - the caller hands the plan to a consuming method — a *plan method
+//     whose first statement is `defer p.close()` — as in
+//     `return p.runOSScaling()`.
+//
+// Between the newPlan error check and the point the plan is secured,
+// nothing may return. The pool accessors themselves are fenced too:
+// getScratch may only be called by newPlan, putScratch only by close, so
+// there is exactly one checkout and one release point in the package.
+var PlanLifecycle = &Analyzer{
+	Name: "plan-lifecycle",
+	Doc:  "every newPlan must reach plan.close on all paths; scratch pool access is fenced to newPlan/close",
+	Run:  runPlanLifecycle,
+}
+
+func runPlanLifecycle(pass *Pass) {
+	if pass.Pkg.Path != "kor/internal/core" {
+		return
+	}
+	closers := planCloserMethods(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, unit := range funcUnits(file) {
+			checkScratchFences(pass, unit)
+			checkPlanOwnership(pass, unit, closers)
+		}
+	}
+}
+
+// planCloserMethods collects the names of *plan methods that begin with
+// `defer p.close()` — the methods a caller may hand a fresh plan to.
+func planCloserMethods(pass *Pass) map[string]bool {
+	closers := map[string]bool{"close": true}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Body.List) == 0 {
+				continue
+			}
+			if len(fd.Recv.List) == 0 || namedTypeName(pass.Pkg.Info, fd.Recv.List[0].Type) != "plan" {
+				continue
+			}
+			def, ok := fd.Body.List[0].(*ast.DeferStmt)
+			if !ok || calleeName(def.Call) != "close" {
+				continue
+			}
+			if sel, ok := def.Call.Fun.(*ast.SelectorExpr); ok {
+				if recv, ok := sel.X.(*ast.Ident); ok && len(fd.Recv.List[0].Names) > 0 &&
+					recv.Name == fd.Recv.List[0].Names[0].Name {
+					closers[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	return closers
+}
+
+// checkScratchFences flags pool accessor calls outside their single blessed
+// caller.
+func checkScratchFences(pass *Pass, unit FuncUnit) {
+	inspectUnit(unit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "getScratch":
+			if unit.Name != "newPlan" {
+				pass.Reportf(call.Pos(),
+					"getScratch called from %s; pooled scratch may only be checked out by newPlan", unit.Name)
+			}
+		case "putScratch":
+			if unit.Name != "close" {
+				pass.Reportf(call.Pos(),
+					"putScratch called from %s; pooled scratch may only be released by plan.close", unit.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkPlanOwnership verifies that each plan produced by newPlan in this
+// unit is secured before any return.
+func checkPlanOwnership(pass *Pass, unit FuncUnit, closers map[string]bool) {
+	var scanBlock func(stmts []ast.Stmt)
+	scanBlock = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			// Recurse into nested blocks so a newPlan inside an if/for is
+			// still found and checked within its own statement list.
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				scanBlock(s.List)
+			case *ast.IfStmt:
+				scanBlock(s.Body.List)
+				if els, ok := s.Else.(*ast.BlockStmt); ok {
+					scanBlock(els.List)
+				}
+			case *ast.ForStmt:
+				scanBlock(s.Body.List)
+			case *ast.RangeStmt:
+				scanBlock(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						scanBlock(cc.Body)
+					}
+				}
+			}
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				continue
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || calleeName(call) != "newPlan" {
+				continue
+			}
+			if len(assign.Lhs) == 0 {
+				continue
+			}
+			planIdent, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || planIdent.Name == "_" {
+				pass.Reportf(assign.Pos(),
+					"newPlan result discarded; the plan owns pooled scratch and must reach close")
+				continue
+			}
+			checkSecured(pass, unit, planIdent.Name, call, stmts[i+1:], closers)
+		}
+	}
+	scanBlock(unit.Body.List)
+}
+
+// checkSecured walks the statements after a newPlan assignment until the
+// plan is secured (deferred close or handed to a closer method), reporting
+// any return that happens first and falling off the end unsecured.
+func checkSecured(pass *Pass, unit FuncUnit, planVar string, origin *ast.CallExpr, rest []ast.Stmt, closers map[string]bool) {
+	securingCall := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !closers[sel.Sel.Name] {
+				return true
+			}
+			if recv, ok := ast.Unparen(sel.X).(*ast.Ident); ok && recv.Name == planVar {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	mentionsPlan := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && id.Name == planVar {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, stmt := range rest {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if securingCall(s) {
+				return // defer p.close() (or a closer) — secured
+			}
+		case *ast.IfStmt:
+			// The newPlan error check: a branch that returns without
+			// touching the plan is the nil-plan path and is fine. A branch
+			// that returns while mentioning the plan without securing it
+			// leaks.
+			if securingCall(s) {
+				return
+			}
+			if returnsWithoutSecuring(s, planVar, securingCall, mentionsPlan) {
+				pass.Reportf(s.Pos(),
+					"%s may return between newPlan and close; secure the plan with defer %s.close() first", unit.Name, planVar)
+				return
+			}
+		case *ast.ReturnStmt:
+			if securingCall(s) {
+				return // return p.runX() where runX defers close — secured
+			}
+			pass.Reportf(s.Pos(),
+				"%s returns without closing the plan from newPlan; pooled scratch leaks (defer %s.close())", unit.Name, planVar)
+			return
+		default:
+			if securingCall(stmt) {
+				return // e.g. res, err := p.runX() mid-function
+			}
+		}
+	}
+	pass.Reportf(origin.Pos(),
+		"%s never closes the plan returned by newPlan; add defer %s.close() or hand it to a method that does", unit.Name, planVar)
+}
+
+// returnsWithoutSecuring reports whether the if statement contains a return
+// on a path that mentions the plan without securing it. Error-check
+// branches (`if err != nil { return ... }`) never mention the plan and pass.
+func returnsWithoutSecuring(ifs *ast.IfStmt, planVar string, securingCall, mentionsPlan func(ast.Node) bool) bool {
+	bad := false
+	ast.Inspect(ifs, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if mentionsPlan(ret) && !securingCall(ret) {
+			bad = true
+		}
+		return true
+	})
+	return bad
+}

@@ -1,0 +1,15 @@
+package analysis
+
+// All returns the full analyzer suite in stable order. "korvet" is a
+// reserved rule id for the driver's own hygiene findings (malformed or
+// unused suppressions) and must not be used by an analyzer.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SnapshotPin,
+		PlanLifecycle,
+		CtxFlow,
+		MetricLabels,
+		DefinitiveOutcome,
+		ErrWrap,
+	}
+}

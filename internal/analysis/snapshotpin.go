@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SnapshotPin enforces the engine's snapshot discipline (DESIGN.md
+// "Snapshots & live updates"): everything derived from a graph is reached
+// through one atomic snapshot pointer, and a query must pin that pointer
+// exactly once. Concretely, for any struct field named "snap" whose type is
+// a sync/atomic.Pointer:
+//
+//   - a function may call .Load() on it at most once — a second load could
+//     observe a different graph version and silently mix two graphs inside
+//     one computation (function literals are separate functions: a metrics
+//     callback loading once is fine);
+//   - .Store() is only legal where the swap mutex is provably held: the
+//     function either locks a field named swapMu itself or follows the
+//     repo's ...Locked naming convention for callers that already hold it;
+//   - any other touch of the field (copying it, calling anything else on
+//     it) is flagged outright.
+var SnapshotPin = &Analyzer{
+	Name: "snapshot-pin",
+	Doc:  "engine state must be reached through a single snapshot Load per function; Store only under swapMu",
+	Run:  runSnapshotPin,
+}
+
+func runSnapshotPin(pass *Pass) {
+	// The rule keys on the field shape (a snap field of atomic.Pointer
+	// type), not the package path: only the engine façade defines one today,
+	// and the shape test keeps the rule free elsewhere.
+	for _, file := range pass.Pkg.Files {
+		for _, unit := range funcUnits(file) {
+			checkSnapshotUnit(pass, unit)
+		}
+	}
+}
+
+// isSnapField reports whether sel selects a field named snap of type
+// sync/atomic.Pointer[...].
+func isSnapField(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "snap" {
+		return false
+	}
+	f := selectedField(pass.Pkg.Info, sel)
+	if f == nil {
+		return false
+	}
+	return strings.HasPrefix(f.Type().String(), "sync/atomic.Pointer[")
+}
+
+func checkSnapshotUnit(pass *Pass, unit FuncUnit) {
+	// locksSwapMu: the unit itself takes the swap lock.
+	locksSwapMu := false
+	inspectUnit(unit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "swapMu" {
+			locksSwapMu = true
+		}
+		return true
+	})
+	holdsSwapMu := locksSwapMu || strings.HasSuffix(unit.Name, "Locked")
+
+	loads := 0
+	handled := make(map[*ast.SelectorExpr]bool)
+	inspectUnit(unit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		snapSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || !isSnapField(pass, snapSel) {
+			return true
+		}
+		handled[snapSel] = true
+		switch sel.Sel.Name {
+		case "Load":
+			loads++
+			if loads > 1 {
+				pass.Reportf(call.Pos(),
+					"%s loads the snapshot pointer more than once; pin one snapshot at entry so the function cannot mix graph versions", unit.Name)
+			}
+		case "Store":
+			if !holdsSwapMu {
+				pass.Reportf(call.Pos(),
+					"snapshot Store outside the swap path: %s neither locks swapMu nor follows the ...Locked convention", unit.Name)
+			}
+		default:
+			pass.Reportf(call.Pos(),
+				"snapshot pointer used via %s; only Load (once per function) and Store (under swapMu) are allowed", sel.Sel.Name)
+		}
+		return true
+	})
+	// Any remaining bare use of the field — copying the pointer, passing it
+	// somewhere — defeats the pinning discipline.
+	inspectUnit(unit.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || handled[sel] || !isSnapField(pass, sel) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"snapshot pointer escapes as a value in %s; access it only through an immediate Load or Store", unit.Name)
+		return true
+	})
+}

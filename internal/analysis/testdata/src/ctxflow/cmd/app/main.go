@@ -1,0 +1,13 @@
+// Command app shows that package main may mint root contexts.
+package main
+
+import (
+	"context"
+
+	"kor"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = kor.Good(ctx, 1)
+}

@@ -1,0 +1,65 @@
+// Package core is the worklist-loop half of the ctx-flow fixture.
+package core
+
+import "context"
+
+type queue struct{ items []int }
+
+func (q *queue) Empty() bool { return len(q.items) == 0 }
+
+func (q *queue) pop() int {
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// DrainPolled polls cancellation each iteration.
+func DrainPolled(ctx context.Context, q *queue) (int, error) {
+	sum := 0
+	for !q.Empty() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		sum += q.pop()
+	}
+	return sum, nil
+}
+
+// DrainUnpolled never checks ctx: a hostile query outlives its deadline.
+func DrainUnpolled(ctx context.Context, q *queue) int {
+	sum := 0
+	for !q.Empty() {
+		sum += q.pop()
+	}
+	return sum
+}
+
+// SliceUnpolled is the len(...)>0 spelling of the same bug.
+func SliceUnpolled(ctx context.Context, work []int) int {
+	sum := 0
+	for len(work) > 0 {
+		sum += work[0]
+		work = work[1:]
+	}
+	return sum
+}
+
+// BareLoopUnpolled is the `for {` spelling.
+func BareLoopUnpolled(ctx context.Context, q *queue) int {
+	sum := 0
+	for {
+		if q.Empty() {
+			return sum
+		}
+		sum += q.pop()
+	}
+}
+
+// BoundedLoop is index-bounded and exempt.
+func BoundedLoop(ctx context.Context, work []int) int {
+	sum := 0
+	for i := 0; i < len(work); i++ {
+		sum += work[i]
+	}
+	return sum
+}

@@ -1,0 +1,60 @@
+// Package kor is the definitive-outcome golden fixture: cache puts and
+// flight publishes with and without the dominating check.
+package kor
+
+import "errors"
+
+var errTransient = errors.New("transient")
+
+type resultCache struct{ m map[string]int }
+
+func (c *resultCache) Put(key string, v int) { c.m[key] = v }
+
+type flightGroup struct{ n int }
+
+func (g *flightGroup) finish(key string, v int, err error, definitive bool) { g.n++ }
+
+type Engine struct {
+	cache   *resultCache
+	flights *flightGroup
+}
+
+func definitiveOutcome(err error) bool {
+	return err == nil || !errors.Is(err, errTransient)
+}
+
+// GoodGuarded publishes only under the definitiveOutcome check.
+func (e *Engine) GoodGuarded(key string, v int, err error) {
+	if definitiveOutcome(err) {
+		e.cache.Put(key, v)
+		e.flights.finish(key, v, err, true)
+	} else {
+		e.flights.finish(key, 0, err, false)
+	}
+}
+
+// GoodConjunct allows extra conjuncts alongside the check.
+func (e *Engine) GoodConjunct(key string, v int, err error) {
+	if definitiveOutcome(err) && v > 0 {
+		e.cache.Put(key, v)
+	}
+}
+
+// GoodNonDefinitive may publish a non-definitive result anywhere.
+func (e *Engine) GoodNonDefinitive(key string, err error) {
+	e.flights.finish(key, 0, err, false)
+}
+
+// BadUnguardedPut caches without any definitiveness check.
+func (e *Engine) BadUnguardedPut(key string, v int) {
+	e.cache.Put(key, v)
+}
+
+// BadElsePublish broadcasts as definitive on the non-definitive branch.
+func (e *Engine) BadElsePublish(key string, v int, err error) {
+	if definitiveOutcome(err) {
+		e.flights.finish(key, v, err, true)
+	} else {
+		e.flights.finish(key, v, err, true)
+	}
+}

@@ -1,0 +1,50 @@
+// Package kor is the errwrap golden fixture: sentinel comparison, error
+// switches, Errorf verbs and .Error() string matching.
+package kor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrNoRoute = errors.New("no route")
+
+// GoodIs matches through wrapping.
+func GoodIs(err error) bool { return errors.Is(err, ErrNoRoute) }
+
+// GoodNil compares against nil only.
+func GoodNil(err error) bool { return err == nil }
+
+// GoodWrap binds the sentinel to %w.
+func GoodWrap(err error) error {
+	return fmt.Errorf("%w: searching: %v", ErrNoRoute, err)
+}
+
+// BadEq compares a local sentinel with ==.
+func BadEq(err error) bool { return err == ErrNoRoute }
+
+// BadEqImported compares an imported sentinel with !=.
+func BadEqImported(err error) bool { return err != io.EOF }
+
+// BadSwitch cases sentinels in an error switch.
+func BadSwitch(err error) string {
+	switch err {
+	case ErrNoRoute:
+		return "no-route"
+	case io.EOF:
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+// BadVerb formats the sentinel with %v, severing the Is chain.
+func BadVerb(err error) error {
+	return fmt.Errorf("searching: %v", ErrNoRoute)
+}
+
+// BadStringMatch compares rendered error text.
+func BadStringMatch(err error) bool {
+	return err.Error() == "no route"
+}

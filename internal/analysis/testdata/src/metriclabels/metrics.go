@@ -1,0 +1,82 @@
+// Package kor is the metric-labels golden fixture: a miniature label-vec
+// kernel plus the trusted and untrusted ways of feeding it.
+package kor
+
+// CounterVec mimics the metrics kernel's vector type; the rule matches it
+// by type name.
+type CounterVec struct{ n int }
+
+// With resolves a child by label values.
+func (v *CounterVec) With(labels ...string) *CounterVec { return v }
+
+// Inc bumps the resolved child.
+func (v *CounterVec) Inc() { v.n++ }
+
+const outcomeOK = "ok"
+
+var requests = &CounterVec{}
+
+// Good feeds constants and constant-fed locals.
+func Good() {
+	requests.With(outcomeOK, "static").Inc()
+	l := outcomeOK
+	requests.With(l).Inc()
+	for _, k := range []string{outcomeOK, "error"} {
+		requests.With(k).Inc()
+	}
+}
+
+// BadRequestDerived feeds a request string straight into the label vec.
+func BadRequestDerived(userAlgo string) {
+	requests.With(userAlgo).Inc()
+}
+
+// BadTaintedLocal feeds a local that was assigned from request data.
+func BadTaintedLocal(userAlgo string) {
+	l := userAlgo
+	requests.With(l).Inc()
+}
+
+// record is a marked sink: its callers must pass closed-set values, so the
+// parameter is trusted here.
+//
+// korvet:labels — outcome is drawn from the caller's closed sets.
+func record(outcome string) {
+	requests.With(outcome).Inc()
+}
+
+// GoodSinkCall passes a constant to the sink.
+func GoodSinkCall() { record(outcomeOK) }
+
+// BadSinkCall passes request data to the sink.
+func BadSinkCall(userAlgo string) { record(userAlgo) }
+
+// Algo is a domain type; label is its mapper into the closed set.
+type Algo string
+
+// label folds an arbitrary Algo into the closed label set. The Algo
+// parameter is a mapper input, deliberately unvetted.
+//
+// korvet:labels — returns a member of {"fast", "other"}.
+func label(a Algo) string {
+	if a == "fast" {
+		return "fast"
+	}
+	return "other"
+}
+
+// GoodMapped routes request data through the mapper.
+func GoodMapped(userAlgo string) {
+	requests.With(label(Algo(userAlgo))).Inc()
+}
+
+// ClosureTrust shows a closure capturing a marked function's parameter.
+//
+// korvet:labels — endpoint is a literal at every call site.
+func instrument(endpoint string) func() {
+	return func() {
+		requests.With(endpoint).Inc()
+	}
+}
+
+var _ = instrument("route")

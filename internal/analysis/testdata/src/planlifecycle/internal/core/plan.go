@@ -1,0 +1,89 @@
+// Package core is the plan-lifecycle golden fixture: a pooled plan with
+// newPlan/close and the two sanctioned ownership shapes, plus the leaks and
+// fence violations the rule must catch.
+package core
+
+import "context"
+
+type scratch struct{ buf []int }
+
+type Searcher struct{ hits int }
+
+func (s *Searcher) getScratch() *scratch { return &scratch{} }
+
+func (s *Searcher) putScratch(sc *scratch) { s.hits++ }
+
+type plan struct {
+	s  *Searcher
+	sc *scratch
+}
+
+func (s *Searcher) newPlan(ctx context.Context, q int) (*plan, error) {
+	if q < 0 {
+		return nil, context.Canceled
+	}
+	p := &plan{s: s}
+	p.sc = s.getScratch()
+	return p, nil
+}
+
+func (p *plan) close() { p.s.putScratch(p.sc) }
+
+// runConsume is a closer method: first statement defers close, so callers
+// may transfer ownership to it.
+func (p *plan) runConsume() (int, error) {
+	defer p.close()
+	return len(p.sc.buf), nil
+}
+
+// GoodDefer secures the plan immediately after the error check.
+func GoodDefer(ctx context.Context, s *Searcher, q int) (int, error) {
+	p, err := s.newPlan(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	defer p.close()
+	return len(p.sc.buf), nil
+}
+
+// GoodTransfer hands the plan to a consuming method.
+func GoodTransfer(ctx context.Context, s *Searcher, q int) (int, error) {
+	p, err := s.newPlan(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	return p.runConsume()
+}
+
+// LeakReturn returns the plan's result without ever closing it.
+func LeakReturn(ctx context.Context, s *Searcher, q int) (int, error) {
+	p, err := s.newPlan(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	return len(p.sc.buf), nil
+}
+
+// LeakEarlyReturn inspects the plan and may return before securing it.
+func LeakEarlyReturn(ctx context.Context, s *Searcher, q int) (int, error) {
+	p, err := s.newPlan(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	if len(p.sc.buf) > 8 {
+		return len(p.sc.buf), nil
+	}
+	defer p.close()
+	return 0, nil
+}
+
+// FenceGet checks out scratch outside newPlan.
+func FenceGet(s *Searcher) int {
+	sc := s.getScratch()
+	return len(sc.buf)
+}
+
+// FencePut releases scratch outside close.
+func FencePut(s *Searcher, sc *scratch) {
+	s.putScratch(sc)
+}

@@ -1,0 +1,76 @@
+// Package kor is the snapshot-pin golden fixture: an engine-shaped struct
+// with an atomic snapshot pointer, exercising the one-Load-per-function,
+// Store-under-swapMu and no-escape clauses.
+package kor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snapshot struct{ gen int }
+
+type Engine struct {
+	snap   atomic.Pointer[snapshot]
+	swapMu sync.Mutex
+}
+
+// Good pins exactly one snapshot.
+func (e *Engine) Good() int {
+	sn := e.snap.Load()
+	if sn == nil {
+		return 0
+	}
+	return sn.gen
+}
+
+// DoubleLoad loads twice: the second load could see a different graph.
+func (e *Engine) DoubleLoad() int {
+	a := e.snap.Load()
+	b := e.snap.Load()
+	if a == nil || b == nil {
+		return 0
+	}
+	return a.gen + b.gen
+}
+
+// StoreUnlocked swaps the snapshot without holding swapMu.
+func (e *Engine) StoreUnlocked(sn *snapshot) {
+	e.snap.Store(sn)
+}
+
+// StoreLockedOK takes the swap lock itself.
+func (e *Engine) StoreLockedOK(sn *snapshot) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	e.snap.Store(sn)
+}
+
+// installLocked follows the ...Locked convention: the caller holds swapMu.
+func (e *Engine) installLocked(sn *snapshot) {
+	e.snap.Store(sn)
+}
+
+// SwapDisallowed uses a pointer method other than Load/Store.
+func (e *Engine) SwapDisallowed(sn *snapshot) *snapshot {
+	return e.snap.Swap(sn)
+}
+
+// Escapes lets the pointer cell itself escape.
+func (e *Engine) Escapes() *atomic.Pointer[snapshot] {
+	return &e.snap
+}
+
+// ClosuresAreSeparate loads once in the method and once in the callback;
+// each unit pins its own snapshot, so this is clean.
+func (e *Engine) ClosuresAreSeparate() func() int {
+	sn := e.snap.Load()
+	_ = sn
+	return func() int {
+		inner := e.snap.Load()
+		if inner == nil {
+			return 0
+		}
+		return inner.gen
+	}
+}

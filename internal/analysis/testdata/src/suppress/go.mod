@@ -1,0 +1,3 @@
+module kor
+
+go 1.24

@@ -1,0 +1,44 @@
+// Package kor is the suppression-hygiene golden fixture.
+package kor
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrLocal = errors.New("local")
+
+// Suppressed carries a well-formed ignore: no errwrap finding survives.
+func Suppressed(err error) bool {
+	//korvet:ignore errwrap fixture demonstrating a justified suppression
+	return err == ErrLocal
+}
+
+// SuppressedEOL uses the end-of-line placement.
+func SuppressedEOL(err error) bool {
+	return err == io.EOF //korvet:ignore errwrap fixture demonstrating end-of-line placement
+}
+
+// MissingReason has an ignore with no justification.
+func MissingReason(err error) bool {
+	//korvet:ignore errwrap
+	return err == ErrLocal
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule(err error) bool {
+	//korvet:ignore no-such-rule because I said so
+	return err == ErrLocal
+}
+
+// NoRule names nothing at all.
+func NoRule(err error) bool {
+	//korvet:ignore
+	return err == ErrLocal
+}
+
+// Unused suppresses a line with no finding.
+func Unused(err error) bool {
+	//korvet:ignore errwrap nothing actually fires here
+	return errors.Is(err, ErrLocal)
+}

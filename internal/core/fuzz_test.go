@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseAlgorithm hammers the wire-spelling resolver: any input must
+// either parse to a registered canonical algorithm or fail with the
+// ErrBadQuery/ErrUnknownAlgorithm taxonomy — never panic, never return an
+// unregistered value, never be unstable under re-parsing.
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, a := range Algorithms() {
+		f.Add(string(a))
+	}
+	f.Add("")
+	f.Add("BUCKETBOUND")
+	f.Add("  osscaling  ")
+	f.Add("greedy-2")
+	f.Add("bogus")
+	f.Add("bruteforce\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAlgorithm(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadQuery) || !errors.Is(err, ErrUnknownAlgorithm) {
+				t.Fatalf("ParseAlgorithm(%q) error %v escapes the error taxonomy", s, err)
+			}
+			if a != "" {
+				t.Fatalf("ParseAlgorithm(%q) returned %q alongside an error", s, a)
+			}
+			return
+		}
+		if !a.Valid() {
+			t.Fatalf("ParseAlgorithm(%q) accepted unregistered algorithm %q", s, a)
+		}
+		if a.Canonical() != a {
+			t.Fatalf("ParseAlgorithm(%q) returned non-canonical %q", s, a)
+		}
+		again, err := ParseAlgorithm(string(a))
+		if err != nil || again != a {
+			t.Fatalf("re-parsing canonical %q gave (%q, %v)", a, again, err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package textindex
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -372,7 +373,7 @@ func (t *Tree) freeChain(head pageID) error {
 			return fmt.Errorf("%w: freeing overflow page %d out of range", ErrCorrupt, id)
 		}
 		if _, err := t.f.ReadAt(buf, int64(id)*PageSize); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return fmt.Errorf("%w: freeing truncated overflow page %d", ErrCorrupt, id)
 			}
 			return err

@@ -354,6 +354,7 @@ func NewEngine(g *Graph, cfg *EngineConfig) (*Engine, error) {
 		return nil, err
 	}
 	eng.generation = 1
+	//korvet:ignore snapshot-pin construction-time store: the engine has not escaped NewEngine yet, so no reader exists and swapMu is unnecessary
 	eng.snap.Store(sn)
 	eng.publishOracleStatus(sn.oracle)
 	return eng, nil

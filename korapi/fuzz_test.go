@@ -1,0 +1,51 @@
+package korapi
+
+import (
+	"net/url"
+	"testing"
+)
+
+// FuzzKorapiParams feeds arbitrary raw query strings through the same
+// url.ParseQuery → RequestFromParams pipeline the servers run. The decoder
+// must never panic, and every rejection must be a well-formed bad_request
+// envelope: a stable code, a non-empty message, and a 4xx status — attacker
+// input must not be able to surface as a 5xx.
+func FuzzKorapiParams(f *testing.F) {
+	f.Add("from=0&to=4&budget=10&keywords=cafe")
+	f.Add("from=0&to=4&budget=10&keywords=cafe,museum&algorithm=osscaling&k=3&metrics=true")
+	f.Add("from=0&to=4&delta=10&keywords=cafe&algo=greedy")
+	f.Add("from=x&to=4&budget=10&keywords=cafe")
+	f.Add("from=0&to=4&budget=nan&keywords=")
+	f.Add("keywords=,,,")
+	f.Add("from=0&to=4&budget=10&keywords=cafe&k=9999999999999999999")
+	f.Add("%gh&%ij")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, raw string) {
+		qv, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not decodable as a query string; the mux rejects earlier
+		}
+		req, apiErr := RequestFromParams(qv)
+		if apiErr == nil {
+			// Accepted requests must satisfy the decoder's own postconditions.
+			if len(req.Keywords) == 0 {
+				t.Fatalf("accepted request without keywords: %q", raw)
+			}
+			for _, kw := range req.Keywords {
+				if kw == "" {
+					t.Fatalf("accepted request with empty keyword: %q", raw)
+				}
+			}
+			return
+		}
+		if apiErr.Code != CodeBadRequest {
+			t.Fatalf("rejection of %q carries code %q, want %q", raw, apiErr.Code, CodeBadRequest)
+		}
+		if apiErr.Message == "" {
+			t.Fatalf("rejection of %q has an empty message", raw)
+		}
+		if s := apiErr.Code.HTTPStatus(); s < 400 || s >= 500 {
+			t.Fatalf("rejection of %q maps to HTTP %d; malformed input must stay 4xx", raw, s)
+		}
+	})
+}

@@ -32,6 +32,48 @@ func WriteError(w http.ResponseWriter, apiErr *Error) {
 	}
 }
 
+// StatusLabel maps an HTTP status code onto the closed label set the
+// servers' request counters use: the exact statuses the korapi error
+// taxonomy can emit (see ErrorCode.HTTPStatus) plus 200, with everything
+// else collapsed into its class bucket ("2xx", "4xx", ...). Handlers must
+// never label with strconv.Itoa(status): a misbehaving proxy or a future
+// handler writing ad-hoc statuses would mint unbounded time series.
+//
+// korvet:labels — every return below is a literal from the closed set.
+func StatusLabel(status int) string {
+	switch status {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 422:
+		return "422"
+	case 429:
+		return "429"
+	case 499:
+		return "499"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	case 504:
+		return "504"
+	}
+	switch {
+	case status >= 200 && status < 300:
+		return "2xx"
+	case status >= 300 && status < 400:
+		return "3xx"
+	case status >= 400 && status < 500:
+		return "4xx"
+	case status >= 500 && status < 600:
+		return "5xx"
+	}
+	return "other"
+}
+
 // WriteErrorRetry is WriteError plus a Retry-After hint, for the shedding
 // codes (overloaded, unavailable) whose contract promises the header.
 func WriteErrorRetry(w http.ResponseWriter, apiErr *Error, retryAfterSeconds int) {

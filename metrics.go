@@ -116,10 +116,7 @@ func (e *Engine) publishOracleStatus(st OracleStatus) {
 // responses carry the originating search's counters, so their plan sweeps
 // are skipped — that work already counted when the leader ran.
 func (m *engineMetrics) observe(resp Response, err error, elapsed time.Duration) {
-	algo := string(resp.Algorithm)
-	if algo == "" {
-		algo = "invalid"
-	}
+	algo := algorithmLabel(resp.Algorithm)
 	m.requests.With(algo, outcomeLabel(err)).Inc()
 	m.latency.With(algo).Observe(elapsed.Seconds())
 	if n := resp.Metrics.PlanSweeps; n > 0 && !resp.Cached && !resp.Coalesced {
@@ -139,7 +136,25 @@ const (
 	cacheResultCoalesced = "coalesced"
 )
 
+// algorithmLabel maps a response's algorithm onto the closed label set: the
+// registry's canonical names plus "invalid" for requests that failed before
+// an algorithm was resolved. Unregistered values also collapse to "invalid"
+// so a raw request string can never mint a fresh time series.
+//
+// korvet:labels — results are drawn from core.Algorithms() ∪ {"invalid"}.
+func algorithmLabel(a Algorithm) string {
+	// The zero Algorithm canonicalizes to the default, but in a response it
+	// means the request failed before resolution — that is "invalid" here,
+	// not the default's series.
+	if a == "" || !a.Valid() {
+		return "invalid"
+	}
+	return string(a.Canonical())
+}
+
 // cacheLookup records one result-cache lookup outcome.
+//
+// korvet:labels — callers pass cacheResultHit/Miss/Coalesced.
 func (m *engineMetrics) cacheLookup(result string) {
 	if m == nil || m.cacheReq == nil {
 		return
@@ -150,6 +165,8 @@ func (m *engineMetrics) cacheLookup(result string) {
 // outcomeLabel maps a Run error onto its closed outcome label set. The
 // ordering mirrors korapi.ErrorFrom so the engine's counters and the HTTP
 // status classes line up.
+//
+// korvet:labels — every return below is a literal from the closed set.
 func outcomeLabel(err error) string {
 	switch {
 	case err == nil:

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes is unavailable off Linux; the -stats report omits the line.
+func peakRSSBytes() (int64, bool) { return 0, false }

@@ -41,6 +41,7 @@ type config struct {
 	BudgetMin   float64       // budget draw lower bound; 0 = auto from /v1/stats
 	BudgetMax   float64       // budget draw upper bound; 0 = auto from /v1/stats
 	K           int           // K for topk requests
+	Locality    int           // draw To within ±Locality node IDs of From; 0 = uniform
 	DupFraction float64       // fraction of requests re-issued verbatim from the recent pool
 	WithMetrics bool          // ask the server to attach search metrics
 	ReplayPath  string        // JSON file of korapi.Requests to replay instead of synthesizing
@@ -206,6 +207,7 @@ type workload struct {
 	budgetMin    float64
 	budgetMax    float64
 	k            int
+	locality     int
 	metrics      bool
 
 	// Duplicate-heavy traffic: with probability dupFraction a worker
@@ -268,6 +270,7 @@ func newWorkload(cfg config, client *http.Client) (*workload, error) {
 		budgetMin:   cfg.BudgetMin,
 		budgetMax:   cfg.BudgetMax,
 		k:           cfg.K,
+		locality:    cfg.Locality,
 		dupFraction: cfg.DupFraction,
 		metrics:     cfg.WithMetrics,
 	}
@@ -369,9 +372,10 @@ func (w *workload) generate(rng *rand.Rand) korapi.Request {
 			kws = append(kws, w.vocab[i])
 		}
 	}
+	from := rng.Intn(w.nodes)
 	req := korapi.Request{
-		From:      int64(rng.Intn(w.nodes)),
-		To:        int64(rng.Intn(w.nodes)),
+		From:      int64(from),
+		To:        int64(w.pickTo(rng, from)),
 		Keywords:  kws,
 		Budget:    w.budgetMin + rng.Float64()*(w.budgetMax-w.budgetMin),
 		Algorithm: sampleMix(w.mix, rng),
@@ -394,6 +398,28 @@ func (w *workload) generate(rng *rand.Rand) korapi.Request {
 		w.dupMu.Unlock()
 	}
 	return req
+}
+
+// pickTo draws the destination node. Uniform by default; with -locality N
+// it lands within ±N node IDs of from, clamped to the graph. On
+// million-node graphs uniform endpoint pairs are almost always farther
+// apart than any sane budget, so every query is proved infeasible before
+// the interesting search paths run; locality keeps a realistic share of
+// the stream feasible. (Generator node IDs are spatially coherent: grid
+// IDs are row-major, road IDs cluster by construction order.)
+func (w *workload) pickTo(rng *rand.Rand, from int) int {
+	if w.locality <= 0 || w.locality >= w.nodes {
+		return rng.Intn(w.nodes)
+	}
+	lo := from - w.locality
+	if lo < 0 {
+		lo = 0
+	}
+	hi := from + w.locality
+	if hi > w.nodes-1 {
+		hi = w.nodes - 1
+	}
+	return lo + rng.Intn(hi-lo+1)
 }
 
 // classify buckets one response. err covers transport-level failures.

@@ -456,3 +456,35 @@ func TestGenerateDupFraction(t *testing.T) {
 		t.Fatalf("dup-fraction 0 recorded %d requests into the pool", len(w.recent))
 	}
 }
+
+func TestPickToLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := &workload{nodes: 10000, locality: 50}
+	for i := 0; i < 2000; i++ {
+		from := rng.Intn(w.nodes)
+		to := w.pickTo(rng, from)
+		if to < 0 || to >= w.nodes {
+			t.Fatalf("to %d out of range", to)
+		}
+		if d := to - from; d > 50 || d < -50 {
+			t.Fatalf("to %d is %d away from %d, want within ±50", to, d, from)
+		}
+	}
+	// Edges of the ID space stay in range.
+	for _, from := range []int{0, 1, w.nodes - 1} {
+		for i := 0; i < 100; i++ {
+			if to := w.pickTo(rng, from); to < 0 || to >= w.nodes {
+				t.Fatalf("boundary from %d drew to %d", from, to)
+			}
+		}
+	}
+	// Locality 0 and locality ≥ nodes are uniform: both must reach far nodes.
+	w.locality = 0
+	far := false
+	for i := 0; i < 200 && !far; i++ {
+		far = w.pickTo(rng, 0) > w.nodes/2
+	}
+	if !far {
+		t.Fatal("locality 0 never drew a far node")
+	}
+}

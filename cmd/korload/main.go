@@ -53,6 +53,7 @@ func main() {
 	flag.Float64Var(&cfg.BudgetMin, "budget-min", 0, "budget draw lower bound (0 = auto from /v1/stats)")
 	flag.Float64Var(&cfg.BudgetMax, "budget-max", 0, "budget draw upper bound (0 = auto from /v1/stats)")
 	flag.IntVar(&cfg.K, "k", 3, "K for topk requests")
+	flag.IntVar(&cfg.Locality, "locality", 0, "draw To within ±N node IDs of From (0 = uniform); keeps queries feasible on large graphs")
 	flag.Float64Var(&cfg.DupFraction, "dup-fraction", 0, "fraction of requests re-issued verbatim from a recent-request pool (duplicate-heavy traffic; exercises result caching and request coalescing)")
 	flag.BoolVar(&cfg.WithMetrics, "metrics", false, "request search metrics with every query")
 	flag.StringVar(&cfg.ReplayPath, "replay", "", "JSON file (array or lines) of korapi.Requests to replay instead of synthesizing")

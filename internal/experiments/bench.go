@@ -74,7 +74,15 @@ type BenchEntry struct {
 	SharedSweepsPerOp float64 `json:"shared_sweeps_per_op,omitempty"`
 	AllocsPerOp       float64 `json:"allocs_per_op"`
 	BytesPerOp        float64 `json:"bytes_per_op"`
-	Failures          int     `json:"failures,omitempty"`
+	// HeapAllocDeltaBytes and HeapSysDeltaBytes record the live-heap and
+	// OS-reserved-heap growth across the measured region (negative when a
+	// collection ran mid-measure). HeapSys growth approximates the
+	// workload's peak-footprint cost and is what the regression gate reads;
+	// within one process run the cells execute sequentially, so the numbers
+	// are order-dependent and only large movements are meaningful.
+	HeapAllocDeltaBytes int64 `json:"heap_alloc_delta_bytes,omitempty"`
+	HeapSysDeltaBytes   int64 `json:"heap_sys_delta_bytes,omitempty"`
+	Failures            int   `json:"failures,omitempty"`
 	// FailureReason records why the first failed query failed (search error,
 	// empty result, or an infeasible best route), so a failure count in a
 	// committed report is diagnosable without rerunning the suite.
@@ -335,6 +343,8 @@ func measureConcurrentMixed(ds *Dataset, mix []mixedOp, shared bool, iters int) 
 	e.SharedSweepsPerOp = float64(sharedSweeps) / ops
 	e.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / ops
 	e.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / ops
+	e.HeapAllocDeltaBytes = int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	e.HeapSysDeltaBytes = int64(m1.HeapSys) - int64(m0.HeapSys)
 	if counter != nil {
 		e.SweepsPerOp = float64(counter.SweepCount()-sweeps0) / ops
 	}
@@ -396,6 +406,8 @@ func measureBench(ds *Dataset, queries []core.Query, algo Algorithm, iters int) 
 	e.PlanSweepsPerOp = float64(planSweeps) / ops
 	e.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / ops
 	e.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / ops
+	e.HeapAllocDeltaBytes = int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	e.HeapSysDeltaBytes = int64(m1.HeapSys) - int64(m0.HeapSys)
 	if counter != nil {
 		e.SweepsPerOp = float64(counter.SweepCount()-sweeps0) / ops
 	}
@@ -443,6 +455,9 @@ type Regression struct {
 	CurFailures  int
 	// FailureReason is the current report's recorded reason, when any.
 	FailureReason string
+	// Heap-footprint regression (set only on heap entries).
+	BaseHeapBytes int64
+	CurHeapBytes  int64
 }
 
 func (r Regression) String() string {
@@ -454,6 +469,10 @@ func (r Regression) String() string {
 		return fmt.Sprintf("%s/%s: failures %d -> %d%s",
 			r.Workload, r.Algorithm, r.BaseFailures, r.CurFailures, reason)
 	}
+	if r.CurHeapBytes > r.BaseHeapBytes {
+		return fmt.Sprintf("%s/%s: heap growth %.1f MiB -> %.1f MiB",
+			r.Workload, r.Algorithm, float64(r.BaseHeapBytes)/(1<<20), float64(r.CurHeapBytes)/(1<<20))
+	}
 	return fmt.Sprintf("%s/%s: %.0f ns/op -> %.0f ns/op (%.2fx)",
 		r.Workload, r.Algorithm, r.BaseNs, r.CurNs, r.Ratio)
 }
@@ -464,11 +483,19 @@ func (r Regression) String() string {
 // the regression ratio.
 const gateFloorNs = 5e6
 
+// heapGateFloorBytes is the minimum absolute HeapSys growth over baseline
+// before the heap gate fires. Heap deltas of sequentially-run cells are
+// order-dependent and the runtime grows HeapSys in multi-megabyte spans, so
+// only movements a real layout regression would cause are gated.
+const heapGateFloorBytes = 32 << 20
+
 // CompareBench reports every cell present in both reports that regressed:
-// current ns/op exceeding maxRatio times the base, or a failure count that
+// current ns/op exceeding maxRatio times the base, a failure count that
 // grew — failures are deterministic over the fixed query set, so any
 // increase means a query that used to be answered no longer is, regardless
-// of how fast the cell runs. Cells present in only one report are ignored
+// of how fast the cell runs — or measured-region heap growth (HeapSys
+// delta) past both maxRatio and an absolute heapGateFloorBytes over the
+// baseline. Cells present in only one report are ignored
 // (workload sets may evolve between revisions); the ns/op gate additionally
 // skips cells whose baseline measured region is under gateFloorNs — too
 // noisy to gate. Callers must compare like with like: a smoke report is
@@ -489,6 +516,16 @@ func CompareBench(base, cur *BenchReport, maxRatio float64) []Regression {
 				Workload: e.Workload, Algorithm: e.Algorithm,
 				BaseFailures: b.Failures, CurFailures: e.Failures,
 				FailureReason: e.FailureReason,
+			})
+		}
+		// Heap gate: fire only past both the absolute floor and the ratio —
+		// either alone is noise (a tiny baseline doubles trivially; a big
+		// workload growing 5% is within run-to-run variance).
+		growth := e.HeapSysDeltaBytes - b.HeapSysDeltaBytes
+		if growth > heapGateFloorBytes && float64(e.HeapSysDeltaBytes) > maxRatio*float64(max(b.HeapSysDeltaBytes, 1)) {
+			out = append(out, Regression{
+				Workload: e.Workload, Algorithm: e.Algorithm,
+				BaseHeapBytes: b.HeapSysDeltaBytes, CurHeapBytes: e.HeapSysDeltaBytes,
 			})
 		}
 		if b.NsPerOp*float64(b.Queries*b.Iters) < gateFloorNs {

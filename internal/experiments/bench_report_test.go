@@ -117,3 +117,64 @@ func TestBenchMarkdown(t *testing.T) {
 		t.Fatalf("unexpected table shape (%d lines):\n%s", lines, md)
 	}
 }
+
+func TestCompareBenchHeapGate(t *testing.T) {
+	base := sampleReport()
+	base.Entries[0].HeapSysDeltaBytes = 8 << 20
+	base.Entries[1].HeapSysDeltaBytes = 16 << 20
+
+	// Doubling under the absolute floor: noise, not a regression.
+	cur := sampleReport()
+	cur.Entries[0].HeapSysDeltaBytes = 20 << 20
+	cur.Entries[1].HeapSysDeltaBytes = 16 << 20
+	if regs := CompareBench(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("sub-floor heap growth gated: %v", regs)
+	}
+
+	// Large absolute growth but under the ratio: also not gated.
+	cur = sampleReport()
+	cur.Entries[1].HeapSysDeltaBytes = base.Entries[1].HeapSysDeltaBytes + heapGateFloorBytes + (1 << 20)
+	cur.Entries[1].HeapSysDeltaBytes = min(cur.Entries[1].HeapSysDeltaBytes, 2*base.Entries[1].HeapSysDeltaBytes)
+	if regs := CompareBench(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("sub-ratio heap growth gated: %v", regs)
+	}
+
+	// Past both the floor and the ratio: gated, with a readable message.
+	cur = sampleReport()
+	cur.Entries[1].HeapSysDeltaBytes = 128 << 20
+	regs := CompareBench(base, cur, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].CurHeapBytes != 128<<20 || regs[0].BaseHeapBytes != 16<<20 {
+		t.Fatalf("wrong heap regression: %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "heap growth") {
+		t.Fatalf("heap regression renders as %q", regs[0].String())
+	}
+
+	// A baseline without heap fields (older schema) never trips the gate by
+	// ratio alone: growth from zero still needs the absolute floor.
+	base.Entries[1].HeapSysDeltaBytes = 0
+	cur.Entries[1].HeapSysDeltaBytes = 16 << 20
+	if regs := CompareBench(base, cur, 2.0); len(regs) != 0 {
+		t.Fatalf("old-schema baseline gated: %v", regs)
+	}
+}
+
+func TestBenchEntryHeapFieldsRoundTrip(t *testing.T) {
+	r := sampleReport()
+	r.Entries[0].HeapAllocDeltaBytes = -(1 << 20) // negative: GC ran mid-measure
+	r.Entries[0].HeapSysDeltaBytes = 64 << 20
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBenchReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entries[0].HeapAllocDeltaBytes != -(1<<20) || back.Entries[0].HeapSysDeltaBytes != 64<<20 {
+		t.Fatalf("heap fields lost: %+v", back.Entries[0])
+	}
+}

@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"kor/internal/geo"
+	"kor/internal/graph"
+)
+
+// GridConfig shapes a grid road network — the generator for the
+// real-world-scale tier. Unlike RoadNetwork (random points + kNN chords,
+// fine at 5k–20k nodes), a grid needs no neighbour search and no edge-dedup
+// map, so it emits millions of nodes in bounded memory: every per-node value
+// (position jitter, tags, edge attributes) is recomputed from a hash of
+// (Seed, node), never stored, and the graph is assembled with the two-pass
+// streaming CSR builder.
+type GridConfig struct {
+	Seed int64
+	// Nodes is the network size (default 1_000_000). The grid is near-square;
+	// a partial last row keeps the count exact.
+	Nodes int
+	// SpacingKm is the distance between adjacent intersections (default 0.25).
+	SpacingKm float64
+	// JitterFrac displaces each intersection by up to this fraction of the
+	// spacing in each axis (default 0.3), so edge budgets vary like real
+	// blocks instead of being uniform.
+	JitterFrac float64
+	// VocabSize is the tag vocabulary (default 1000).
+	VocabSize int
+	// MaxTagsPerNode bounds the per-node tag count (default 3).
+	MaxTagsPerNode int
+}
+
+func (c GridConfig) withDefaults() GridConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 1_000_000
+	}
+	if c.SpacingKm <= 0 {
+		c.SpacingKm = 0.25
+	}
+	if c.JitterFrac <= 0 {
+		c.JitterFrac = 0.3
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 1000
+	}
+	if c.MaxTagsPerNode <= 0 {
+		c.MaxTagsPerNode = 3
+	}
+	return c
+}
+
+// width returns the column count of the near-square grid.
+func (c GridConfig) width() int {
+	w := isqrt(c.Nodes)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// splitmix64 is the per-node hash every derived value comes from. It is the
+// standard SplitMix64 finalizer: deterministic, stateless, and good enough
+// that neighbouring nodes decorrelate.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps a hash to [0,1).
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// gridPos recomputes node v's jittered position from the seed alone.
+func (c GridConfig) gridPos(v int) geo.Point {
+	w := c.width()
+	col, row := v%w, v/w
+	hx := splitmix64(uint64(c.Seed)<<1 ^ uint64(v)*2654435761 ^ 0xa5a5)
+	hy := splitmix64(hx ^ 0x5a5a)
+	j := c.SpacingKm * c.JitterFrac
+	return geo.Point{
+		X: float64(col)*c.SpacingKm + (2*u01(hx)-1)*j,
+		Y: float64(row)*c.SpacingKm + (2*u01(hy)-1)*j,
+	}
+}
+
+// gridTags recomputes node v's tag list. Tag frequency follows a power law
+// (id drawn as ⌊V·u³⌋), approximating the Zipf skew of the other generators
+// without needing a stateful sampler.
+func (c GridConfig) gridTags(v int, out []string) []string {
+	h := splitmix64(uint64(c.Seed)*0x9e3779b9 + uint64(v))
+	k := 1 + int(h%uint64(c.MaxTagsPerNode))
+	out = out[:0]
+	for i := 0; len(out) < k && i < 4*k; i++ {
+		h = splitmix64(h)
+		u := u01(h)
+		id := int(float64(c.VocabSize) * u * u * u)
+		if id >= c.VocabSize {
+			id = c.VocabSize - 1
+		}
+		name := TagName(id)
+		dup := false
+		for _, s := range out {
+			if s == name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// gridObjective recomputes the objective of the directed edge from→to:
+// uniform in (0.05, 1) like the road generator, independent per direction.
+func (c GridConfig) gridObjective(from, to int) float64 {
+	h := splitmix64(uint64(c.Seed) ^ uint64(from)*0x1000193 ^ uint64(to)*0x9e3779b1)
+	return 0.05 + 0.95*u01(h)
+}
+
+// gridBudget recomputes the budget (length) of the undirected connection:
+// the Euclidean distance between the jittered endpoints, floored like
+// RoadNetwork so b_min stays healthy.
+func (c GridConfig) gridBudget(u, v int) float64 {
+	d := c.gridPos(u).Euclidean(c.gridPos(v))
+	if d < 0.05 {
+		d = 0.05
+	}
+	return d
+}
+
+// forEachConnection enumerates the grid's undirected connections in
+// deterministic order: for each node, its right neighbour then its down
+// neighbour. Both builder passes and the CSV emitter replay this exact
+// order, which is what keeps GridRoad and a reingested text dump
+// fingerprint-identical.
+func (c GridConfig) forEachConnection(fn func(u, v int) error) error {
+	w := c.width()
+	for u := 0; u < c.Nodes; u++ {
+		if (u+1)%w != 0 && u+1 < c.Nodes {
+			if err := fn(u, u+1); err != nil {
+				return err
+			}
+		}
+		if u+w < c.Nodes {
+			if err := fn(u, u+w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GridRoad builds the grid network in bounded memory: peak resident size is
+// the finished graph plus O(|V|) builder cursors.
+func GridRoad(cfg GridConfig) *graph.Graph {
+	cfg = cfg.withDefaults()
+	sb := graph.NewStreamBuilder(nil)
+	var scratch []string
+	for v := 0; v < cfg.Nodes; v++ {
+		scratch = cfg.gridTags(v, scratch)
+		id, err := sb.AddNode(scratch...)
+		if err != nil {
+			panic("gen: grid node: " + err.Error())
+		}
+		if err := sb.SetPosition(id, cfg.gridPos(v)); err != nil {
+			panic("gen: grid position: " + err.Error())
+		}
+	}
+	count := func(u, v int) error {
+		if err := sb.CountEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+			return err
+		}
+		return sb.CountEdge(graph.NodeID(v), graph.NodeID(u))
+	}
+	if err := cfg.forEachConnection(count); err != nil {
+		panic("gen: grid count pass: " + err.Error())
+	}
+	if err := sb.FinishCount(); err != nil {
+		panic("gen: grid: " + err.Error())
+	}
+	fill := func(u, v int) error {
+		bud := cfg.gridBudget(u, v)
+		if err := sb.FillEdge(graph.NodeID(u), graph.NodeID(v), cfg.gridObjective(u, v), bud); err != nil {
+			return err
+		}
+		return sb.FillEdge(graph.NodeID(v), graph.NodeID(u), cfg.gridObjective(v, u), bud)
+	}
+	if err := cfg.forEachConnection(fill); err != nil {
+		panic("gen: grid fill pass: " + err.Error())
+	}
+	g, err := sb.Build()
+	if err != nil {
+		panic("gen: grid build: " + err.Error())
+	}
+	return g
+}
+
+// WriteGridCSV streams the grid as the two-file CSV ingest shape without
+// ever materializing the graph: memory stays O(1) in the node count.
+// Ingesting the emitted files with graph.LoadCSV yields a graph
+// fingerprint-identical to GridRoad(cfg).
+func WriteGridCSV(cfg GridConfig, nodes, edges io.Writer) error {
+	cfg = cfg.withDefaults()
+	nw := bufio.NewWriterSize(nodes, 1<<20)
+	if _, err := fmt.Fprintln(nw, "# id,x,y,keywords — grid road network, seed", cfg.Seed); err != nil {
+		return err
+	}
+	var scratch []string
+	for v := 0; v < cfg.Nodes; v++ {
+		p := cfg.gridPos(v)
+		scratch = cfg.gridTags(v, scratch)
+		nw.WriteString(strconv.Itoa(v))
+		nw.WriteByte(',')
+		nw.WriteString(strconv.FormatFloat(p.X, 'g', -1, 64))
+		nw.WriteByte(',')
+		nw.WriteString(strconv.FormatFloat(p.Y, 'g', -1, 64))
+		nw.WriteByte(',')
+		for i, s := range scratch {
+			if i > 0 {
+				nw.WriteByte(';')
+			}
+			nw.WriteString(s)
+		}
+		nw.WriteByte('\n')
+	}
+	if err := nw.Flush(); err != nil {
+		return err
+	}
+
+	ew := bufio.NewWriterSize(edges, 1<<20)
+	if _, err := fmt.Fprintln(ew, "# from,to,objective,budget"); err != nil {
+		return err
+	}
+	writeEdge := func(u, v int, bud float64) {
+		ew.WriteString(strconv.Itoa(u))
+		ew.WriteByte(',')
+		ew.WriteString(strconv.Itoa(v))
+		ew.WriteByte(',')
+		ew.WriteString(strconv.FormatFloat(cfg.gridObjective(u, v), 'g', -1, 64))
+		ew.WriteByte(',')
+		ew.WriteString(strconv.FormatFloat(bud, 'g', -1, 64))
+		ew.WriteByte('\n')
+	}
+	err := cfg.forEachConnection(func(u, v int) error {
+		bud := cfg.gridBudget(u, v)
+		writeEdge(u, v, bud)
+		writeEdge(v, u, bud)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return ew.Flush()
+}
+
+// gridEdgeCount returns the directed edge count the grid will have — a
+// structural invariant the tests check against the built graph.
+func gridEdgeCount(cfg GridConfig) int {
+	cfg = cfg.withDefaults()
+	n := 0
+	_ = cfg.forEachConnection(func(u, v int) error { n++; return nil })
+	return 2 * n
+}

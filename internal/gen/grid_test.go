@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kor/internal/graph"
+)
+
+func TestGridRoadStructure(t *testing.T) {
+	cfg := GridConfig{Seed: 3, Nodes: 250, VocabSize: 50} // 15×16 grid + partial row
+	g := GridRoad(cfg)
+	if g.NumNodes() != 250 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if want := gridEdgeCount(cfg); g.NumEdges() != want {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+	if !g.HasPositions() {
+		t.Fatal("grid has no positions")
+	}
+	// Every node carries at least one tag and has degree ≥ 1.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if len(g.Terms(v)) == 0 {
+			t.Fatalf("node %d has no tags", v)
+		}
+		if g.OutDegree(v) == 0 {
+			t.Fatalf("node %d has no outgoing edges", v)
+		}
+	}
+	// Grid connections are symmetric, so the network is strongly connected:
+	// a BFS over out-edges must reach every node.
+	seen := make([]bool, g.NumNodes())
+	queue := []graph.NodeID{0}
+	seen[0] = true
+	count := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		count++
+		for _, e := range g.Out(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if count != g.NumNodes() {
+		t.Fatalf("BFS reached %d of %d nodes", count, g.NumNodes())
+	}
+	if g.MinBudget() <= 0 || g.MinObjective() <= 0 {
+		t.Fatalf("non-positive extrema: obj %v bud %v", g.MinObjective(), g.MinBudget())
+	}
+}
+
+func TestGridRoadDeterministic(t *testing.T) {
+	cfg := GridConfig{Seed: 9, Nodes: 100}
+	if GridRoad(cfg).Fingerprint() != GridRoad(cfg).Fingerprint() {
+		t.Fatal("same config, different fingerprints")
+	}
+	other := GridConfig{Seed: 10, Nodes: 100}
+	if GridRoad(cfg).Fingerprint() == GridRoad(other).Fingerprint() {
+		t.Fatal("different seeds, same fingerprint")
+	}
+}
+
+// TestWriteGridCSVRoundTrip pins the contract the scale-soak tier depends
+// on: streaming the grid to CSV and re-ingesting it with LoadCSV yields a
+// graph fingerprint-identical to building it directly.
+func TestWriteGridCSVRoundTrip(t *testing.T) {
+	cfg := GridConfig{Seed: 21, Nodes: 180, VocabSize: 40}
+	var nodes, edges bytes.Buffer
+	if err := WriteGridCSV(cfg, &nodes, &edges); err != nil {
+		t.Fatalf("WriteGridCSV: %v", err)
+	}
+	loaded, err := graph.LoadCSV(
+		strings.NewReader(nodes.String()), "grid.nodes.csv",
+		strings.NewReader(edges.String()), "grid.edges.csv")
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	direct := GridRoad(cfg)
+	if loaded.Fingerprint() != direct.Fingerprint() {
+		t.Fatalf("round-trip fingerprint %x != direct build %x", loaded.Fingerprint(), direct.Fingerprint())
+	}
+	if loaded.NumNodes() != direct.NumNodes() || loaded.NumEdges() != direct.NumEdges() {
+		t.Fatalf("round-trip shape %d/%d != %d/%d",
+			loaded.NumNodes(), loaded.NumEdges(), direct.NumNodes(), direct.NumEdges())
+	}
+}

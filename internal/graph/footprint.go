@@ -1,0 +1,59 @@
+package graph
+
+import "fmt"
+
+// Footprint breaks down the resident bytes of a graph's storage arrays — the
+// numbers kordata -stats reports and the scale-soak CI tier gates on. It
+// counts the backing arrays only (slice headers, the vocabulary hash map's
+// bucket overhead and allocator rounding are excluded), so it is a stable
+// lower bound: layout regressions move it even when heap noise would mask
+// them in RSS.
+type Footprint struct {
+	Nodes int
+	Edges int
+
+	EdgeBytes  int64 // forward + reverse CSR edge arrays
+	HeadBytes  int64 // CSR offset arrays (out, in, term)
+	TermBytes  int64 // per-node keyword term array
+	PosBytes   int64 // coordinates, when present
+	NameBytes  int64 // display names, when present
+	VocabBytes int64 // interned keyword strings
+
+	TotalBytes int64
+}
+
+// edgeSize is the in-memory size of one Edge (int32 + 2×float64, padded to
+// 8-byte alignment).
+const edgeSize = 24
+
+// MemFootprint computes the storage breakdown in one scan of the
+// variable-length arrays.
+func (g *Graph) MemFootprint() Footprint {
+	f := Footprint{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	f.EdgeBytes = int64(len(g.outEdges)+len(g.inEdges)) * edgeSize
+	f.HeadBytes = int64(len(g.outHead)+len(g.inHead)+len(g.termHead)) * 4
+	f.TermBytes = int64(len(g.terms)) * 4
+	f.PosBytes = int64(len(g.pos)) * 16
+	for _, s := range g.names {
+		f.NameBytes += int64(len(s)) + 16 // bytes + string header
+	}
+	for _, s := range g.vocab.Names() {
+		f.VocabBytes += int64(len(s)) + 16
+	}
+	f.TotalBytes = f.EdgeBytes + f.HeadBytes + f.TermBytes + f.PosBytes + f.NameBytes + f.VocabBytes
+	return f
+}
+
+// BytesPerNode returns the graph's resident bytes divided by its node count.
+func (f Footprint) BytesPerNode() float64 {
+	if f.Nodes == 0 {
+		return 0
+	}
+	return float64(f.TotalBytes) / float64(f.Nodes)
+}
+
+// String renders the breakdown on one line.
+func (f Footprint) String() string {
+	return fmt.Sprintf("total=%d B (%.1f B/node): edges=%d heads=%d terms=%d pos=%d names=%d vocab=%d",
+		f.TotalBytes, f.BytesPerNode(), f.EdgeBytes, f.HeadBytes, f.TermBytes, f.PosBytes, f.NameBytes, f.VocabBytes)
+}

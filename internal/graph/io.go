@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sort"
 
 	"kor/internal/geo"
 )
@@ -157,7 +158,26 @@ func (g *Graph) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// loadTrustPrealloc bounds how far Load trusts a file's claimed element
+// counts when sizing allocations up front. Claims at or below it (8M
+// elements) are allocated exactly — the real-world-scale path, where exact
+// sizing is what keeps peak RSS at the finished graph's size. Larger claims
+// grow by append instead, so a corrupt or adversarial header cannot force a
+// multi-gigabyte allocation before the truncated payload is noticed.
+const loadTrustPrealloc = 1 << 23
+
 // Load reads a graph in the binary graph format.
+//
+// Loading streams straight into the graph's CSR arrays: node keyword terms
+// are appended to the flat term array as records arrive (no per-node string
+// round-trip through the vocabulary — terms in the file are already
+// interned), and edges written by Save arrive sorted by source node, so the
+// forward CSR is filled in arrival order and the reverse CSR is derived
+// with one counting sort over it. Peak memory is the finished graph plus a
+// 4-byte-per-edge source table, where the builder path used to stage every
+// edge in a 32-byte record and every keyword as a string. Files whose edge
+// section is not source-sorted (any writer other than Save) take a
+// counting-sort fallback that costs one extra edge-array copy.
 func Load(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(formatMagic))
@@ -216,8 +236,11 @@ func Load(r io.Reader) (*Graph, error) {
 	if numNodes > 1<<28 {
 		return nil, fmt.Errorf("%w: unreasonable node count %d", ErrBadFormat, numNodes)
 	}
-	b := NewBuilderWithVocab(vocab)
-	for i := uint32(0); i < numNodes; i++ {
+	n := int(numNodes)
+	g := &Graph{vocab: vocab}
+	g.termHead = make([]int32, 1, preallocHint(n+1))
+	g.terms = make([]Term, 0, preallocHint(n)) // most nodes carry ≥1 term
+	for i := 0; i < n; i++ {
 		var tc uint32
 		if err := rd(&tc); err != nil {
 			return nil, fmt.Errorf("%w: node %d: %v", ErrBadFormat, i, err)
@@ -225,7 +248,7 @@ func Load(r io.Reader) (*Graph, error) {
 		if tc > numTerms {
 			return nil, fmt.Errorf("%w: node %d has %d terms, vocabulary has %d", ErrBadFormat, i, tc, numTerms)
 		}
-		kws := make([]string, 0, tc)
+		start := len(g.terms)
 		for j := uint32(0); j < tc; j++ {
 			var t uint32
 			if err := rd(&t); err != nil {
@@ -234,16 +257,35 @@ func Load(r io.Reader) (*Graph, error) {
 			if t >= numTerms {
 				return nil, fmt.Errorf("%w: node %d references term %d outside vocabulary", ErrBadFormat, i, t)
 			}
-			kws = append(kws, vocab.Name(Term(t)))
+			g.terms = append(g.terms, Term(t))
 		}
-		b.AddNode(kws...)
+		// Save writes each node's terms sorted and deduplicated, but the
+		// format does not promise it; normalize like Builder.AddNode does.
+		ts := g.terms[start:]
+		if len(ts) > 1 {
+			sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+			g.terms = g.terms[:start+len(dedupTerms(ts))]
+		}
+		g.termHead = append(g.termHead, int32(len(g.terms)))
 	}
 
+	// Edge section. The node count is verified real at this point (every
+	// record was read), so the per-node arrays below are sized exactly.
 	var numEdges uint32
 	if err := rd(&numEdges); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
-	for i := uint32(0); i < numEdges; i++ {
+	if numEdges > 1<<28 {
+		return nil, fmt.Errorf("%w: unreasonable edge count %d", ErrBadFormat, numEdges)
+	}
+	e := int(numEdges)
+	g.outHead = make([]int32, n+1)
+	g.inHead = make([]int32, n+1)
+	g.outEdges = make([]Edge, 0, preallocHint(e))
+	froms := make([]int32, 0, preallocHint(e))
+	g.minObjective, g.minBudget = math.Inf(1), math.Inf(1)
+	sorted := true
+	for i := 0; i < e; i++ {
 		var from, to uint32
 		var obj, bud float64
 		if err := rd(&from); err != nil {
@@ -261,13 +303,62 @@ func Load(r io.Reader) (*Graph, error) {
 		if math.IsNaN(obj) || math.IsNaN(bud) {
 			return nil, fmt.Errorf("%w: edge %d has NaN attribute", ErrBadFormat, i)
 		}
-		if err := b.AddEdge(NodeID(from), NodeID(to), obj, bud); err != nil {
-			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		if from >= numNodes || to >= numNodes {
+			return nil, fmt.Errorf("%w: edge %d: no such node %d", ErrBadFormat, i, max(from, to))
+		}
+		if from == to {
+			return nil, fmt.Errorf("%w: edge %d: self-loop on node %d", ErrBadFormat, i, from)
+		}
+		if !(obj > 0) || math.IsInf(obj, 0) {
+			return nil, fmt.Errorf("%w: edge %d: objective %v must be positive and finite", ErrBadFormat, i, obj)
+		}
+		if !(bud > 0) || math.IsInf(bud, 0) {
+			return nil, fmt.Errorf("%w: edge %d: budget %v must be positive and finite", ErrBadFormat, i, bud)
+		}
+		if len(froms) > 0 && int32(from) < froms[len(froms)-1] {
+			sorted = false
+		}
+		g.outHead[from+1]++
+		g.inHead[to+1]++
+		g.outEdges = append(g.outEdges, Edge{To: NodeID(to), Objective: obj, Budget: bud})
+		froms = append(froms, int32(from))
+		g.minObjective = math.Min(g.minObjective, obj)
+		g.minBudget = math.Min(g.minBudget, bud)
+		g.maxObjective = math.Max(g.maxObjective, obj)
+		g.maxBudget = math.Max(g.maxBudget, bud)
+	}
+	if e == 0 {
+		g.minObjective, g.minBudget = 0, 0
+	}
+	for i := 1; i <= n; i++ {
+		g.outHead[i] += g.outHead[i-1]
+		g.inHead[i] += g.inHead[i-1]
+	}
+	if !sorted {
+		// Counting-sort the forward CSR, stable in arrival order — the
+		// same layout buildCSR produces, so fingerprints are unaffected.
+		sortedEdges := make([]Edge, e)
+		cursor := make([]int32, n)
+		for i, from := range froms {
+			sortedEdges[g.outHead[from]+cursor[from]] = g.outEdges[i]
+			cursor[from]++
+		}
+		g.outEdges = sortedEdges
+	}
+	froms = nil
+	// Derive the reverse CSR from the forward one with a counting sort.
+	g.inEdges = make([]Edge, e)
+	cursor := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for _, ed := range g.outEdges[g.outHead[v]:g.outHead[v+1]] {
+			g.inEdges[g.inHead[ed.To]+cursor[ed.To]] = Edge{To: NodeID(v), Objective: ed.Objective, Budget: ed.Budget}
+			cursor[ed.To]++
 		}
 	}
 
 	if flags&flagPositions != 0 {
-		for i := uint32(0); i < numNodes; i++ {
+		g.pos = make([]geo.Point, n)
+		for i := 0; i < n; i++ {
 			var x, y float64
 			if err := rd(&x); err != nil {
 				return nil, fmt.Errorf("%w: position %d: %v", ErrBadFormat, i, err)
@@ -275,20 +366,17 @@ func Load(r io.Reader) (*Graph, error) {
 			if err := rd(&y); err != nil {
 				return nil, fmt.Errorf("%w: position %d: %v", ErrBadFormat, i, err)
 			}
-			if err := b.SetPosition(NodeID(i), geo.Point{X: x, Y: y}); err != nil {
-				return nil, err
-			}
+			g.pos[i] = geo.Point{X: x, Y: y}
 		}
 	}
 	if flags&flagNames != 0 {
-		for i := uint32(0); i < numNodes; i++ {
+		g.names = make([]string, n)
+		for i := 0; i < n; i++ {
 			s, err := readString()
 			if err != nil {
 				return nil, fmt.Errorf("%w: name %d: %v", ErrBadFormat, i, err)
 			}
-			if err := b.SetName(NodeID(i), s); err != nil {
-				return nil, err
-			}
+			g.names[i] = s
 		}
 	}
 
@@ -300,5 +388,14 @@ func Load(r io.Reader) (*Graph, error) {
 	if gotCRC != wantCRC {
 		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrBadFormat, gotCRC, wantCRC)
 	}
-	return b.Build()
+	return g, nil
+}
+
+// preallocHint caps an up-front allocation size at loadTrustPrealloc; see
+// that constant for why claimed counts are not trusted unboundedly.
+func preallocHint(claimed int) int {
+	if claimed > loadTrustPrealloc {
+		return loadTrustPrealloc
+	}
+	return claimed
 }

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kor/internal/geo"
+)
+
+// StreamBuilder assembles a Graph in two passes with no per-edge
+// intermediate: the caller first declares every node and *counts* every edge
+// (pass one), then replays the same edge stream to *fill* the CSR arrays in
+// place (pass two). Peak memory is the finished graph plus O(|V|) cursors —
+// there is no []builderEdge staging slice and no slice-of-slices keyword
+// table, which is what lets kordata ingest million-node graphs without
+// tripling their resident size.
+//
+// Lifecycle:
+//
+//	sb := NewStreamBuilder(nil)
+//	... AddNode / AddNodeTerms / SetPosition / SetName ...
+//	... CountEdge for every edge ...            (pass one)
+//	sb.FinishCount()
+//	... FillEdge for the same edges, in order ... (pass two)
+//	g, err := sb.Build()
+//
+// Nodes may keep arriving until FinishCount; CountEdge only accepts
+// endpoints already declared, which is what lets a single-file format
+// interleave node and edge records as long as every edge follows its
+// endpoints. The fill pass must replay the exact count-pass edge sequence:
+// Build fails when the two passes disagree.
+//
+// For identical node and edge sequences, StreamBuilder and Builder produce
+// graphs with identical CSR layout and therefore identical fingerprints
+// (both preserve per-source arrival order); TestStreamBuilderMatchesBuilder
+// pins this.
+//
+// A StreamBuilder is not safe for concurrent use.
+type StreamBuilder struct {
+	vocab    *Vocabulary
+	termHead []int32
+	terms    []Term
+	pos      []geo.Point // allocated on first SetPosition
+	names    []string    // allocated on first SetName
+
+	phase streamPhase
+
+	// Pass one accumulates degree counts in outHead/inHead at index v+1;
+	// FinishCount prefix-sums them into CSR head arrays.
+	outHead, inHead   []int32
+	outEdges, inEdges []Edge
+	outCur, inCur     []int32
+	counted, filled   int
+
+	minObj, minBud float64
+	maxObj, maxBud float64
+}
+
+type streamPhase int
+
+const (
+	phaseCounting streamPhase = iota
+	phaseFilling
+	phaseBuilt
+)
+
+// NewStreamBuilder returns an empty streaming builder interning keywords
+// into v (a fresh vocabulary when nil).
+func NewStreamBuilder(v *Vocabulary) *StreamBuilder {
+	if v == nil {
+		v = NewVocabulary()
+	}
+	return &StreamBuilder{
+		vocab:   v,
+		minObj:  math.Inf(1),
+		minBud:  math.Inf(1),
+		outHead: make([]int32, 1, 1024),
+		inHead:  make([]int32, 1, 1024),
+	}
+}
+
+// NumNodes returns the number of nodes declared so far.
+func (b *StreamBuilder) NumNodes() int { return len(b.termHead) }
+
+// Vocab returns the vocabulary keywords are interned into.
+func (b *StreamBuilder) Vocab() *Vocabulary { return b.vocab }
+
+// AddNode appends a node carrying the given keywords and returns its ID.
+// Duplicate keywords are collapsed. Nodes cannot be added once FinishCount
+// has sealed the node set.
+func (b *StreamBuilder) AddNode(keywords ...string) (NodeID, error) {
+	if b.phase != phaseCounting {
+		return 0, fmt.Errorf("graph: StreamBuilder.AddNode after FinishCount")
+	}
+	start := len(b.terms)
+	for _, k := range keywords {
+		b.terms = append(b.terms, b.vocab.Intern(k))
+	}
+	b.sealNode(start)
+	return NodeID(len(b.termHead) - 1), nil
+}
+
+// AddNodeTerms is AddNode for pre-interned terms, skipping the string
+// round-trip. Every term must already be valid in the vocabulary.
+func (b *StreamBuilder) AddNodeTerms(ts []Term) (NodeID, error) {
+	if b.phase != phaseCounting {
+		return 0, fmt.Errorf("graph: StreamBuilder.AddNodeTerms after FinishCount")
+	}
+	for _, t := range ts {
+		if t < 0 || int(t) >= b.vocab.Len() {
+			return 0, fmt.Errorf("graph: StreamBuilder.AddNodeTerms: term %d outside vocabulary (%d terms)", t, b.vocab.Len())
+		}
+	}
+	start := len(b.terms)
+	b.terms = append(b.terms, ts...)
+	b.sealNode(start)
+	return NodeID(len(b.termHead) - 1), nil
+}
+
+// sealNode sorts and dedups the node's freshly appended terms in place and
+// records its CSR offset.
+func (b *StreamBuilder) sealNode(start int) {
+	ts := b.terms[start:]
+	if len(ts) > 1 {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		b.terms = b.terms[:start+len(dedupTerms(ts))]
+	}
+	b.termHead = append(b.termHead, int32(start))
+	b.outHead = append(b.outHead, 0)
+	b.inHead = append(b.inHead, 0)
+	if b.pos != nil {
+		b.pos = append(b.pos, geo.Point{})
+	}
+	if b.names != nil {
+		b.names = append(b.names, "")
+	}
+}
+
+// SetPosition records coordinates for node v.
+func (b *StreamBuilder) SetPosition(v NodeID, p geo.Point) error {
+	if v < 0 || int(v) >= b.NumNodes() {
+		return fmt.Errorf("graph: SetPosition: no such node %d", v)
+	}
+	if b.pos == nil {
+		b.pos = make([]geo.Point, b.NumNodes())
+	}
+	b.pos[v] = p
+	return nil
+}
+
+// SetName records a display name for node v.
+func (b *StreamBuilder) SetName(v NodeID, name string) error {
+	if v < 0 || int(v) >= b.NumNodes() {
+		return fmt.Errorf("graph: SetName: no such node %d", v)
+	}
+	if b.names == nil {
+		b.names = make([]string, b.NumNodes())
+	}
+	b.names[v] = name
+	return nil
+}
+
+// CountEdge registers one directed edge in pass one. Both endpoints must
+// already be declared; self-loops are rejected here so pass one surfaces
+// them with the caller's record context.
+func (b *StreamBuilder) CountEdge(from, to NodeID) error {
+	if b.phase != phaseCounting {
+		return fmt.Errorf("graph: StreamBuilder.CountEdge after FinishCount")
+	}
+	if err := b.checkEndpoints(from, to); err != nil {
+		return err
+	}
+	b.outHead[from+1]++
+	b.inHead[to+1]++
+	b.counted++
+	return nil
+}
+
+func (b *StreamBuilder) checkEndpoints(from, to NodeID) error {
+	n := b.NumNodes()
+	if from < 0 || int(from) >= n {
+		return fmt.Errorf("graph: edge references undeclared node %d (%d nodes so far)", from, n)
+	}
+	if to < 0 || int(to) >= n {
+		return fmt.Errorf("graph: edge references undeclared node %d (%d nodes so far)", to, n)
+	}
+	if from == to {
+		return fmt.Errorf("graph: self-loop on node %d", from)
+	}
+	return nil
+}
+
+// FinishCount seals the node set, prefix-sums the degree counts into CSR
+// head arrays and allocates the edge arrays pass two fills.
+func (b *StreamBuilder) FinishCount() error {
+	if b.phase != phaseCounting {
+		return fmt.Errorf("graph: StreamBuilder.FinishCount called twice")
+	}
+	n := b.NumNodes()
+	for i := 1; i <= n; i++ {
+		b.outHead[i] += b.outHead[i-1]
+		b.inHead[i] += b.inHead[i-1]
+	}
+	b.outEdges = make([]Edge, b.counted)
+	b.inEdges = make([]Edge, b.counted)
+	b.outCur = make([]int32, n)
+	b.inCur = make([]int32, n)
+	b.phase = phaseFilling
+	return nil
+}
+
+// FillEdge places one directed edge in pass two, validating its attributes.
+// The fill stream must replay the count stream: an edge whose source or
+// target already exhausted its counted degree means the two passes diverged.
+func (b *StreamBuilder) FillEdge(from, to NodeID, objective, budget float64) error {
+	if b.phase != phaseFilling {
+		return fmt.Errorf("graph: StreamBuilder.FillEdge before FinishCount")
+	}
+	if err := b.checkEndpoints(from, to); err != nil {
+		return err
+	}
+	if !(objective > 0) || math.IsInf(objective, 0) {
+		return fmt.Errorf("graph: edge (%d,%d): objective %v must be positive and finite", from, to, objective)
+	}
+	if !(budget > 0) || math.IsInf(budget, 0) {
+		return fmt.Errorf("graph: edge (%d,%d): budget %v must be positive and finite", from, to, budget)
+	}
+	oi := b.outHead[from] + b.outCur[from]
+	if oi >= b.outHead[from+1] {
+		return fmt.Errorf("graph: edge (%d,%d): node %d has more edges in the fill pass than were counted", from, to, from)
+	}
+	ii := b.inHead[to] + b.inCur[to]
+	if ii >= b.inHead[to+1] {
+		return fmt.Errorf("graph: edge (%d,%d): node %d has more incoming edges in the fill pass than were counted", from, to, to)
+	}
+	b.outEdges[oi] = Edge{To: to, Objective: objective, Budget: budget}
+	b.outCur[from]++
+	b.inEdges[ii] = Edge{To: from, Objective: objective, Budget: budget}
+	b.inCur[to]++
+	b.filled++
+
+	b.minObj = math.Min(b.minObj, objective)
+	b.minBud = math.Min(b.minBud, budget)
+	b.maxObj = math.Max(b.maxObj, objective)
+	b.maxBud = math.Max(b.maxBud, budget)
+	return nil
+}
+
+// Build finalizes the graph. The builder is spent afterwards.
+func (b *StreamBuilder) Build() (*Graph, error) {
+	switch b.phase {
+	case phaseCounting:
+		// An edgeless graph never needed the fill pass; seal it now.
+		if err := b.FinishCount(); err != nil {
+			return nil, err
+		}
+	case phaseBuilt:
+		return nil, fmt.Errorf("graph: StreamBuilder.Build called twice")
+	}
+	if b.filled != b.counted {
+		return nil, fmt.Errorf("graph: fill pass supplied %d edges, count pass saw %d", b.filled, b.counted)
+	}
+	b.phase = phaseBuilt
+
+	g := &Graph{
+		vocab:    b.vocab,
+		outHead:  b.outHead,
+		outEdges: b.outEdges,
+		inHead:   b.inHead,
+		inEdges:  b.inEdges,
+		terms:    b.terms,
+		pos:      b.pos,
+		names:    b.names,
+	}
+	g.termHead = append(b.termHead, int32(len(b.terms)))
+	g.minObjective, g.minBudget = b.minObj, b.minBud
+	g.maxObjective, g.maxBudget = b.maxObj, b.maxBud
+	if b.counted == 0 {
+		g.minObjective, g.minBudget = 0, 0
+	}
+	return g, nil
+}

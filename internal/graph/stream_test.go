@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kor/internal/geo"
+)
+
+// randomEdges draws a deterministic edge set over n nodes with no self-loops
+// or duplicate (from,to) pairs, in a fixed arrival order.
+func randomEdges(rng *rand.Rand, n, m int) [][4]float64 {
+	seen := make(map[[2]int]bool)
+	var out [][4]float64
+	for len(out) < m {
+		from, to := rng.Intn(n), rng.Intn(n)
+		if from == to || seen[[2]int{from, to}] {
+			continue
+		}
+		seen[[2]int{from, to}] = true
+		out = append(out, [4]float64{float64(from), float64(to), 0.1 + rng.Float64(), 0.1 + 2*rng.Float64()})
+	}
+	return out
+}
+
+func randomTags(rng *rand.Rand, v int) []string {
+	k := rng.Intn(4)
+	tags := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		tags = append(tags, fmt.Sprintf("tag%02d", rng.Intn(20)))
+	}
+	return tags
+}
+
+// TestStreamBuilderMatchesBuilder pins the compatibility contract the
+// StreamBuilder doc comment promises: the same nodes and edges, presented in
+// the same arrival order, produce a graph byte-identical in its CSR layout
+// to the batch Builder — same fingerprint, same adjacency, same extrema.
+func TestStreamBuilderMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, m = 60, 240
+	tags := make([][]string, n)
+	for v := range tags {
+		tags[v] = randomTags(rng, v)
+	}
+	edges := randomEdges(rng, n, m)
+
+	b := NewBuilder()
+	for v := 0; v < n; v++ {
+		id := b.AddNode(tags[v]...)
+		if err := b.SetPosition(id, geo.Point{X: float64(v), Y: float64(-v)}); err != nil {
+			t.Fatalf("builder SetPosition: %v", err)
+		}
+		if v%3 == 0 {
+			if err := b.SetName(id, fmt.Sprintf("poi-%d", v)); err != nil {
+				t.Fatalf("builder SetName: %v", err)
+			}
+		}
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(NodeID(e[0]), NodeID(e[1]), e[2], e[3]); err != nil {
+			t.Fatalf("builder AddEdge: %v", err)
+		}
+	}
+	want, err := b.Build()
+	if err != nil {
+		t.Fatalf("builder Build: %v", err)
+	}
+
+	sb := NewStreamBuilder(nil)
+	for v := 0; v < n; v++ {
+		id, err := sb.AddNode(tags[v]...)
+		if err != nil {
+			t.Fatalf("stream AddNode: %v", err)
+		}
+		if err := sb.SetPosition(id, geo.Point{X: float64(v), Y: float64(-v)}); err != nil {
+			t.Fatalf("stream SetPosition: %v", err)
+		}
+		if v%3 == 0 {
+			if err := sb.SetName(id, fmt.Sprintf("poi-%d", v)); err != nil {
+				t.Fatalf("stream SetName: %v", err)
+			}
+		}
+	}
+	for _, e := range edges {
+		if err := sb.CountEdge(NodeID(e[0]), NodeID(e[1])); err != nil {
+			t.Fatalf("CountEdge: %v", err)
+		}
+	}
+	if err := sb.FinishCount(); err != nil {
+		t.Fatalf("FinishCount: %v", err)
+	}
+	for _, e := range edges {
+		if err := sb.FillEdge(NodeID(e[0]), NodeID(e[1]), e[2], e[3]); err != nil {
+			t.Fatalf("FillEdge: %v", err)
+		}
+	}
+	got, err := sb.Build()
+	if err != nil {
+		t.Fatalf("stream Build: %v", err)
+	}
+
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: stream %x, batch %x", got.Fingerprint(), want.Fingerprint())
+	}
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d nodes/edges",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		gOut, wOut := got.Out(v), want.Out(v)
+		if len(gOut) != len(wOut) {
+			t.Fatalf("node %d: out degree %d vs %d", v, len(gOut), len(wOut))
+		}
+		for i := range gOut {
+			if gOut[i] != wOut[i] {
+				t.Fatalf("node %d out[%d]: %+v vs %+v", v, i, gOut[i], wOut[i])
+			}
+		}
+		gIn, wIn := got.In(v), want.In(v)
+		if len(gIn) != len(wIn) {
+			t.Fatalf("node %d: in degree %d vs %d", v, len(gIn), len(wIn))
+		}
+		for i := range gIn {
+			if gIn[i] != wIn[i] {
+				t.Fatalf("node %d in[%d]: %+v vs %+v", v, i, gIn[i], wIn[i])
+			}
+		}
+		gt, wt := got.Terms(v), want.Terms(v)
+		if len(gt) != len(wt) {
+			t.Fatalf("node %d: %d terms vs %d", v, len(gt), len(wt))
+		}
+		for i := range gt {
+			if gt[i] != wt[i] {
+				t.Fatalf("node %d term[%d]: %d vs %d", v, i, gt[i], wt[i])
+			}
+		}
+		if got.Position(v) != want.Position(v) {
+			t.Fatalf("node %d position mismatch", v)
+		}
+		if got.Name(v) != want.Name(v) {
+			t.Fatalf("node %d name mismatch", v)
+		}
+	}
+	if got.MinObjective() != want.MinObjective() || got.MaxObjective() != want.MaxObjective() ||
+		got.MinBudget() != want.MinBudget() || got.MaxBudget() != want.MaxBudget() {
+		t.Fatalf("extrema mismatch")
+	}
+}
+
+func TestStreamBuilderValidation(t *testing.T) {
+	sb := NewStreamBuilder(nil)
+	a, _ := sb.AddNode("x")
+	b, _ := sb.AddNode()
+
+	if err := sb.CountEdge(a, a); err == nil {
+		t.Errorf("self-loop CountEdge accepted")
+	}
+	if err := sb.CountEdge(a, 99); err == nil {
+		t.Errorf("undeclared endpoint accepted")
+	}
+	if err := sb.FillEdge(a, b, 1, 1); err == nil {
+		t.Errorf("FillEdge before FinishCount accepted")
+	}
+	if err := sb.CountEdge(a, b); err != nil {
+		t.Fatalf("CountEdge: %v", err)
+	}
+	if err := sb.FinishCount(); err != nil {
+		t.Fatalf("FinishCount: %v", err)
+	}
+	if err := sb.FinishCount(); err == nil {
+		t.Errorf("double FinishCount accepted")
+	}
+	if _, err := sb.AddNode("late"); err == nil {
+		t.Errorf("AddNode after FinishCount accepted")
+	}
+	if err := sb.FillEdge(a, b, -1, 1); err == nil {
+		t.Errorf("negative objective accepted")
+	}
+	if _, err := sb.Build(); err == nil {
+		t.Errorf("Build with unfilled edges accepted")
+	}
+	if err := sb.FillEdge(a, b, 1, 2); err != nil {
+		t.Fatalf("FillEdge: %v", err)
+	}
+	if err := sb.FillEdge(a, b, 1, 2); err == nil {
+		t.Errorf("overfilling counted degree accepted")
+	}
+	g, err := sb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestStreamBuilderEdgeless(t *testing.T) {
+	sb := NewStreamBuilder(nil)
+	if _, err := sb.AddNode("solo"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sb.Build() // Build without FinishCount: implicit empty edge set
+	if err != nil {
+		t.Fatalf("edgeless Build: %v", err)
+	}
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}

@@ -1,0 +1,402 @@
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kor/internal/geo"
+)
+
+// Text graph formats. Two ingestion shapes cover the real-world datasets the
+// paper evaluates on (road networks, POI extracts):
+//
+//   - CSV, two files. Node records are "id,x,y,keywords" with keywords an
+//     optional ;-separated list; edge records are "from,to,objective,budget".
+//     A header line is skipped when its first field is not a number.
+//   - OSM-extract TSV, one file. Tab-separated records tagged by kind:
+//     "node<TAB>id<TAB>lat<TAB>lon[<TAB>keywords]" and
+//     "edge<TAB>from<TAB>to<TAB>length[<TAB>objective]". The edge budget is
+//     the length; the objective defaults to the length when absent (pure
+//     shortest-distance extracts carry no popularity signal). Every edge
+//     must appear after both its endpoints, which OSM extracts (nodes first,
+//     then ways) satisfy naturally.
+//
+// Node IDs are arbitrary int64s (OSM IDs are sparse); the loader assigns
+// dense NodeIDs in file order and interns keywords straight into the
+// vocabulary — per-node keyword strings are never retained. Blank lines and
+// lines starting with '#' are skipped in both formats.
+//
+// Loading is two-pass over seekable input (pass one declares nodes and
+// counts edge degrees, pass two fills the CSR in place — see StreamBuilder),
+// so peak memory is the finished graph plus the id-remap table.
+
+// ErrBadText reports a malformed text graph record. Every parse failure
+// wraps it and is an *ParseError carrying file, line and the offending
+// record.
+var ErrBadText = errors.New("graph: bad text record")
+
+// ParseError locates a text-ingestion failure: the file and line it
+// occurred on and the record that triggered it, so a million-line ingest
+// fails with something actionable instead of a bare message.
+type ParseError struct {
+	File   string // input name as given by the caller
+	Line   int    // 1-based line number
+	Record string // the offending line, truncated for display
+	Msg    string // what was wrong
+}
+
+func (e *ParseError) Error() string {
+	if e.Record == "" {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s:%d: %s (record %q)", e.File, e.Line, e.Msg, e.Record)
+}
+
+// Unwrap ties every ParseError to ErrBadText for errors.Is classification.
+func (e *ParseError) Unwrap() error { return ErrBadText }
+
+// parseErrf builds a located error, truncating long records.
+func parseErrf(file string, line int, record, format string, args ...any) error {
+	const maxRecord = 120
+	if len(record) > maxRecord {
+		record = record[:maxRecord] + "…"
+	}
+	return &ParseError{File: file, Line: line, Record: record, Msg: fmt.Sprintf(format, args...)}
+}
+
+// textScanner walks a text input line by line, tracking the line number and
+// skipping blanks and '#' comments.
+type textScanner struct {
+	sc   *bufio.Scanner
+	file string
+	line int
+}
+
+// maxTextLine bounds one record; a keyword list has no business being
+// longer, and the bound keeps a corrupt file from buffering unbounded.
+const maxTextLine = 1 << 20
+
+func newTextScanner(r io.Reader, file string) *textScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxTextLine)
+	return &textScanner{sc: sc, file: file}
+}
+
+// next returns the next non-blank, non-comment line. ok is false at EOF or
+// on a read error (reported by err()).
+func (s *textScanner) next() (string, bool) {
+	for s.sc.Scan() {
+		s.line++
+		t := strings.TrimSpace(s.sc.Text())
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		return t, true
+	}
+	return "", false
+}
+
+func (s *textScanner) err() error {
+	if err := s.sc.Err(); err != nil {
+		return parseErrf(s.file, s.line+1, "", "reading input: %v", err)
+	}
+	return nil
+}
+
+// idTable remaps sparse external int64 IDs to dense NodeIDs.
+type idTable map[int64]NodeID
+
+func (t idTable) resolve(file string, line int, record string, ext int64) (NodeID, error) {
+	id, ok := t[ext]
+	if !ok {
+		return 0, parseErrf(file, line, record, "edge references unknown node id %d (nodes must precede the edges that use them)", ext)
+	}
+	return id, nil
+}
+
+// splitKeywords splits a ;-separated keyword list, dropping empties.
+func splitKeywords(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ";")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LoadCSV ingests the two-file CSV shape. nodesName and edgesName label the
+// inputs in errors. Both readers must be seekable: the edge input is read
+// twice (degree count, then CSR fill).
+func LoadCSV(nodes io.ReadSeeker, nodesName string, edges io.ReadSeeker, edgesName string) (*Graph, error) {
+	sb := NewStreamBuilder(nil)
+	ids := make(idTable)
+
+	// Pass over the node file: declare every node.
+	sc := newTextScanner(nodes, nodesName)
+	for {
+		rec, ok := sc.next()
+		if !ok {
+			break
+		}
+		if err := csvNode(sb, ids, sc.file, sc.line, rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.err(); err != nil {
+		return nil, err
+	}
+
+	// Edge pass one: count degrees.
+	sc = newTextScanner(edges, edgesName)
+	for {
+		rec, ok := sc.next()
+		if !ok {
+			break
+		}
+		if err := csvEdge(sb, ids, sc.file, sc.line, rec, false); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.err(); err != nil {
+		return nil, err
+	}
+	if err := sb.FinishCount(); err != nil {
+		return nil, err
+	}
+
+	// Edge pass two: fill in place.
+	if _, err := edges.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("graph: rewinding %s for the fill pass: %w", edgesName, err)
+	}
+	sc = newTextScanner(edges, edgesName)
+	for {
+		rec, ok := sc.next()
+		if !ok {
+			break
+		}
+		if err := csvEdge(sb, ids, sc.file, sc.line, rec, true); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.err(); err != nil {
+		return nil, err
+	}
+	return sb.Build()
+}
+
+// csvNode parses one "id,x,y,keywords" record. Line 1 may be a header.
+func csvNode(sb *StreamBuilder, ids idTable, file string, line int, rec string) error {
+	fields := strings.SplitN(rec, ",", 4)
+	if len(fields) < 3 {
+		return parseErrf(file, line, rec, "node record needs id,x,y[,keywords], got %d field(s)", len(fields))
+	}
+	ext, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		if line == 1 {
+			return nil // header row
+		}
+		return parseErrf(file, line, rec, "bad node id %q", fields[0])
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+	if err != nil {
+		return parseErrf(file, line, rec, "bad x coordinate %q", fields[1])
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+	if err != nil {
+		return parseErrf(file, line, rec, "bad y coordinate %q", fields[2])
+	}
+	if _, dup := ids[ext]; dup {
+		return parseErrf(file, line, rec, "duplicate node id %d", ext)
+	}
+	var kws []string
+	if len(fields) == 4 {
+		kws = splitKeywords(fields[3])
+	}
+	v, err := sb.AddNode(kws...)
+	if err != nil {
+		return parseErrf(file, line, rec, "%v", err)
+	}
+	ids[ext] = v
+	return sb.SetPosition(v, geo.Point{X: x, Y: y})
+}
+
+// csvEdge parses one "from,to,objective,budget" record, counting (pass one)
+// or filling (pass two). Attribute values are validated in the fill pass so
+// their failure carries this record's location.
+func csvEdge(sb *StreamBuilder, ids idTable, file string, line int, rec string, fill bool) error {
+	fields := strings.Split(rec, ",")
+	if len(fields) != 4 {
+		return parseErrf(file, line, rec, "edge record needs from,to,objective,budget, got %d field(s)", len(fields))
+	}
+	extFrom, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		if line == 1 {
+			return nil // header row
+		}
+		return parseErrf(file, line, rec, "bad edge source id %q", fields[0])
+	}
+	extTo, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil {
+		return parseErrf(file, line, rec, "bad edge target id %q", fields[1])
+	}
+	from, err := ids.resolve(file, line, rec, extFrom)
+	if err != nil {
+		return err
+	}
+	to, err := ids.resolve(file, line, rec, extTo)
+	if err != nil {
+		return err
+	}
+	if !fill {
+		if err := sb.CountEdge(from, to); err != nil {
+			return parseErrf(file, line, rec, "%v", err)
+		}
+		return nil
+	}
+	obj, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+	if err != nil {
+		return parseErrf(file, line, rec, "bad edge objective %q", fields[2])
+	}
+	bud, err := strconv.ParseFloat(strings.TrimSpace(fields[3]), 64)
+	if err != nil {
+		return parseErrf(file, line, rec, "bad edge budget %q", fields[3])
+	}
+	if err := sb.FillEdge(from, to, obj, bud); err != nil {
+		return parseErrf(file, line, rec, "%v", err)
+	}
+	return nil
+}
+
+// LoadOSMTSV ingests the single-file OSM-extract TSV shape. The input must
+// be seekable: edge records are read twice.
+func LoadOSMTSV(r io.ReadSeeker, name string) (*Graph, error) {
+	sb := NewStreamBuilder(nil)
+	ids := make(idTable)
+
+	sc := newTextScanner(r, name)
+	for {
+		rec, ok := sc.next()
+		if !ok {
+			break
+		}
+		if err := osmRecord(sb, ids, sc.file, sc.line, rec, false); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.err(); err != nil {
+		return nil, err
+	}
+	if err := sb.FinishCount(); err != nil {
+		return nil, err
+	}
+
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("graph: rewinding %s for the fill pass: %w", name, err)
+	}
+	sc = newTextScanner(r, name)
+	for {
+		rec, ok := sc.next()
+		if !ok {
+			break
+		}
+		if err := osmRecord(sb, ids, sc.file, sc.line, rec, true); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.err(); err != nil {
+		return nil, err
+	}
+	return sb.Build()
+}
+
+// osmRecord dispatches one TSV record. In the fill pass node records are
+// skipped (they were fully handled in pass one) and edge records fill.
+func osmRecord(sb *StreamBuilder, ids idTable, file string, line int, rec string, fill bool) error {
+	fields := strings.Split(rec, "\t")
+	switch fields[0] {
+	case "node":
+		if fill {
+			return nil
+		}
+		if len(fields) < 4 || len(fields) > 5 {
+			return parseErrf(file, line, rec, "node record needs node<TAB>id<TAB>lat<TAB>lon[<TAB>keywords], got %d field(s)", len(fields))
+		}
+		ext, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return parseErrf(file, line, rec, "bad node id %q", fields[1])
+		}
+		lat, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return parseErrf(file, line, rec, "bad latitude %q", fields[2])
+		}
+		lon, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return parseErrf(file, line, rec, "bad longitude %q", fields[3])
+		}
+		if _, dup := ids[ext]; dup {
+			return parseErrf(file, line, rec, "duplicate node id %d", ext)
+		}
+		var kws []string
+		if len(fields) == 5 {
+			kws = splitKeywords(fields[4])
+		}
+		v, err := sb.AddNode(kws...)
+		if err != nil {
+			return parseErrf(file, line, rec, "%v", err)
+		}
+		ids[ext] = v
+		// Store as (x=lon, y=lat): geo.Point is planar with x horizontal.
+		return sb.SetPosition(v, geo.Point{X: lon, Y: lat})
+	case "edge":
+		if len(fields) < 4 || len(fields) > 5 {
+			return parseErrf(file, line, rec, "edge record needs edge<TAB>from<TAB>to<TAB>length[<TAB>objective], got %d field(s)", len(fields))
+		}
+		extFrom, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return parseErrf(file, line, rec, "bad edge source id %q", fields[1])
+		}
+		extTo, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return parseErrf(file, line, rec, "bad edge target id %q", fields[2])
+		}
+		from, err := ids.resolve(file, line, rec, extFrom)
+		if err != nil {
+			return err
+		}
+		to, err := ids.resolve(file, line, rec, extTo)
+		if err != nil {
+			return err
+		}
+		if !fill {
+			if err := sb.CountEdge(from, to); err != nil {
+				return parseErrf(file, line, rec, "%v", err)
+			}
+			return nil
+		}
+		length, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return parseErrf(file, line, rec, "bad edge length %q", fields[3])
+		}
+		obj := length
+		if len(fields) == 5 {
+			if obj, err = strconv.ParseFloat(fields[4], 64); err != nil {
+				return parseErrf(file, line, rec, "bad edge objective %q", fields[4])
+			}
+		}
+		if err := sb.FillEdge(from, to, obj, length); err != nil {
+			return parseErrf(file, line, rec, "%v", err)
+		}
+		return nil
+	default:
+		return parseErrf(file, line, rec, "unknown record kind %q (want node or edge)", fields[0])
+	}
+}

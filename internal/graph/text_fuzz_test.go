@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzTextGraph feeds arbitrary bytes through both text ingestion paths: the
+// parsers must never panic, every rejection must be a located ParseError
+// wrapping ErrBadText (I/O plumbing errors are impossible on an in-memory
+// reader), and anything accepted must be a consistent graph that survives a
+// binary round-trip.
+func FuzzTextGraph(f *testing.F) {
+	f.Add([]byte("1,0,0,cafe;jazz\n2,1,1,park\n"), []byte("1,2,1,2\n2,1,3,1\n"))
+	f.Add([]byte("id,x,y\n7,0.5,-2\n"), []byte("from,to,objective,budget\n"))
+	f.Add([]byte("node\t1\t52.5\t13.4\tcafe\nnode\t2\t52.6\t13.5\nedge\t1\t2\t1.5\n"), []byte{})
+	f.Add([]byte("# comment\n\n1,0,0\n"), []byte("1,1,1,1\n"))
+	f.Add([]byte("1,NaN,Inf\n"), []byte("1,2,-1,0\n"))
+	f.Add([]byte{}, []byte{})
+
+	check := func(t *testing.T, g *Graph, err error) {
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) || !errors.Is(err, ErrBadText) {
+				t.Fatalf("rejection is not a located ParseError: %#v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := g.Save(&out); err != nil {
+			t.Fatalf("accepted graph failed to save: %v", err)
+		}
+		g2, err := Load(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph failed: %v", err)
+		}
+		if g2.Fingerprint() != g.Fingerprint() {
+			t.Fatal("round trip changed the fingerprint")
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, nodes, edges []byte) {
+		g, err := LoadCSV(strings.NewReader(string(nodes)), "n.csv", strings.NewReader(string(edges)), "e.csv")
+		check(t, g, err)
+		// The node bytes double as a TSV candidate; edge bytes are appended
+		// so the single-file path sees both record kinds.
+		tsv := string(nodes) + "\n" + string(edges)
+		g, err = LoadOSMTSV(strings.NewReader(tsv), "x.tsv")
+		check(t, g, err)
+	})
+}

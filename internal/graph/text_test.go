@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kor/internal/geo"
+)
+
+const nodesCSV = `id,x,y,keywords
+# POIs exported 2026-08
+1001,0,0,cafe;jazz
+7,1.5,0.25,park
+42,3,1,cafe; museum
+
+9000,0.5,2,
+`
+
+const edgesCSV = `from,to,objective,budget
+1001,7,1,2
+7,42,2,1
+42,1001,1.5,3
+1001,9000,0.25,0.5
+9000,42,4,1.25
+`
+
+func loadTestCSV(t *testing.T, nodes, edges string) (*Graph, error) {
+	t.Helper()
+	return LoadCSV(strings.NewReader(nodes), "nodes.csv", strings.NewReader(edges), "edges.csv")
+}
+
+func TestLoadCSV(t *testing.T) {
+	g, err := loadTestCSV(t, nodesCSV, edgesCSV)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("got %d nodes %d edges, want 4/5", g.NumNodes(), g.NumEdges())
+	}
+	// Dense IDs follow file order: 1001→0, 7→1, 42→2, 9000→3.
+	if got := g.Out(0); len(got) != 2 {
+		t.Fatalf("node 0 out degree %d, want 2", len(got))
+	}
+	if p := g.Position(1); p.X != 1.5 || p.Y != 0.25 {
+		t.Errorf("node 1 position %+v", p)
+	}
+	// "cafe; museum" splits and trims; node 2 carries cafe + museum.
+	cafe, ok := g.Vocab().Lookup("cafe")
+	if !ok {
+		t.Fatal("cafe not interned")
+	}
+	museum, ok := g.Vocab().Lookup("museum")
+	if !ok {
+		t.Fatal("museum (trimmed) not interned")
+	}
+	ts := g.Terms(2)
+	if len(ts) != 2 {
+		t.Fatalf("node 2 terms = %v", ts)
+	}
+	found := map[Term]bool{ts[0]: true, ts[1]: true}
+	if !found[cafe] || !found[museum] {
+		t.Errorf("node 2 terms %v missing cafe/museum (%d,%d)", ts, cafe, museum)
+	}
+	// Trailing-comma keyword field on node 9000 means no keywords.
+	if len(g.Terms(3)) != 0 {
+		t.Errorf("node 3 terms = %v, want none", g.Terms(3))
+	}
+}
+
+// TestLoadCSVMatchesBuilder pins fingerprint parity between text ingestion
+// and the batch Builder: same nodes, keywords and edge arrival order must
+// yield an identical digest, so indexes built from either path interoperate.
+func TestLoadCSVMatchesBuilder(t *testing.T) {
+	g, err := loadTestCSV(t, nodesCSV, edgesCSV)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	b := NewBuilder()
+	b.AddNode("cafe", "jazz")
+	b.AddNode("park")
+	b.AddNode("cafe", "museum")
+	b.AddNode()
+	for _, e := range [][4]float64{{0, 1, 1, 2}, {1, 2, 2, 1}, {2, 0, 1.5, 3}, {0, 3, 0.25, 0.5}, {3, 2, 4, 1.25}} {
+		if err := b.AddEdge(NodeID(e[0]), NodeID(e[1]), e[2], e[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v, p := range [][2]float64{{0, 0}, {1.5, 0.25}, {3, 1}, {0.5, 2}} {
+		if err := b.SetPosition(NodeID(v), geo.Point{X: p[0], Y: p[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := b.MustBuild()
+	if g.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: text %x, builder %x", g.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name         string
+		nodes, edges string
+		wantSub      string
+	}{
+		{"truncated node record", "5,1\n", edgesOnly("5"), "nodes.csv:1: node record needs"},
+		{"bad coordinate", "5,one,2\n", edgesOnly("5"), `nodes.csv:1: bad x coordinate "one"`},
+		{"duplicate node id", "5,0,0\n5,1,1\n", edgesOnly("5"), "nodes.csv:2: duplicate node id 5"},
+		{"bad node id mid-file", "5,0,0\nzap,1,1\n", edgesOnly("5"), `nodes.csv:2: bad node id "zap"`},
+		{"truncated edge record", "5,0,0\n6,1,1\n", "5,6,1\n", "edges.csv:1: edge record needs"},
+		{"unknown endpoint", "5,0,0\n", "5,99,1,1\n", "edges.csv:1: edge references unknown node id 99"},
+		{"self-loop", "5,0,0\n", "5,5,1,1\n", "edges.csv:1:"},
+		{"bad objective", "5,0,0\n6,1,1\n", "5,6,x,1\n", `bad edge objective "x"`},
+		{"non-positive budget", "5,0,0\n6,1,1\n", "5,6,1,0\n", "edges.csv:1:"},
+		{"nan budget", "5,0,0\n6,1,1\n", "5,6,1,NaN\n", "edges.csv:1:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loadTestCSV(t, tc.nodes, tc.edges)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !errors.Is(err, ErrBadText) {
+				t.Errorf("error %v does not wrap ErrBadText", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.wantSub)
+			}
+		})
+	}
+}
+
+// edgesOnly emits a trivially valid single-node edge file placeholder (no
+// edges, comment only) so node-side error cases don't trip on edges.
+func edgesOnly(string) string { return "# no edges\n" }
+
+func TestLoadCSVNoTrailingNewline(t *testing.T) {
+	g, err := loadTestCSV(t, "1,0,0,a\n2,1,1,b", "1,2,1,1")
+	if err != nil {
+		t.Fatalf("LoadCSV without trailing newline: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d/%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestLoadCSVOverlongLine(t *testing.T) {
+	long := "1,0,0," + strings.Repeat("k;", maxTextLine)
+	_, err := loadTestCSV(t, long, "# none\n")
+	if err == nil {
+		t.Fatal("overlong record accepted")
+	}
+	if !errors.Is(err, ErrBadText) {
+		t.Errorf("overlong-line error %v does not wrap ErrBadText", err)
+	}
+}
+
+const okTSV = "# extract\n" +
+	"node\t10\t52.5\t13.4\tcafe;jazz\n" +
+	"node\t11\t52.6\t13.5\n" +
+	"node\t12\t52.7\t13.6\tpark\n" +
+	"edge\t10\t11\t1.5\n" +
+	"edge\t11\t12\t2\t0.5\n" +
+	"edge\t12\t10\t3\n"
+
+func TestLoadOSMTSV(t *testing.T) {
+	g, err := LoadOSMTSV(strings.NewReader(okTSV), "extract.tsv")
+	if err != nil {
+		t.Fatalf("LoadOSMTSV: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+	// Position stores x=lon, y=lat.
+	if p := g.Position(0); p.X != 13.4 || p.Y != 52.5 {
+		t.Errorf("node 0 position %+v, want lon/lat 13.4/52.5", p)
+	}
+	// Edge 10→11 has no explicit objective: defaults to length.
+	e := g.Out(0)[0]
+	if e.Objective != 1.5 || e.Budget != 1.5 {
+		t.Errorf("edge 0→1 = %+v, want objective=budget=1.5", e)
+	}
+	// Edge 11→12 overrides the objective.
+	e = g.Out(1)[0]
+	if e.Objective != 0.5 || e.Budget != 2 {
+		t.Errorf("edge 1→2 = %+v, want objective 0.5 budget 2", e)
+	}
+}
+
+func TestLoadOSMTSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown kind", "way\t1\t2\n", `unknown record kind "way"`},
+		{"edge before node", "edge\t1\t2\t1\n", "unknown node id 1"},
+		{"bad lat", "node\t1\tnope\t2\n", `bad latitude "nope"`},
+		{"truncated", "node\t1\t2\n", "node record needs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadOSMTSV(strings.NewReader(tc.in), "x.tsv")
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !errors.Is(err, ErrBadText) {
+				t.Errorf("error %v does not wrap ErrBadText", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorTruncatesRecord(t *testing.T) {
+	rec := strings.Repeat("x", 500) + ",0"
+	_, err := loadTestCSV(t, rec+"\n5,0,0\n", "# none\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if len(err.Error()) > 300 {
+		t.Errorf("error message not truncated: %d chars", len(err.Error()))
+	}
+}

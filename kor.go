@@ -379,6 +379,31 @@ func WriteDistIndex(path string, g *Graph, cellSize int) (apsp.IndexInfo, error)
 	return info, nil
 }
 
+// lazySweepBudgetBytes bounds what each direction's sweep cache of the lazy
+// oracle may hold. The default 128-entry cap is tuned for benchmark-sized
+// graphs; at real-world scale a single sweep is tens of megabytes
+// (2×float64 + int32 per node), so an entry-count cap alone would let the
+// cache grow to gigabytes on a million-node graph.
+const lazySweepBudgetBytes = 256 << 20
+
+// lazySweepCapacity converts the byte budget into a sweep-entry count for an
+// n-node graph, clamped to [4, DefaultSweepCapacity] so small graphs keep
+// their current cache behaviour exactly.
+func lazySweepCapacity(n int) int {
+	if n <= 0 {
+		return apsp.DefaultSweepCapacity
+	}
+	const perNode = 2*8 + 4 // primary, secondary float64 + parent int32
+	c := int(lazySweepBudgetBytes / int64(n*perNode))
+	if c > apsp.DefaultSweepCapacity {
+		return apsp.DefaultSweepCapacity
+	}
+	if c < 4 {
+		return 4
+	}
+	return c
+}
+
 // buildOracle constructs the τ/σ oracle cfg selects for g, returning it with
 // its OracleStatus.Kind label.
 func buildOracle(g *Graph, cfg EngineConfig) (core.RouteOracle, string, error) {
@@ -394,7 +419,9 @@ func buildOracle(g *Graph, cfg EngineConfig) (core.RouteOracle, string, error) {
 	case OracleDense:
 		return apsp.NewMatrixOracle(g), OracleKindMatrix, nil
 	case OracleLazy:
-		return apsp.NewLazyOracle(g), OracleKindLazy, nil
+		o := apsp.NewLazyOracle(g)
+		o.SetCapacity(lazySweepCapacity(g.NumNodes()))
+		return o, OracleKindLazy, nil
 	case OraclePartitioned:
 		cell := cfg.PartitionCellSize
 		if cell <= 0 {
@@ -657,4 +684,42 @@ func SyntheticCity(seed int64) (*Graph, error) {
 // objectives, Zipf keywords. Deterministic in seed.
 func SyntheticRoadNetwork(seed int64, nodes int) *Graph {
 	return gen.RoadNetwork(gen.RoadConfig{Seed: seed, Nodes: nodes})
+}
+
+// SyntheticGrid generates the grid road network used for real-world-scale
+// testing: near-square lattice, jittered positions, power-law keywords.
+// Unlike SyntheticRoadNetwork it builds through the streaming CSR path in
+// bounded memory, so million-node graphs are practical. Deterministic in
+// seed.
+func SyntheticGrid(seed int64, nodes int) *Graph {
+	return gen.GridRoad(gen.GridConfig{Seed: seed, Nodes: nodes})
+}
+
+// LoadGraphCSV ingests the two-file CSV text shape (node records
+// "id,x,y[,keywords]", edge records "from,to,objective,budget") through the
+// streaming two-pass builder. Parse failures carry file:line locations.
+func LoadGraphCSV(nodesPath, edgesPath string) (*Graph, error) {
+	nf, err := os.Open(nodesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	return graph.LoadCSV(nf, nodesPath, ef, edgesPath)
+}
+
+// LoadGraphOSM ingests the single-file OSM-extract TSV shape
+// ("node<TAB>id<TAB>lat<TAB>lon[<TAB>keywords]",
+// "edge<TAB>from<TAB>to<TAB>length[<TAB>objective]").
+func LoadGraphOSM(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.LoadOSMTSV(f, path)
 }

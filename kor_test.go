@@ -2,9 +2,12 @@ package kor
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"kor/internal/apsp"
 )
 
 // tinyCity builds a hand-sized city for façade tests.
@@ -285,5 +288,73 @@ func TestNewEngineValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(tinyCity(t), &EngineConfig{Oracle: OracleKind(99)}); err == nil {
 		t.Fatal("unknown oracle kind accepted")
+	}
+}
+
+func TestSyntheticGridEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic datasets in -short mode")
+	}
+	grid := SyntheticGrid(4, 400)
+	if grid.NumNodes() != 400 {
+		t.Fatalf("grid nodes = %d", grid.NumNodes())
+	}
+	eng, err := NewEngine(grid, &EngineConfig{Oracle: OracleLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := grid.Vocab().Name(0)
+	_, err = eng.Search(Query{From: 0, To: 399, Keywords: []string{name}, Budget: 1e6}, DefaultOptions())
+	if err != nil && !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("grid search: %v", err)
+	}
+}
+
+func TestLazySweepCapacity(t *testing.T) {
+	if got := lazySweepCapacity(0); got != apsp.DefaultSweepCapacity {
+		t.Errorf("capacity(0) = %d", got)
+	}
+	if got := lazySweepCapacity(1000); got != apsp.DefaultSweepCapacity {
+		t.Errorf("small graph capacity = %d, want default %d", got, apsp.DefaultSweepCapacity)
+	}
+	// A million-node graph: 20 MB per sweep, 256 MiB budget → 13 entries.
+	got := lazySweepCapacity(1_000_000)
+	if got >= apsp.DefaultSweepCapacity || got < 4 {
+		t.Errorf("1M-node capacity = %d, want clamped inside [4, %d)", got, apsp.DefaultSweepCapacity)
+	}
+	// Absurdly large graphs floor at the oracle's minimum of 4.
+	if got := lazySweepCapacity(1 << 30); got != 4 {
+		t.Errorf("huge graph capacity = %d, want 4", got)
+	}
+}
+
+func TestLoadGraphTextFacades(t *testing.T) {
+	dir := t.TempDir()
+	nodes := filepath.Join(dir, "n.csv")
+	edges := filepath.Join(dir, "e.csv")
+	if err := os.WriteFile(nodes, []byte("1,0,0,cafe\n2,1,1,jazz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edges, []byte("1,2,1,2\n2,1,2,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraphCSV(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("CSV facade got %d/%d", g.NumNodes(), g.NumEdges())
+	}
+
+	tsv := filepath.Join(dir, "x.tsv")
+	if err := os.WriteFile(tsv, []byte("node\t1\t0\t0\tcafe\nnode\t2\t1\t1\nedge\t1\t2\t1.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = LoadGraphOSM(tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("OSM facade got %d/%d", g.NumNodes(), g.NumEdges())
 	}
 }
